@@ -1,0 +1,88 @@
+package defectsim_test
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	defectsim "defectsim"
+)
+
+func TestPublicModels(t *testing.T) {
+	if got := defectsim.WilliamsBrown(0.75, 1); got != 0 {
+		t.Fatalf("W-B(T=1) = %g", got)
+	}
+	p := defectsim.ModelParams{R: 2.1, ThetaMax: 1}
+	req, err := p.RequiredT(0.75, 100e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(req-0.977) > 1e-3 {
+		t.Fatalf("Example 1 via public API: %g", req)
+	}
+	if defectsim.Agrawal(0.75, 1, 2) != 0 {
+		t.Fatal("Agrawal endpoint")
+	}
+	if d := defectsim.WeightedDL(0.75, 0.5) - defectsim.WilliamsBrown(0.75, 0.5); d != 0 {
+		t.Fatal("eq. 3 has the W-B form over Θ")
+	}
+	if g := defectsim.CoverageGrowth(1, math.E*2, 1); g != 0 {
+		t.Fatal("growth at k=1")
+	}
+}
+
+func TestPublicCircuits(t *testing.T) {
+	if c := defectsim.C17(); len(c.PIs) != 5 || len(c.Gates) != 6 {
+		t.Fatal("c17 via public API")
+	}
+	if c := defectsim.C432Class(1); len(c.PIs) != 36 {
+		t.Fatal("c432-class via public API")
+	}
+	src := "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+	nl, err := defectsim.ParseBench("mini", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Gates) != 1 {
+		t.Fatal("parse via public API")
+	}
+}
+
+func TestPublicPipelineEndToEnd(t *testing.T) {
+	cfg := defectsim.DefaultPipelineConfig()
+	cfg.RandomVectors = 32
+	cfg.Stats = defectsim.TypicalDefects()
+	path := filepath.Join(t.TempDir(), "cache.json")
+
+	p, hit, err := defectsim.RunPipelineCached(defectsim.RippleAdder(3), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("cold cache cannot hit")
+	}
+	if p.Yield <= 0 || p.Yield >= 1 {
+		t.Fatalf("yield %g", p.Yield)
+	}
+	fitted := defectsim.FitPipeline(p)
+	if err := fitted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Defect level from the fitted model at the final coverage must be
+	// close to the directly computed weighted DL.
+	theta := p.ThetaCurve(false).Final()
+	direct := defectsim.WeightedDL(p.Yield, theta)
+	tFinal := p.TCurve().Final()
+	model := fitted.DL(p.Yield, tFinal)
+	if direct <= 0 || model <= 0 {
+		t.Fatal("degenerate DLs")
+	}
+	if r := model / direct; r < 0.3 || r > 3 {
+		t.Fatalf("fitted model far from data: %g vs %g", model, direct)
+	}
+	// Cached rerun through the public API.
+	if _, hit, err = defectsim.RunPipelineCached(defectsim.RippleAdder(3), cfg, path); err != nil || !hit {
+		t.Fatal("cache must hit")
+	}
+}

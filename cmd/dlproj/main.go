@@ -1,0 +1,301 @@
+// Command dlproj regenerates the paper's figures, tables and worked
+// examples from the defectsim pipeline.
+//
+// Usage:
+//
+//	dlproj [flags] <command>
+//
+// Commands:
+//
+//	fig1     analytic coverage-growth curves T(k), Θ(k)       (paper fig. 1)
+//	fig2     DL(T): Williams–Brown vs proposed model          (paper fig. 2)
+//	fig3     histogram of extracted fault weights             (paper fig. 3)
+//	fig4     simulated coverage curves T, Θ, Γ vs k           (paper fig. 4)
+//	fig5     DL vs stuck-at coverage + model fit              (paper fig. 5)
+//	fig6     DL vs unweighted coverage                        (paper fig. 6)
+//	ex1      required coverage for 100 ppm                    (paper ex. 1)
+//	ex2      residual defect level at 100% coverage           (paper ex. 2)
+//	agrawal  Agrawal-model comparison                         (TAB-A)
+//	iddq     voltage vs voltage+IDDQ coverage ceiling         (ABL-2)
+//	opens    rerun with an opens-dominant defect mix          (ABL-3)
+//	delay    transition (delay) testing vs stuck-at testing   (ABL-4)
+//	topup    bridge-targeting ATPG top-up of the test set     (ABL-5)
+//	paths    path-delay coverage of the K longest paths       (ABL-6)
+//	maxwell  equal-coverage test sets, different quality      (ABL-7)
+//	resist   resistive-bridge conductance sweep               (ABL-8)
+//	dft      observation points at SCOAP-hard nets            (DFT-1)
+//	lot      empirical DL from a simulated production lot     (VAL-1)
+//	inject   geometric defect-injection extraction check      (VAL-2)
+//	diag     bridge diagnosis via stuck-at surrogates         (VAL-3)
+//	kinds    per-fault-kind detection breakdown
+//	suite    run the pipeline over the whole benchmark suite
+//	yieldrep Stapper per-defect-class yield decomposition
+//	wafer    ASCII wafer maps (flat vs edge-degraded line)
+//	svg      write the chip layout to <circuit>.svg
+//	report   pipeline summary for the selected circuit
+//	all      everything above in order
+//
+// Flags select the circuit (default: the c432-class benchmark), the seed,
+// the yield scaling and the random-vector budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"defectsim/internal/defect"
+	"defectsim/internal/experiments"
+	"defectsim/internal/extract"
+	"defectsim/internal/layout"
+	"defectsim/internal/netlist"
+	"defectsim/internal/wafer"
+)
+
+func main() {
+	var (
+		circuit = flag.String("circuit", "c432", "benchmark: c432|c17|adder|mux|parity|cmp|dec|random")
+		seed    = flag.Int64("seed", 1994, "generator / random-vector seed")
+		yield   = flag.Float64("yield", 0.75, "target yield the fault weights are scaled to")
+		vectors = flag.Int("vectors", 64, "random vector prefix before deterministic top-up")
+		stats   = flag.String("stats", "typical", "defect statistics: typical|opens")
+		cache   = flag.String("cache", "", "path to a pipeline result cache (created on miss, reused on hit)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dlproj [flags] <fig1|fig2|fig3|fig4|fig5|fig6|ex1|ex2|agrawal|iddq|opens|report|all>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	cmd := strings.ToLower(flag.Arg(0))
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.TargetYield = *yield
+	cfg.RandomVectors = *vectors
+	switch *stats {
+	case "typical":
+		cfg.Stats = defect.Typical()
+	case "opens":
+		cfg.Stats = defect.OpensDominant()
+	default:
+		fatal(fmt.Errorf("unknown -stats %q", *stats))
+	}
+
+	nl, err := pickCircuit(*circuit, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Analytic commands need no simulation.
+	switch cmd {
+	case "fig1":
+		fmt.Print(experiments.Figure1().Render())
+		return
+	case "fig2":
+		fmt.Print(experiments.Figure2().Render())
+		return
+	case "ex1":
+		e, err := experiments.RunExample1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(e.Render())
+		return
+	case "ex2":
+		fmt.Print(experiments.RunExample2().Render())
+		return
+	}
+
+	run := func(c experiments.Config) *experiments.Pipeline {
+		if *cache != "" {
+			p, hit, err := experiments.RunCached(nl, c, *cache)
+			if err != nil {
+				fatal(err)
+			}
+			if hit {
+				fmt.Fprintf(os.Stderr, "reusing cached pipeline results from %s\n", *cache)
+			} else {
+				fmt.Fprintf(os.Stderr, "pipeline simulated and cached to %s\n", *cache)
+			}
+			return p
+		}
+		fmt.Fprintf(os.Stderr, "running pipeline on %s (layout, extraction, ATPG, fault simulation)...\n", nl.Name)
+		p, err := experiments.Run(nl, c)
+		if err != nil {
+			fatal(err)
+		}
+		return p
+	}
+
+	switch cmd {
+	case "svg":
+		L, err := layout.Build(nl, nil)
+		if err != nil {
+			fatal(err)
+		}
+		name := nl.Name + ".svg"
+		f, err := os.Create(name)
+		if err != nil {
+			fatal(err)
+		}
+		if err := L.WriteSVG(f, 1); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%s)\n", name, L.ComputeStats())
+	case "fig3":
+		fmt.Print(experiments.Figure3(run(cfg)).Render())
+	case "fig4":
+		fmt.Print(experiments.Figure4(run(cfg)).Render())
+	case "fig5":
+		fmt.Print(experiments.Figure5(run(cfg)).Render())
+	case "fig6":
+		fmt.Print(experiments.Figure6(run(cfg)).Render())
+	case "agrawal":
+		fmt.Print(experiments.RunAgrawalComparison(run(cfg)).Render())
+	case "iddq":
+		fmt.Print(experiments.RunIDDQAblation(run(cfg)).Render())
+	case "opens":
+		cfg.Stats = defect.OpensDominant()
+		p := run(cfg)
+		fmt.Print(p.Report())
+		fmt.Print(experiments.Figure4(p).Render())
+	case "topup":
+		tu, err := experiments.RunBridgeTopUp(run(cfg), 500)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(tu.Render())
+	case "delay":
+		a, err := experiments.RunDelayAblation(run(cfg))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(a.Render())
+	case "paths":
+		st, err := experiments.RunPathDelayStudy(run(cfg), 100)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Render())
+	case "dft":
+		st, err := experiments.RunTestPointStudy(run(cfg), 8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Render())
+	case "resist":
+		st, err := experiments.RunResistiveBridgeStudy(run(cfg), nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Render())
+	case "maxwell":
+		st, err := experiments.RunMaxwellAitken(run(cfg))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Render())
+	case "lot":
+		fmt.Print(experiments.RunLotValidation(run(cfg), 200000, *seed).Render())
+	case "inject":
+		fmt.Print(experiments.RunInjectionValidation(run(cfg), 50000, *seed).Render())
+	case "diag":
+		st, err := experiments.RunDiagnosisStudy(run(cfg), 200, 5)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Render())
+	case "kinds":
+		fmt.Print(experiments.FaultKindBreakdown(run(cfg)))
+	case "suite":
+		fmt.Fprintln(os.Stderr, "running the pipeline over the benchmark suite (about a minute)...")
+		st, err := experiments.RunSuite([]*netlist.Netlist{
+			netlist.C17(),
+			netlist.RippleAdder(8),
+			netlist.MuxTree(3),
+			netlist.ParityTree(12),
+			netlist.Comparator(8),
+			netlist.Decoder(3),
+			netlist.C432Class(*seed),
+		}, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Render())
+	case "yieldrep":
+		L, err := layout.Build(nl, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(extract.RenderClassReport(extract.ClassReport(L, cfg.Stats)))
+	case "wafer":
+		p := run(cfg)
+		g := wafer.Geometry{Radius: 150, DieW: 7, DieH: 7, EdgeExclusion: 4}
+		k := len(p.TestSet.Patterns)
+		fmt.Println("--- flat defect density ---")
+		fmt.Print(wafer.Simulate(g, p.Faults, p.SwitchRes.DetectedAt, k, wafer.Uniform(), *seed).Render())
+		fmt.Println("--- edge-degraded (×3 at the rim) ---")
+		fmt.Print(wafer.Simulate(g, p.Faults, p.SwitchRes.DetectedAt, k, wafer.EdgeDegraded(3), *seed).Render())
+	case "report":
+		fmt.Print(run(cfg).Report())
+	case "all":
+		fmt.Print(experiments.Figure1().Render(), "\n")
+		fmt.Print(experiments.Figure2().Render(), "\n")
+		e1, err := experiments.RunExample1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(e1.Render(), "\n")
+		fmt.Print(experiments.RunExample2().Render(), "\n")
+		p := run(cfg)
+		fmt.Print(p.Report(), "\n")
+		fmt.Print(experiments.Figure3(p).Render(), "\n")
+		fmt.Print(experiments.Figure4(p).Render(), "\n")
+		fmt.Print(experiments.Figure5(p).Render(), "\n")
+		fmt.Print(experiments.Figure6(p).Render(), "\n")
+		fmt.Print(experiments.RunAgrawalComparison(p).Render(), "\n")
+		fmt.Print(experiments.RunIDDQAblation(p).Render(), "\n")
+		d, err := experiments.RunDelayAblation(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(d.Render(), "\n")
+		fmt.Print(experiments.RunLotValidation(p, 200000, *seed).Render(), "\n")
+		fmt.Print(experiments.RunInjectionValidation(p, 50000, *seed).Render(), "\n")
+		fmt.Print(experiments.FaultKindBreakdown(p))
+	default:
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func pickCircuit(name string, seed int64) (*netlist.Netlist, error) {
+	switch strings.ToLower(name) {
+	case "c432":
+		return netlist.C432Class(seed), nil
+	case "c17":
+		return netlist.C17(), nil
+	case "adder":
+		return netlist.RippleAdder(8), nil
+	case "mux":
+		return netlist.MuxTree(3), nil
+	case "parity":
+		return netlist.ParityTree(12), nil
+	case "cmp":
+		return netlist.Comparator(8), nil
+	case "dec":
+		return netlist.Decoder(3), nil
+	case "random":
+		return netlist.RandomCircuit("random", seed, 24, 6, 100), nil
+	}
+	return nil, fmt.Errorf("unknown circuit %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dlproj:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package defectsim reproduces "Fault Modeling and Defect Level
+// Projections in Digital ICs" (Sousa, Gonçalves, Teixeira, Williams; DATE
+// 1994): layout-based inductive fault analysis, gate- and switch-level
+// fault simulation, and the defect-level model
+//
+//	DL(T) = 1 − Y^(1 − Θmax·(1 − (1−T)^R))
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/dlproj regenerates every figure of the paper and
+// bench_test.go exposes one benchmark per figure/table. This root package
+// only anchors the module documentation and the benchmark harness.
+package defectsim

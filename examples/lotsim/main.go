@@ -1,0 +1,58 @@
+// lotsim: manufacture and test a virtual production lot.
+//
+// The fab side: dies of an 8-bit ripple-carry adder acquire spot-defect
+// faults according to the layout-extracted weighted fault list (Poisson
+// statistics, yield scaled to 0.75). The test side: every die runs the
+// stuck-at test set; a die ships when none of its faults is detected.
+//
+// The program sweeps the test length and compares three numbers at each
+// point: the empirical defect level of the simulated lot, the weighted
+// closed form DL = 1 − Y^(1−Θ(k)) (paper eq. 3), and what the
+// Williams–Brown formula would have predicted from the stuck-at coverage
+// alone — making the paper's core argument tangible die by die.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"defectsim/internal/dlmodel"
+	"defectsim/internal/experiments"
+	"defectsim/internal/montecarlo"
+	"defectsim/internal/netlist"
+	"defectsim/internal/textplot"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	cfg.RandomVectors = 48
+	p, err := experiments.Run(netlist.RippleAdder(8), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(p.Report())
+
+	const dies = 200000
+	fmt.Printf("\nmanufacturing %d dies per test length...\n\n", dies)
+
+	tCurve := p.TCurve()
+	thCurve := p.ThetaCurve(false)
+	tb := textplot.Table{Headers: []string{
+		"k", "T(k)", "Θ(k)", "empirical DL", "eq.3 DL(Θ)", "W-B DL(T)",
+	}}
+	for i, k := range p.Ks {
+		res := montecarlo.SimulateLot(p.Faults, p.SwitchRes.DetectedAt, k, dies, 1000+int64(k))
+		tb.AddRow(k,
+			fmt.Sprintf("%.4f", tCurve[i].C),
+			fmt.Sprintf("%.4f", thCurve[i].C),
+			fmt.Sprintf("%6.0f ppm", 1e6*res.DefectLevel()),
+			fmt.Sprintf("%6.0f ppm", 1e6*dlmodel.Weighted(p.Yield, thCurve[i].C)),
+			fmt.Sprintf("%6.0f ppm", 1e6*dlmodel.WilliamsBrown(p.Yield, tCurve[i].C)),
+		)
+	}
+	fmt.Println(tb.Render())
+	fmt.Println("The empirical column tracks eq. 3 (same fault statistics); the")
+	fmt.Println("Williams-Brown column drifts whenever Θ(k) and T(k) part ways — at")
+	fmt.Println("full stuck-at coverage it predicts zero escapes while the lot still")
+	fmt.Println("ships defective parts (the residual defect level).")
+}

@@ -1,0 +1,49 @@
+// wafermap: the yield engineer's view. A lot of wafers is simulated with
+// an edge-degraded radial defect profile; each die of a 4-bit adder design
+// samples faults from the layout-extracted weighted list and runs the
+// stuck-at test set. The program prints an ASCII wafer map, the radial
+// zone yields (flat process vs edge-degraded), and the shipped defect
+// level — connecting the paper's chip-level DL model to where the defects
+// actually land.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"defectsim/internal/experiments"
+	"defectsim/internal/netlist"
+	"defectsim/internal/wafer"
+)
+
+func main() {
+	cfg := experiments.DefaultConfig()
+	cfg.RandomVectors = 48
+	p, err := experiments.Run(netlist.RippleAdder(4), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(p.Report())
+
+	g := wafer.Geometry{Radius: 150, DieW: 7, DieH: 7, EdgeExclusion: 4}
+	k := len(p.TestSet.Patterns)
+
+	fmt.Println("\n--- flat defect density ---")
+	flat := wafer.Simulate(g, p.Faults, p.SwitchRes.DetectedAt, k, wafer.Uniform(), 1)
+	fmt.Print(flat.Render())
+
+	fmt.Println("\n--- edge-degraded line (density ×3 at the rim) ---")
+	edge := wafer.Simulate(g, p.Faults, p.SwitchRes.DetectedAt, k, wafer.EdgeDegraded(3), 1)
+	fmt.Print(edge.Render())
+
+	fmt.Println("\nradial zone yields (center → edge):")
+	fz := flat.ZoneYields(4)
+	ez := edge.ZoneYields(4)
+	for z := range fz {
+		fmt.Printf("  zone %d: flat %.3f   edge-degraded %.3f\n", z, fz[z], ez[z])
+	}
+	fmt.Println("\nEdge degradation costs yield but barely moves the shipped defect")
+	fmt.Println("level: DL depends on the detected/undetected weight split (Θ), not")
+	fmt.Println("on where the dies sit — which is why the paper can model DL with")
+	fmt.Println("two scalars, Y and Θ.")
+}

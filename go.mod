@@ -1,0 +1,3 @@
+module defectsim
+
+go 1.22

@@ -1,0 +1,588 @@
+// Package atpg generates stuck-at test vectors: a seeded random prefix
+// followed by deterministic test generation for the remaining undetected
+// faults, mirroring the paper's experimental setup ("the first vectors are
+// random vectors, being the last vectors deterministically generated using
+// the FAN algorithm").
+//
+// The deterministic engine is a PODEM-style branch-and-bound over primary
+// input assignments with SCOAP controllability-guided backtrace and
+// D-frontier objective selection (the guidance ideas FAN systematized).
+// Faults whose decision tree is exhausted are reported untestable
+// (redundant); a backtrack limit bounds the effort per fault.
+package atpg
+
+import (
+	"fmt"
+
+	"defectsim/internal/fault"
+	"defectsim/internal/gatesim"
+	"defectsim/internal/netlist"
+)
+
+// V3 is three-valued logic for test generation.
+type V3 uint8
+
+// Three-valued levels.
+const (
+	X3 V3 = iota
+	L0
+	L1
+)
+
+func (v V3) String() string {
+	switch v {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	}
+	return "X"
+}
+
+func not3(v V3) V3 {
+	switch v {
+	case L0:
+		return L1
+	case L1:
+		return L0
+	}
+	return X3
+}
+
+// eval3 computes a gate function in three-valued logic.
+func eval3(t netlist.GateType, in []V3) V3 {
+	switch t {
+	case netlist.Buf:
+		return in[0]
+	case netlist.Not:
+		return not3(in[0])
+	case netlist.And, netlist.Nand:
+		v := L1
+		for _, x := range in {
+			if x == L0 {
+				v = L0
+				break
+			}
+			if x == X3 {
+				v = X3
+			}
+		}
+		if t == netlist.Nand {
+			v = not3(v)
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := L0
+		for _, x := range in {
+			if x == L1 {
+				v = L1
+				break
+			}
+			if x == X3 {
+				v = X3
+			}
+		}
+		if t == netlist.Nor {
+			v = not3(v)
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := L0
+		for _, x := range in {
+			if x == X3 {
+				return X3
+			}
+			if x == L1 {
+				v = not3(v)
+			}
+		}
+		if t == netlist.Xnor {
+			v = not3(v)
+		}
+		return v
+	}
+	panic("atpg: bad gate type")
+}
+
+// controlling returns the controlling input value of a gate type, or X3
+// when it has none (XOR class, BUF/NOT).
+func controlling(t netlist.GateType) V3 {
+	switch t {
+	case netlist.And, netlist.Nand:
+		return L0
+	case netlist.Or, netlist.Nor:
+		return L1
+	}
+	return X3
+}
+
+// Status classifies the outcome of deterministic generation for one fault.
+type Status uint8
+
+// Generation outcomes.
+const (
+	StatusDetected Status = iota
+	StatusUntestable
+	StatusAborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusDetected:
+		return "detected"
+	case StatusUntestable:
+		return "untestable"
+	}
+	return "aborted"
+}
+
+// Generator is a deterministic test generator for one netlist.
+type Generator struct {
+	nl       *netlist.Netlist
+	order    []int
+	fanouts  [][]int
+	cc0, cc1 []int // SCOAP combinational controllabilities per net
+
+	// Per-attempt state.
+	good, bad []V3
+}
+
+// NewGenerator prepares a generator (levelization + SCOAP measures).
+func NewGenerator(nl *netlist.Netlist) (*Generator, error) {
+	order, _, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		nl: nl, order: order, fanouts: nl.Fanouts(),
+		cc0:  make([]int, nl.NumNets()),
+		cc1:  make([]int, nl.NumNets()),
+		good: make([]V3, nl.NumNets()),
+		bad:  make([]V3, nl.NumNets()),
+	}
+	g.computeSCOAP()
+	return g, nil
+}
+
+// computeSCOAP fills the classic combinational 0/1-controllability
+// measures: PIs cost 1; a gate output's cost is derived from its inputs'
+// costs plus 1.
+func (g *Generator) computeSCOAP() {
+	const inf = 1 << 28
+	for n := range g.cc0 {
+		g.cc0[n], g.cc1[n] = inf, inf
+	}
+	for _, pi := range g.nl.PIs {
+		g.cc0[pi], g.cc1[pi] = 1, 1
+	}
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	for _, gi := range g.order {
+		gt := &g.nl.Gates[gi]
+		sum0, sum1, min0, min1 := 0, 0, inf, inf
+		for _, in := range gt.Inputs {
+			sum0 += g.cc0[in]
+			sum1 += g.cc1[in]
+			min0 = min(min0, g.cc0[in])
+			min1 = min(min1, g.cc1[in])
+		}
+		var c0, c1 int
+		switch gt.Type {
+		case netlist.Buf:
+			c0, c1 = g.cc0[gt.Inputs[0]]+1, g.cc1[gt.Inputs[0]]+1
+		case netlist.Not:
+			c0, c1 = g.cc1[gt.Inputs[0]]+1, g.cc0[gt.Inputs[0]]+1
+		case netlist.And:
+			c0, c1 = min0+1, sum1+1
+		case netlist.Nand:
+			c0, c1 = sum1+1, min0+1
+		case netlist.Or:
+			c0, c1 = sum0+1, min1+1
+		case netlist.Nor:
+			c0, c1 = min1+1, sum0+1
+		case netlist.Xor, netlist.Xnor:
+			// Cheapest parity assignment approximation.
+			even := sum0 + 1
+			odd := min1 + min0 + 1 // crude but adequate guidance
+			if gt.Type == netlist.Xor {
+				c0, c1 = even, odd
+			} else {
+				c0, c1 = odd, even
+			}
+		}
+		g.cc0[gt.Out], g.cc1[gt.Out] = c0, c1
+	}
+}
+
+// imply forward-simulates both machines from the current PI assignment.
+// The faulty machine has f injected (stem force or branch substitution).
+func (g *Generator) imply(assign []V3, f fault.StuckAt) {
+	fv := L0
+	if f.Value == 1 {
+		fv = L1
+	}
+	for n := range g.good {
+		g.good[n], g.bad[n] = X3, X3
+	}
+	for i, pi := range g.nl.PIs {
+		g.good[pi] = assign[i]
+		g.bad[pi] = assign[i]
+	}
+	if f.Branch < 0 && g.nl.Driver(f.Net) < 0 {
+		g.bad[f.Net] = fv
+	}
+	var gin, bin [8]V3
+	for _, gi := range g.order {
+		gt := &g.nl.Gates[gi]
+		gs, bs := gin[:0], bin[:0]
+		for _, in := range gt.Inputs {
+			gs = append(gs, g.good[in])
+			bv := g.bad[in]
+			if f.Branch == gi && f.Net == in {
+				bv = fv
+			}
+			bs = append(bs, bv)
+		}
+		g.good[gt.Out] = eval3(gt.Type, gs)
+		out := eval3(gt.Type, bs)
+		if f.Branch < 0 && f.Net == gt.Out {
+			out = fv
+		}
+		g.bad[gt.Out] = out
+	}
+}
+
+// detected reports whether some PO definitely differs between machines.
+func (g *Generator) detected() bool {
+	for _, po := range g.nl.POs {
+		gv, bv := g.good[po], g.bad[po]
+		if gv != X3 && bv != X3 && gv != bv {
+			return true
+		}
+	}
+	return false
+}
+
+// dFrontier returns gates whose output is X in either machine while some
+// input already carries a definite good/faulty difference. For a branch
+// fault the difference originates inside gate f.Branch (the substituted
+// input), so that gate joins the frontier as soon as the stem is activated.
+func (g *Generator) dFrontier(f fault.StuckAt) []int {
+	var out []int
+	for gi := range g.nl.Gates {
+		gt := &g.nl.Gates[gi]
+		if g.good[gt.Out] != X3 && g.bad[gt.Out] != X3 {
+			continue
+		}
+		for _, in := range gt.Inputs {
+			gv, bv := g.good[in], g.bad[in]
+			if f.Branch == gi && f.Net == in {
+				// The faulty machine sees the stuck value here.
+				bv = L0
+				if f.Value == 1 {
+					bv = L1
+				}
+			}
+			if gv != X3 && bv != X3 && gv != bv {
+				out = append(out, gi)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// xPathToPO reports whether a gate output can still reach a PO through
+// X-valued nets (the X-path check).
+func (g *Generator) xPathToPO(net int, memo map[int]bool) bool {
+	if v, ok := memo[net]; ok {
+		return v
+	}
+	memo[net] = false // cycle guard (combinational: none, but safe)
+	for _, po := range g.nl.POs {
+		if po == net {
+			memo[net] = true
+			return true
+		}
+	}
+	for _, gi := range g.fanouts[net] {
+		out := g.nl.Gates[gi].Out
+		if (g.good[out] == X3 || g.bad[out] == X3) && g.xPathToPO(out, memo) {
+			memo[net] = true
+			return true
+		}
+	}
+	return false
+}
+
+// backtrace maps an objective (net must become val in the good machine) to
+// an unassigned primary input and a value, following cheapest-controllability
+// paths.
+func (g *Generator) backtrace(net int, val V3) (pi int, v V3, ok bool) {
+	for {
+		drv := g.nl.Driver(net)
+		if drv < 0 {
+			for i, p := range g.nl.PIs {
+				if p == net {
+					return i, val, true
+				}
+			}
+			return 0, X3, false
+		}
+		gt := &g.nl.Gates[drv]
+		if gt.Type.Inverting() {
+			val = not3(val)
+		}
+		switch gt.Type {
+		case netlist.Buf, netlist.Not:
+			net = gt.Inputs[0]
+			continue
+		}
+		ctrl := controlling(gt.Type)
+		// After accounting for output inversion, AND/NAND need all-1 inputs
+		// for val==1 side, one-0 for val==0 side (dual for OR/NOR). XOR:
+		// pick any X input toward parity.
+		wantAll := (ctrl == L0 && val == L1) || (ctrl == L1 && val == L0)
+		bestIn, bestCost := -1, 1<<30
+		for _, in := range gt.Inputs {
+			if g.good[in] != X3 {
+				continue
+			}
+			var cost int
+			target := val
+			if ctrl != X3 && !wantAll {
+				target = ctrl
+			}
+			if target == L0 {
+				cost = g.cc0[in]
+			} else {
+				cost = g.cc1[in]
+			}
+			if wantAll {
+				// Need every input: pick the hardest first.
+				cost = -cost
+			}
+			if cost < bestCost {
+				bestCost, bestIn = cost, in
+			}
+		}
+		if bestIn < 0 {
+			return 0, X3, false
+		}
+		if ctrl != X3 && !wantAll {
+			val = ctrl
+		} else if ctrl != X3 && wantAll {
+			val = not3(ctrl)
+		}
+		// XOR class: aim val at the chosen input directly (parity handled
+		// by later decisions).
+		net = bestIn
+	}
+}
+
+// Generate attempts to build a test pattern for f within the backtrack
+// limit. On success the returned pattern has X positions filled with 0.
+func (g *Generator) Generate(f fault.StuckAt, backtrackLimit int) (gatesim.Pattern, Status) {
+	nPI := len(g.nl.PIs)
+	assign := make([]V3, nPI)
+	type decision struct {
+		pi      int
+		flipped bool
+	}
+	var stack []decision
+	fv := L0
+	if f.Value == 1 {
+		fv = L1
+	}
+	backtracks := 0
+
+	for {
+		g.imply(assign, f)
+		if g.detected() {
+			pat := make(gatesim.Pattern, nPI)
+			for i, v := range assign {
+				if v == L1 {
+					pat[i] = 1
+				}
+			}
+			return pat, StatusDetected
+		}
+		// Possible? Activation: good value at the site must be able to be
+		// ¬fv; then a D-frontier with an X-path must remain.
+		feasible := true
+		siteGood := g.good[f.Net]
+		activated := siteGood != X3 && siteGood != fv
+		if siteGood == fv {
+			feasible = false
+		}
+		var objNet int
+		var objVal V3
+		haveObj := false
+		if feasible {
+			if !activated {
+				objNet, objVal, haveObj = f.Net, not3(fv), true
+				if siteGood != X3 {
+					haveObj = false // already at target; wait for frontier
+					activated = true
+				}
+			}
+			if activated {
+				df := g.dFrontier(f)
+				if len(df) == 0 {
+					feasible = false
+				} else {
+					memo := map[int]bool{}
+					found := false
+					for _, gi := range df {
+						gt := &g.nl.Gates[gi]
+						if !g.xPathToPO(gt.Out, memo) {
+							continue
+						}
+						// Objective: set an X input to the non-controlling
+						// value to let the difference through.
+						ctrl := controlling(gt.Type)
+						for _, in := range gt.Inputs {
+							if g.good[in] == X3 {
+								objNet = in
+								if ctrl == X3 {
+									objVal = L0 // XOR: any definite value
+								} else {
+									objVal = not3(ctrl)
+								}
+								haveObj, found = true, true
+								break
+							}
+						}
+						if found {
+							break
+						}
+					}
+					if !found {
+						feasible = false
+					}
+				}
+			}
+		}
+		if feasible && haveObj {
+			if pi, v, ok := g.backtrace(objNet, objVal); ok && assign[pi] == X3 {
+				assign[pi] = v
+				stack = append(stack, decision{pi, false})
+				continue
+			}
+			feasible = false
+		}
+		// Backtrack.
+		for {
+			if len(stack) == 0 {
+				return nil, StatusUntestable
+			}
+			d := &stack[len(stack)-1]
+			if !d.flipped {
+				d.flipped = true
+				assign[d.pi] = not3(assign[d.pi])
+				backtracks++
+				if backtracks > backtrackLimit {
+					return nil, StatusAborted
+				}
+				break
+			}
+			assign[d.pi] = X3
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// TestSet is the outcome of BuildTestSet.
+type TestSet struct {
+	Patterns []gatesim.Pattern
+	// RandomCount is how many leading patterns are random.
+	RandomCount int
+	// Status per fault after the full set (post fault simulation).
+	DetectedAt []int
+	Untestable []bool
+	Aborted    []bool
+}
+
+// Coverage returns the final stuck-at coverage over testable faults if
+// excludeUntestable, else over all faults.
+func (ts *TestSet) Coverage(excludeUntestable bool) float64 {
+	det, tot := 0, 0
+	for i := range ts.DetectedAt {
+		if excludeUntestable && ts.Untestable[i] {
+			continue
+		}
+		tot++
+		if ts.DetectedAt[i] > 0 {
+			det++
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(det) / float64(tot)
+}
+
+// BuildTestSet produces the paper's vector recipe: nRandom seeded random
+// patterns, fault-simulated with dropping, followed by deterministic
+// patterns for each remaining undetected fault (each new pattern is fault
+// simulated so later targets can be dropped early).
+func BuildTestSet(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed uint64, backtrackLimit int) (*TestSet, error) {
+	gen, err := NewGenerator(nl)
+	if err != nil {
+		return nil, err
+	}
+	ts := &TestSet{
+		RandomCount: nRandom,
+		DetectedAt:  make([]int, len(faults)),
+		Untestable:  make([]bool, len(faults)),
+		Aborted:     make([]bool, len(faults)),
+	}
+	ts.Patterns = gatesim.RandomPatterns(nl, nRandom, seed)
+	res, err := gatesim.Simulate(nl, faults, ts.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	copy(ts.DetectedAt, res.DetectedAt)
+
+	for i := range faults {
+		if ts.DetectedAt[i] > 0 {
+			continue
+		}
+		pat, status := gen.Generate(faults[i], backtrackLimit)
+		switch status {
+		case StatusUntestable:
+			ts.Untestable[i] = true
+		case StatusAborted:
+			ts.Aborted[i] = true
+		case StatusDetected:
+			ts.Patterns = append(ts.Patterns, pat)
+			k := len(ts.Patterns)
+			// Fault-simulate the new pattern against every remaining fault.
+			var rem []fault.StuckAt
+			var remIdx []int
+			for j := range faults {
+				if ts.DetectedAt[j] == 0 && !ts.Untestable[j] {
+					rem = append(rem, faults[j])
+					remIdx = append(remIdx, j)
+				}
+			}
+			r, err := gatesim.Simulate(nl, rem, []gatesim.Pattern{pat})
+			if err != nil {
+				return nil, err
+			}
+			for jj, d := range r.DetectedAt {
+				if d > 0 {
+					ts.DetectedAt[remIdx[jj]] = k
+				}
+			}
+			if ts.DetectedAt[i] == 0 {
+				return nil, fmt.Errorf("atpg: generated pattern for %v does not detect it", faults[i])
+			}
+		}
+	}
+	return ts, nil
+}

@@ -1,0 +1,191 @@
+package atpg
+
+import (
+	"defectsim/internal/fault"
+	"defectsim/internal/gatesim"
+)
+
+// Assign is a side constraint for constrained test generation: net must
+// carry Value in the good circuit.
+type Assign struct {
+	Net   int
+	Value V3
+}
+
+// GenerateConstrained builds a test for stuck-at fault f subject to
+// additional good-circuit constraints — the primitive behind realistic
+// (bridge) fault test generation: a wired bridge between nets A and B is
+// excited exactly when the stronger net carries value s while the weaker
+// carries ¬s, whereupon the weaker net behaves as stuck-at-s; that is a
+// constrained stuck-at problem (constraint: strong net = s; target: weak
+// net stuck-at-s).
+func (g *Generator) GenerateConstrained(f fault.StuckAt, constraints []Assign, backtrackLimit int) (gatesim.Pattern, Status) {
+	nPI := len(g.nl.PIs)
+	assign := make([]V3, nPI)
+	type decision struct {
+		pi      int
+		flipped bool
+	}
+	var stack []decision
+	fv := L0
+	if f.Value == 1 {
+		fv = L1
+	}
+	backtracks := 0
+
+	for {
+		g.imply(assign, f)
+		// Constraint handling first: a definite violation forces a
+		// backtrack; an undetermined constraint becomes the next objective.
+		violated := false
+		var objNet int
+		var objVal V3
+		haveObj := false
+		for _, c := range constraints {
+			gv := g.good[c.Net]
+			if gv == c.Value {
+				continue
+			}
+			if gv != X3 {
+				violated = true
+				break
+			}
+			if !haveObj {
+				objNet, objVal, haveObj = c.Net, c.Value, true
+			}
+		}
+		if !violated && !haveObj && g.detected() {
+			pat := make(gatesim.Pattern, nPI)
+			for i, v := range assign {
+				if v == L1 {
+					pat[i] = 1
+				}
+			}
+			return pat, StatusDetected
+		}
+
+		feasible := !violated
+		if feasible && !haveObj {
+			siteGood := g.good[f.Net]
+			activated := siteGood != X3 && siteGood != fv
+			if siteGood == fv {
+				feasible = false
+			}
+			if feasible && !activated {
+				objNet, objVal, haveObj = f.Net, not3(fv), true
+			}
+			if feasible && activated {
+				df := g.dFrontier(f)
+				if len(df) == 0 {
+					feasible = false
+				} else {
+					memo := map[int]bool{}
+					found := false
+					for _, gi := range df {
+						gt := &g.nl.Gates[gi]
+						if !g.xPathToPO(gt.Out, memo) {
+							continue
+						}
+						ctrl := controlling(gt.Type)
+						for _, in := range gt.Inputs {
+							if g.good[in] == X3 {
+								objNet = in
+								if ctrl == X3 {
+									objVal = L0
+								} else {
+									objVal = not3(ctrl)
+								}
+								haveObj, found = true, true
+								break
+							}
+						}
+						if found {
+							break
+						}
+					}
+					if !found {
+						feasible = false
+					}
+				}
+			}
+		}
+		if feasible && haveObj {
+			if pi, v, ok := g.backtrace(objNet, objVal); ok && assign[pi] == X3 {
+				assign[pi] = v
+				stack = append(stack, decision{pi, false})
+				continue
+			}
+			feasible = false
+		}
+		// Backtrack.
+		for {
+			if len(stack) == 0 {
+				return nil, StatusUntestable
+			}
+			d := &stack[len(stack)-1]
+			if !d.flipped {
+				d.flipped = true
+				assign[d.pi] = not3(assign[d.pi])
+				backtracks++
+				if backtracks > backtrackLimit {
+					return nil, StatusAborted
+				}
+				break
+			}
+			assign[d.pi] = X3
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// BridgeCandidates enumerates the constrained stuck-at problems whose
+// solutions can detect a wired bridge between netlist nets a and b: for
+// each direction (victim, aggressor) and each aggressor polarity s, the
+// problem "victim stuck-at-s with aggressor constrained to s" excites and
+// propagates the victim's flip. The caller tries candidates in order and
+// verifies each generated pattern against the switch-level bridge model
+// (which knows the actual drive strengths).
+func BridgeCandidates(a, b int) []struct {
+	Fault      fault.StuckAt
+	Constraint Assign
+} {
+	type cand = struct {
+		Fault      fault.StuckAt
+		Constraint Assign
+	}
+	var out []cand
+	for _, dir := range [][2]int{{a, b}, {b, a}} {
+		victim, aggressor := dir[0], dir[1]
+		for _, s := range []uint8{0, 1} {
+			want := L0
+			if s == 1 {
+				want = L1
+			}
+			out = append(out, cand{
+				Fault:      fault.StuckAt{Net: victim, Branch: -1, Value: s},
+				Constraint: Assign{Net: aggressor, Value: want},
+			})
+		}
+	}
+	return out
+}
+
+// GenerateBridge tries every candidate formulation of the bridge between
+// netlist nets a and b and returns the patterns that are worth verifying
+// at switch level (deduplicated), with the per-candidate statuses.
+func (g *Generator) GenerateBridge(a, b int, backtrackLimit int) []gatesim.Pattern {
+	var out []gatesim.Pattern
+	seen := map[string]bool{}
+	for _, c := range BridgeCandidates(a, b) {
+		pat, status := g.GenerateConstrained(c.Fault, []Assign{c.Constraint}, backtrackLimit)
+		if status != StatusDetected {
+			continue
+		}
+		key := string(pat)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, pat)
+		}
+	}
+	return out
+}

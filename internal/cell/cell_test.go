@@ -1,0 +1,275 @@
+package cell
+
+import (
+	"fmt"
+	"testing"
+
+	"defectsim/internal/geom"
+	"defectsim/internal/netlist"
+)
+
+func allCells(t *testing.T) []*Cell {
+	t.Helper()
+	var cells []*Cell
+	add := func(gt netlist.GateType, fanin int) {
+		c, err := Build(gt, fanin)
+		if err != nil {
+			t.Fatalf("Build(%v,%d): %v", gt, fanin, err)
+		}
+		cells = append(cells, c)
+	}
+	add(netlist.Not, 1)
+	add(netlist.Buf, 1)
+	for _, gt := range []netlist.GateType{netlist.Nand, netlist.Nor, netlist.And, netlist.Or} {
+		for k := 2; k <= 4; k++ {
+			add(gt, k)
+		}
+	}
+	add(netlist.Xor, 2)
+	add(netlist.Xnor, 2)
+	return cells
+}
+
+func TestBuildRejectsBadFanin(t *testing.T) {
+	bad := []struct {
+		gt netlist.GateType
+		k  int
+	}{
+		{netlist.Not, 2}, {netlist.Buf, 0}, {netlist.Nand, 1}, {netlist.Nand, 5},
+		{netlist.Xor, 3}, {netlist.Xnor, 1}, {netlist.And, 1}, {netlist.Or, 9},
+	}
+	for _, b := range bad {
+		if _, err := Build(b.gt, b.k); err == nil {
+			t.Errorf("Build(%v,%d) must fail", b.gt, b.k)
+		}
+	}
+}
+
+func TestTransistorCounts(t *testing.T) {
+	want := map[string]int{
+		"NOT1": 2, "BUF1": 4,
+		"NAND2": 4, "NAND3": 6, "NAND4": 8,
+		"NOR2": 4, "NOR3": 6, "NOR4": 8,
+		"AND2": 6, "AND3": 8, "AND4": 10,
+		"OR2": 6, "OR3": 8, "OR4": 10,
+		"XOR2": 16, "XNOR2": 16,
+	}
+	for _, c := range allCells(t) {
+		if got := len(c.Transistors); got != want[c.Name] {
+			t.Errorf("%s: %d transistors, want %d", c.Name, got, want[c.Name])
+		}
+	}
+}
+
+func TestComplementaryStructure(t *testing.T) {
+	// Equal numbers of NMOS and PMOS, every gate node is an input or an
+	// internal stage net, and widths are positive.
+	for _, c := range allCells(t) {
+		var n, p int
+		for _, tr := range c.Transistors {
+			if tr.Type == NMOS {
+				n++
+			} else {
+				p++
+			}
+			if tr.Width <= 0 || tr.Length <= 0 {
+				t.Errorf("%s: nonpositive device geometry %+v", c.Name, tr)
+			}
+			if tr.Gate < 2 || tr.Gate >= c.NumNodes() {
+				t.Errorf("%s: bad gate node %d", c.Name, tr.Gate)
+			}
+			if tr.Gate == NodeGND || tr.Gate == NodeVDD {
+				t.Errorf("%s: gate tied to rail", c.Name)
+			}
+		}
+		if n != p {
+			t.Errorf("%s: %d NMOS vs %d PMOS", c.Name, n, p)
+		}
+	}
+}
+
+func TestEveryInputHasPinAndPoly(t *testing.T) {
+	for _, c := range allCells(t) {
+		for i, in := range c.Inputs {
+			var pins, poly int
+			for _, p := range c.Pins {
+				if p.Node == in {
+					pins++
+				}
+			}
+			for _, sh := range c.Shapes.Shapes {
+				if sh.Layer == geom.LayerPoly && sh.Net == in {
+					poly++
+				}
+			}
+			if pins == 0 {
+				t.Errorf("%s: input %d has no pin", c.Name, i)
+			}
+			if poly == 0 {
+				t.Errorf("%s: input %d has no poly gate stripe", c.Name, i)
+			}
+		}
+	}
+}
+
+func TestOutputHasBothSidePads(t *testing.T) {
+	for _, c := range allCells(t) {
+		var nSide, pSide int
+		for _, p := range c.Pins {
+			if p.Node != c.Output {
+				continue
+			}
+			switch {
+			case p.Pad.Y0 >= NPadY0 && p.Pad.Y1 <= NPadY1:
+				nSide++
+			case p.Pad.Y0 >= PPadY0 && p.Pad.Y1 <= PPadY1:
+				pSide++
+			}
+		}
+		if nSide == 0 || pSide == 0 {
+			t.Errorf("%s: output pads n=%d p=%d (need both sides)", c.Name, nSide, pSide)
+		}
+	}
+}
+
+// TestNoIntraCellShorts checks that no two same-layer conducting shapes
+// tagged with different nets touch — the cell-level DRC that guarantees the
+// generated masks realize the intended connectivity.
+func TestNoIntraCellShorts(t *testing.T) {
+	for _, c := range allCells(t) {
+		for i, a := range c.Shapes.Shapes {
+			if a.Net < 0 || !a.Layer.Conducting() {
+				continue
+			}
+			for _, b := range c.Shapes.Shapes[i+1:] {
+				if b.Net < 0 || b.Layer != a.Layer || b.Net == a.Net {
+					continue
+				}
+				if a.Rect.Touches(b.Rect) {
+					t.Errorf("%s: %v short between node %s and %s at %v/%v",
+						c.Name, a.Layer, c.NodeNames[a.Net], c.NodeNames[b.Net], a.Rect, b.Rect)
+				}
+			}
+		}
+	}
+}
+
+// TestIntraCellConnectivity verifies that, per conducting layer plus
+// contacts, the shapes of each node form components consistent with their
+// tags: connected shapes never carry different tags (no hidden merges
+// through the contact stack either).
+func TestIntraCellConnectivity(t *testing.T) {
+	for _, c := range allCells(t) {
+		shapes := c.Shapes.Shapes
+		ds := geom.NewDisjointSet(len(shapes))
+		for i, a := range shapes {
+			for j := i + 1; j < len(shapes); j++ {
+				b := shapes[j]
+				if !a.Rect.Touches(b.Rect) {
+					continue
+				}
+				connected := false
+				switch {
+				case a.Layer == b.Layer && a.Layer.Conducting():
+					connected = true
+				case a.Layer == geom.LayerContact &&
+					(b.Layer == geom.LayerPoly || b.Layer == geom.LayerMetal1 ||
+						b.Layer == geom.LayerNDiff || b.Layer == geom.LayerPDiff):
+					connected = true
+				case b.Layer == geom.LayerContact &&
+					(a.Layer == geom.LayerPoly || a.Layer == geom.LayerMetal1 ||
+						a.Layer == geom.LayerNDiff || a.Layer == geom.LayerPDiff):
+					connected = true
+				case a.Layer == geom.LayerVia && (b.Layer == geom.LayerMetal1 || b.Layer == geom.LayerMetal2):
+					connected = true
+				case b.Layer == geom.LayerVia && (a.Layer == geom.LayerMetal1 || a.Layer == geom.LayerMetal2):
+					connected = true
+				}
+				if !connected {
+					continue
+				}
+				// Untagged shapes (wells, channels) do not conduct between nets.
+				if a.Net < 0 || b.Net < 0 {
+					continue
+				}
+				ds.Union(i, j)
+			}
+		}
+		for i, a := range shapes {
+			for j := i + 1; j < len(shapes); j++ {
+				b := shapes[j]
+				if a.Net >= 0 && b.Net >= 0 && a.Net != b.Net && ds.Find(i) == ds.Find(j) {
+					t.Fatalf("%s: nodes %s and %s merged by geometry",
+						c.Name, c.NodeNames[a.Net], c.NodeNames[b.Net])
+				}
+			}
+		}
+	}
+}
+
+func TestCellDimensions(t *testing.T) {
+	for _, c := range allCells(t) {
+		if c.Width <= 0 {
+			t.Errorf("%s: nonpositive width", c.Name)
+		}
+		bb, ok := c.Shapes.Bounds()
+		if !ok {
+			t.Fatalf("%s: no shapes", c.Name)
+		}
+		if bb.Y0 < 0 || bb.Y1 > CellHeight {
+			t.Errorf("%s: geometry leaves the cell vertically: %v", c.Name, bb)
+		}
+		if bb.X0 < 0 || bb.X1 > c.Width {
+			t.Errorf("%s: geometry leaves the cell horizontally: %v (width %d)", c.Name, bb, c.Width)
+		}
+		// Rails span the full width on metal1.
+		var gnd, vdd bool
+		for _, sh := range c.Shapes.Shapes {
+			if sh.Layer != geom.LayerMetal1 {
+				continue
+			}
+			if sh.Net == NodeGND && sh.Rect.X0 == 0 && sh.Rect.X1 == c.Width && sh.Rect.Y0 == 0 {
+				gnd = true
+			}
+			if sh.Net == NodeVDD && sh.Rect.X0 == 0 && sh.Rect.X1 == c.Width && sh.Rect.Y1 == CellHeight {
+				vdd = true
+			}
+		}
+		if !gnd || !vdd {
+			t.Errorf("%s: missing full-width rails (gnd=%v vdd=%v)", c.Name, gnd, vdd)
+		}
+	}
+}
+
+func TestPinsInsidePinBands(t *testing.T) {
+	for _, c := range allCells(t) {
+		for _, p := range c.Pins {
+			y0, y1 := p.Pad.Y0, p.Pad.Y1
+			inBand := (y0 >= NPadY0 && y1 <= NPadY1) ||
+				(y0 >= InPadY0 && y1 <= InPadY1) ||
+				(y0 >= PPadY0 && y1 <= PPadY1)
+			if !inBand {
+				t.Errorf("%s: pin pad %v outside pin bands", c.Name, p.Pad)
+			}
+		}
+	}
+}
+
+func TestMOSTypeString(t *testing.T) {
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Fatal("MOSType strings")
+	}
+}
+
+func TestNodeNamesUnique(t *testing.T) {
+	for _, c := range allCells(t) {
+		seen := map[string]bool{}
+		for _, nm := range c.NodeNames {
+			key := fmt.Sprintf("%s", nm)
+			if seen[key] {
+				t.Errorf("%s: duplicate node name %s", c.Name, nm)
+			}
+			seen[key] = true
+		}
+	}
+}

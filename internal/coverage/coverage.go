@@ -1,0 +1,162 @@
+// Package coverage implements the random-pattern coverage-growth laws of
+// the paper (eqs. 7–8) and utilities to build empirical coverage curves
+// from fault-simulation results and estimate fault susceptibilities from
+// them.
+//
+// The susceptibility σ of a fault set (Williams, "Test Length in a
+// Self-Testing Environment") characterizes how fast random patterns cover
+// it:
+//
+//	C(k) = Cmax · (1 − e^{−ln k / ln σ}) = Cmax · (1 − k^{−1/ln σ})
+//
+// A lower σ means faster coverage growth. The paper's susceptibility ratio
+// R = ln(σ_T)/ln(σ_Θ) compares the stuck-at set (σ_T) with the weighted
+// realistic set (σ_Θ).
+package coverage
+
+import (
+	"fmt"
+	"math"
+)
+
+// GrowthT returns eq. 7: T(k) = 1 − e^{−ln k / ln σ} for k ≥ 1 random
+// vectors and susceptibility σ > 1.
+func GrowthT(k float64, sigma float64) float64 {
+	return Growth(k, sigma, 1)
+}
+
+// Growth returns eq. 8: C(k) = Cmax·(1 − e^{−ln k / ln σ}).
+func Growth(k, sigma, cmax float64) float64 {
+	if sigma <= 1 {
+		panic(fmt.Sprintf("coverage: susceptibility %g must exceed 1", sigma))
+	}
+	if k < 1 {
+		return 0
+	}
+	return cmax * (1 - math.Exp(-math.Log(k)/math.Log(sigma)))
+}
+
+// RFromSigmas returns eq. 10: R = ln(σ_T)/ln(σ_Θ).
+func RFromSigmas(sigmaT, sigmaTheta float64) float64 {
+	if sigmaT <= 1 || sigmaTheta <= 1 {
+		panic("coverage: susceptibilities must exceed 1")
+	}
+	return math.Log(sigmaT) / math.Log(sigmaTheta)
+}
+
+// Point is one sample of an empirical coverage curve.
+type Point struct {
+	K float64 // number of vectors applied
+	C float64 // coverage reached
+}
+
+// Curve is an empirical coverage curve, ordered by K.
+type Curve []Point
+
+// Final returns the last coverage value (0 for an empty curve).
+func (c Curve) Final() float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1].C
+}
+
+// SampleKs returns a log-spaced set of vector counts 1..n (inclusive,
+// deduplicated) — the k grid at which the experiment curves are evaluated.
+func SampleKs(n int, perDecade int) []int {
+	if n < 1 {
+		return nil
+	}
+	if perDecade < 1 {
+		perDecade = 10
+	}
+	var ks []int
+	last := 0
+	for e := 0.0; ; e += 1.0 / float64(perDecade) {
+		k := int(math.Round(math.Pow(10, e)))
+		if k > n {
+			break
+		}
+		if k != last {
+			ks = append(ks, k)
+			last = k
+		}
+	}
+	if last != n {
+		ks = append(ks, n)
+	}
+	return ks
+}
+
+// FromDetections builds a coverage curve from first-detection indices: at
+// each k in ks, coverage is the (optionally weighted) fraction of faults
+// with 0 < DetectedAt ≤ k. weights may be nil for unweighted coverage.
+func FromDetections(detectedAt []int, weights []float64, ks []int) Curve {
+	var total float64
+	w := func(i int) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[i]
+	}
+	for i := range detectedAt {
+		total += w(i)
+	}
+	curve := make(Curve, 0, len(ks))
+	for _, k := range ks {
+		var det float64
+		for i, d := range detectedAt {
+			if d > 0 && d <= k {
+				det += w(i)
+			}
+		}
+		c := 0.0
+		if total > 0 {
+			c = det / total
+		}
+		curve = append(curve, Point{K: float64(k), C: c})
+	}
+	return curve
+}
+
+// FitSigma estimates (σ, Cmax) of the growth law from an empirical curve by
+// least squares on coverage values, using a golden-section search over
+// ln σ with Cmax either fixed (cmax > 0) or taken as the curve's final
+// value. It returns the fitted σ.
+func FitSigma(curve Curve, cmax float64) float64 {
+	if cmax <= 0 {
+		cmax = curve.Final()
+		if cmax <= 0 {
+			return math.NaN()
+		}
+	}
+	sse := func(lnSigma float64) float64 {
+		sigma := math.Exp(lnSigma)
+		var s float64
+		for _, p := range curve {
+			if p.K < 1 {
+				continue
+			}
+			d := Growth(p.K, sigma, cmax) - p.C
+			s += d * d
+		}
+		return s
+	}
+	// Golden-section over ln σ ∈ (0, 12] (σ up to e^12).
+	lo, hi := 1e-3, 12.0
+	const phi = 0.6180339887498949
+	a, b := hi-phi*(hi-lo), lo+phi*(hi-lo)
+	fa, fb := sse(a), sse(b)
+	for i := 0; i < 200 && hi-lo > 1e-10; i++ {
+		if fa < fb {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			fa = sse(a)
+		} else {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			fb = sse(b)
+		}
+	}
+	return math.Exp((lo + hi) / 2)
+}

@@ -1,0 +1,138 @@
+package coverage
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGrowthClosedForm(t *testing.T) {
+	// With σ = e³, T(k) = 1 − k^(−1/3).
+	sigma := math.Exp(3)
+	for _, k := range []float64{1, 10, 1000, 1e6} {
+		want := 1 - math.Pow(k, -1.0/3.0)
+		if got := GrowthT(k, sigma); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("T(%g) = %g, want %g", k, got, want)
+		}
+	}
+	if GrowthT(1, sigma) != 0 {
+		t.Fatal("T(1) must be 0")
+	}
+	if GrowthT(0.5, sigma) != 0 {
+		t.Fatal("k<1 clamps to 0")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	// Paper fig. 1: σ_T = e³, σ_Θ = e^1.5, Θmax = 0.96. The realistic
+	// coverage must converge to its ceiling faster than the stuck-at
+	// coverage converges to 1 (R = 2 > 1).
+	sigmaT := math.Exp(3)
+	sigmaTheta := math.Exp(1.5)
+	if r := RFromSigmas(sigmaT, sigmaTheta); math.Abs(r-2) > 1e-12 {
+		t.Fatalf("R = %g, want 2", r)
+	}
+	for _, k := range []float64{10, 100, 1000} {
+		tk := GrowthT(k, sigmaT)
+		thk := Growth(k, sigmaTheta, 0.96)
+		// Normalized progress toward the respective limits.
+		if thk/0.96 <= tk {
+			t.Fatalf("at k=%g, Θ/Θmax (%g) must lead T (%g)", k, thk/0.96, tk)
+		}
+	}
+	// Consistency with eq. 9: eliminating k gives Θ = Θmax(1−(1−T)^R).
+	for _, k := range []float64{3, 30, 3000} {
+		tk := GrowthT(k, sigmaT)
+		thk := Growth(k, sigmaTheta, 0.96)
+		want := 0.96 * (1 - math.Pow(1-tk, 2))
+		if math.Abs(thk-want) > 1e-9 {
+			t.Fatalf("eq. 9 inconsistency at k=%g: %g vs %g", k, thk, want)
+		}
+	}
+}
+
+func TestSampleKs(t *testing.T) {
+	ks := SampleKs(1000, 10)
+	if ks[0] != 1 || ks[len(ks)-1] != 1000 {
+		t.Fatalf("endpoints: %v", ks)
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] {
+			t.Fatal("ks must increase strictly")
+		}
+	}
+	if len(SampleKs(0, 10)) != 0 {
+		t.Fatal("empty for n<1")
+	}
+	one := SampleKs(1, 10)
+	if len(one) != 1 || one[0] != 1 {
+		t.Fatalf("SampleKs(1) = %v", one)
+	}
+	if ks2 := SampleKs(50, 0); ks2[len(ks2)-1] != 50 {
+		t.Fatal("default perDecade must work")
+	}
+}
+
+func TestFromDetections(t *testing.T) {
+	detected := []int{1, 3, 0, 2}
+	ks := []int{1, 2, 3}
+	c := FromDetections(detected, nil, ks)
+	want := []float64{0.25, 0.5, 0.75}
+	for i := range ks {
+		if math.Abs(c[i].C-want[i]) > 1e-12 {
+			t.Fatalf("unweighted C(%d) = %g, want %g", ks[i], c[i].C, want[i])
+		}
+	}
+	// Weighted: the undetected fault carries most weight.
+	w := []float64{1, 1, 7, 1}
+	cw := FromDetections(detected, w, ks)
+	if math.Abs(cw[2].C-0.3) > 1e-12 {
+		t.Fatalf("weighted C(3) = %g, want 0.3", cw[2].C)
+	}
+	if cw.Final() != cw[2].C {
+		t.Fatal("Final mismatch")
+	}
+	var empty Curve
+	if empty.Final() != 0 {
+		t.Fatal("empty curve final")
+	}
+}
+
+func TestFitSigmaRecovers(t *testing.T) {
+	// Generate a synthetic curve from known parameters and recover σ.
+	trueSigma := math.Exp(2.3)
+	cmax := 0.93
+	var curve Curve
+	for _, k := range SampleKs(100000, 6) {
+		curve = append(curve, Point{K: float64(k), C: Growth(float64(k), trueSigma, cmax)})
+	}
+	got := FitSigma(curve, cmax)
+	if math.Abs(math.Log(got)-2.3) > 0.02 {
+		t.Fatalf("FitSigma = e^%.3f, want e^2.3", math.Log(got))
+	}
+	// Using the curve's final value as Cmax still lands close.
+	got2 := FitSigma(curve, 0)
+	if math.Abs(math.Log(got2)-2.3) > 0.25 {
+		t.Fatalf("FitSigma(auto cmax) = e^%.3f", math.Log(got2))
+	}
+	if !math.IsNaN(FitSigma(Curve{{1, 0}}, 0)) {
+		t.Fatal("degenerate curve must give NaN")
+	}
+}
+
+func TestGrowthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("σ ≤ 1 must panic")
+		}
+	}()
+	GrowthT(10, 1)
+}
+
+func TestRFromSigmasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("σ ≤ 1 must panic")
+		}
+	}()
+	RFromSigmas(1, 2)
+}

@@ -1,0 +1,44 @@
+package coverage_test
+
+import (
+	"fmt"
+	"math"
+
+	"defectsim/internal/coverage"
+)
+
+// The paper's figure-1 parameters: the stuck-at set has susceptibility e³,
+// the weighted realistic set e^1.5, giving R = 2 — the realistic coverage
+// closes on its ceiling twice as fast (in exponent) as stuck-at coverage
+// closes on 1.
+func ExampleGrowth() {
+	sigmaT := math.Exp(3)
+	sigmaTheta := math.Exp(1.5)
+	fmt.Printf("R = %.0f\n", coverage.RFromSigmas(sigmaT, sigmaTheta))
+	for _, k := range []float64{10, 1000, 1e6} {
+		fmt.Printf("k=%7.0f  T=%.3f  Θ=%.3f\n",
+			k, coverage.GrowthT(k, sigmaT), coverage.Growth(k, sigmaTheta, 0.96))
+	}
+	// Output:
+	// R = 2
+	// k=     10  T=0.536  Θ=0.753
+	// k=   1000  T=0.900  Θ=0.950
+	// k=1000000  T=0.990  Θ=0.960
+}
+
+// Building an empirical coverage curve from first-detection indices, with
+// and without fault weights.
+func ExampleFromDetections() {
+	detectedAt := []int{1, 2, 0, 4} // fault 2 never detected
+	weights := []float64{1, 1, 6, 2}
+	ks := []int{1, 2, 4}
+	unweighted := coverage.FromDetections(detectedAt, nil, ks)
+	weighted := coverage.FromDetections(detectedAt, weights, ks)
+	for i, k := range ks {
+		fmt.Printf("k=%d  Γ=%.2f  Θ=%.2f\n", k, unweighted[i].C, weighted[i].C)
+	}
+	// Output:
+	// k=1  Γ=0.25  Θ=0.10
+	// k=2  Γ=0.50  Θ=0.20
+	// k=4  Γ=0.75  Θ=0.40
+}

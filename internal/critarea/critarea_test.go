@@ -1,0 +1,192 @@
+package critarea
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"defectsim/internal/defect"
+	"defectsim/internal/geom"
+)
+
+func TestShortAreaParallelWires(t *testing.T) {
+	// Two parallel horizontal wires, width 2, length 100, spacing s = 4.
+	// A square defect of side x shorts them iff x > s; the critical region
+	// is then a band of height (x − s) over the common run minus/plus end
+	// effects: dilating each wire by x/2 gives overlap height (x − s) and
+	// width 100 + x (both ends extend by x/2). Exact expected area:
+	// (100 + x)·(x − s).
+	a := []geom.Rect{geom.R(0, 0, 100, 2)}
+	b := []geom.Rect{geom.R(0, 6, 100, 8)}
+	const s = 4
+	for _, x := range []int{1, 2, 3, 4} {
+		if got := ShortArea(a, b, x); got != 0 {
+			t.Errorf("x=%d ≤ spacing must give 0, got %g", x, got)
+		}
+	}
+	for _, x := range []int{5, 6, 8, 12} {
+		want := float64(100+x) * float64(x-s)
+		if got := ShortArea(a, b, x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("x=%d: ShortArea = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestShortAreaOddSizesExact(t *testing.T) {
+	// Half-λ scaling must make odd sizes exact, not rounded: two unit
+	// squares with gap 1 and size 3 → each dilated by 1.5.
+	a := []geom.Rect{geom.R(0, 0, 2, 2)}
+	b := []geom.Rect{geom.R(3, 0, 5, 2)}
+	// Dilated: a' = [-1.5,3.5]×[-1.5,3.5], b' = [1.5,6.5]×[-1.5,3.5];
+	// overlap = 2×5 = 10.
+	if got := ShortArea(a, b, 3); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("ShortArea odd = %g, want 10", got)
+	}
+}
+
+func TestShortAreaEmptyAndZero(t *testing.T) {
+	a := []geom.Rect{geom.R(0, 0, 10, 2)}
+	if ShortArea(nil, a, 5) != 0 || ShortArea(a, nil, 5) != 0 || ShortArea(a, a, 0) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+}
+
+func TestShortAreaMonotoneInSizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []geom.Rect {
+			n := 1 + rng.Intn(4)
+			rs := make([]geom.Rect, n)
+			for i := range rs {
+				x, y := rng.Intn(60), rng.Intn(60)
+				rs[i] = geom.R(x, y, x+1+rng.Intn(20), y+1+rng.Intn(6))
+			}
+			return rs
+		}
+		a, b := mk(), mk()
+		prev := -1.0
+		for x := 1; x <= 16; x++ {
+			cur := ShortArea(a, b, x)
+			if cur < prev-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenArea(t *testing.T) {
+	wire := []geom.Rect{geom.R(0, 0, 50, 2)} // width 2, length 50
+	if OpenArea(wire, 2) != 0 {
+		t.Fatal("defect ≤ width cannot sever")
+	}
+	if got := OpenArea(wire, 5); got != 50*3 {
+		t.Fatalf("OpenArea = %g, want 150", got)
+	}
+	two := append(wire, geom.R(0, 10, 10, 14)) // width 4, length 10
+	if got := OpenArea(two, 6); got != 50*4+10*2 {
+		t.Fatalf("OpenArea two wires = %g", got)
+	}
+	if OpenArea(nil, 10) != 0 || OpenArea(wire, 0) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestCutOpenArea(t *testing.T) {
+	cuts := []geom.Rect{geom.R(0, 0, 2, 2), geom.R(10, 10, 12, 12)}
+	if CutOpenArea(cuts, 1) != 0 {
+		t.Fatal("defect smaller than cut cannot kill it")
+	}
+	if got := CutOpenArea(cuts, 2); got != 8 {
+		t.Fatalf("CutOpenArea = %g, want 8", got)
+	}
+}
+
+func TestAverageIntegration(t *testing.T) {
+	dist := defect.SizeDist{X0: 2}
+	// Constant A(x) = 1: average = Σ f(x) ≈ ∫f ≈ CDF(max) mass sampled at
+	// integers — just require it to be positive and below 1.2.
+	avg := Average(dist, 30, func(int) float64 { return 1 })
+	if avg <= 0.5 || avg > 1.2 {
+		t.Fatalf("Average of constant 1 = %g, implausible", avg)
+	}
+}
+
+func TestAvgShortLessThanMaxSize(t *testing.T) {
+	dist := defect.SizeDist{X0: 2}
+	a := []geom.Rect{geom.R(0, 0, 100, 2)}
+	b := []geom.Rect{geom.R(0, 5, 100, 7)}
+	avg := AvgShortArea(a, b, dist, 24)
+	if avg <= 0 {
+		t.Fatal("parallel wires must have positive short critical area")
+	}
+	// Wires twice as far apart must have a much smaller critical area.
+	c := []geom.Rect{geom.R(0, 11, 100, 13)}
+	avgFar := AvgShortArea(a, c, dist, 24)
+	if avgFar >= avg/2 {
+		t.Fatalf("critical area must fall steeply with spacing: near %g far %g", avg, avgFar)
+	}
+}
+
+func TestAvgOpenNarrowVsWide(t *testing.T) {
+	dist := defect.SizeDist{X0: 2}
+	narrow := AvgOpenArea([]geom.Rect{geom.R(0, 0, 100, 2)}, dist, 24)
+	wide := AvgOpenArea([]geom.Rect{geom.R(0, 0, 100, 6)}, dist, 24)
+	if narrow <= wide {
+		t.Fatalf("narrow wires must be more open-prone: narrow %g wide %g", narrow, wide)
+	}
+}
+
+func TestAvgCutOpenArea(t *testing.T) {
+	dist := defect.SizeDist{X0: 2}
+	one := AvgCutOpenArea([]geom.Rect{geom.R(0, 0, 2, 2)}, dist, 24)
+	two := AvgCutOpenArea([]geom.Rect{geom.R(0, 0, 2, 2), geom.R(8, 0, 10, 2)}, dist, 24)
+	if one <= 0 || math.Abs(two-2*one) > 1e-9 {
+		t.Fatalf("cut weights must add: one %g two %g", one, two)
+	}
+}
+
+func TestMinShortingSize(t *testing.T) {
+	a := []geom.Rect{geom.R(0, 0, 10, 2)}
+	b := []geom.Rect{geom.R(0, 6, 10, 8)} // gap 4
+	if got := MinShortingSize(a, b, 24); got != 5 {
+		t.Fatalf("MinShortingSize = %d, want 5", got)
+	}
+	far := []geom.Rect{geom.R(0, 1000, 10, 1002)}
+	if got := MinShortingSize(a, far, 24); got != 25 {
+		t.Fatalf("unreachable pair must return maxSize+1, got %d", got)
+	}
+	// Consistency with ShortArea: area is zero below the threshold and
+	// positive at it.
+	th := MinShortingSize(a, b, 24)
+	if ShortArea(a, b, th-1) != 0 {
+		t.Fatal("area below threshold must be 0")
+	}
+	if ShortArea(a, b, th) <= 0 {
+		t.Fatal("area at threshold must be positive")
+	}
+}
+
+func TestMinShortingSizeConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []geom.Rect {
+			x, y := rng.Intn(40), rng.Intn(40)
+			return []geom.Rect{geom.R(x, y, x+1+rng.Intn(10), y+1+rng.Intn(10))}
+		}
+		a, b := mk(), mk()
+		th := MinShortingSize(a, b, 30)
+		if th > 30 {
+			return ShortArea(a, b, 30) == 0
+		}
+		return ShortArea(a, b, th) > 0 && (th == 1 || ShortArea(a, b, th-1) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package critarea
+
+import (
+	"math/rand"
+
+	"defectsim/internal/geom"
+)
+
+// MCShortArea estimates the short critical area between shape sets a and b
+// for square defects of side x by Monte-Carlo: defect centers are sampled
+// uniformly over the dilated bounding box and a hit is a center whose
+// defect square overlaps both sets. It exists to cross-validate the exact
+// expand-and-intersect computation (ShortArea) — the two must agree within
+// sampling error, which the test suite asserts.
+func MCShortArea(a, b []geom.Rect, x int, samples int, seed int64) float64 {
+	if x <= 0 || len(a) == 0 || len(b) == 0 || samples <= 0 {
+		return 0
+	}
+	bbA, _ := geom.BoundingBox(a)
+	bbB, _ := geom.BoundingBox(b)
+	bb := bbA.Union(bbB).Expand((x + 3) / 2)
+	rng := rand.New(rand.NewSource(seed))
+
+	half := float64(x) / 2
+	w := float64(bb.W())
+	h := float64(bb.H())
+	hits := 0
+	for s := 0; s < samples; s++ {
+		cx := float64(bb.X0) + rng.Float64()*w
+		cy := float64(bb.Y0) + rng.Float64()*h
+		if overlapsAny(cx, cy, half, a) && overlapsAny(cx, cy, half, b) {
+			hits++
+		}
+	}
+	return w * h * float64(hits) / float64(samples)
+}
+
+// overlapsAny reports whether the square of half-side `half` centered at
+// (cx, cy) shares interior area with any rectangle.
+func overlapsAny(cx, cy, half float64, rects []geom.Rect) bool {
+	for _, r := range rects {
+		if cx-half < float64(r.X1) && float64(r.X0) < cx+half &&
+			cy-half < float64(r.Y1) && float64(r.Y0) < cy+half {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,62 @@
+package critarea
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"defectsim/internal/geom"
+)
+
+func TestMCShortAreaMatchesExact(t *testing.T) {
+	// Two parallel wires: the exact critical area has a closed form
+	// (verified in critarea_test.go); the Monte-Carlo estimate must agree
+	// within sampling/lattice error.
+	a := []geom.Rect{geom.R(0, 0, 100, 2)}
+	b := []geom.Rect{geom.R(0, 6, 100, 8)}
+	for _, x := range []int{5, 8, 12} {
+		exact := ShortArea(a, b, x)
+		mc := MCShortArea(a, b, x, 400000, 42)
+		if rel := math.Abs(mc-exact) / exact; rel > 0.10 {
+			t.Fatalf("x=%d: MC %.1f vs exact %.1f (%.1f%% off)", x, mc, exact, 100*rel)
+		}
+	}
+}
+
+func TestMCShortAreaRandomizedCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		mk := func() []geom.Rect {
+			n := 1 + rng.Intn(3)
+			rs := make([]geom.Rect, n)
+			for i := range rs {
+				x, y := rng.Intn(40), rng.Intn(40)
+				rs[i] = geom.R(x, y, x+2+rng.Intn(20), y+2+rng.Intn(6))
+			}
+			return rs
+		}
+		a, b := mk(), mk()
+		x := 4 + rng.Intn(10)
+		exact := ShortArea(a, b, x)
+		mc := MCShortArea(a, b, x, 300000, int64(trial))
+		if exact == 0 {
+			// Zero critical area: overlapping-set configurations always
+			// short (both sets hit), so only insist MC is small relative to
+			// the bounding box when the sets are disjoint enough.
+			continue
+		}
+		tol := 0.15*exact + 3
+		if math.Abs(mc-exact) > tol {
+			t.Fatalf("trial %d x=%d: MC %.1f vs exact %.1f", trial, x, mc, exact)
+		}
+	}
+}
+
+func TestMCShortAreaDegenerate(t *testing.T) {
+	a := []geom.Rect{geom.R(0, 0, 10, 2)}
+	if MCShortArea(nil, a, 5, 100, 1) != 0 ||
+		MCShortArea(a, a, 0, 100, 1) != 0 ||
+		MCShortArea(a, a, 5, 0, 1) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+}

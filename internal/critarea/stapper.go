@@ -1,0 +1,59 @@
+package critarea
+
+import "defectsim/internal/defect"
+
+// Closed-form critical areas for regular structures (Stapper's formulas),
+// useful both as fast estimators during floorplanning — before any layout
+// exists — and as independent references the exact geometric engine is
+// tested against.
+
+// ParallelWiresShortArea returns the critical area for shorting two
+// parallel wires of length l and spacing s with a square defect of side x:
+//
+//	A(x) = 0              for x ≤ s
+//	A(x) = (l + x)(x − s) for x > s
+//
+// (the dilated overlap band of height x−s extends x/2 beyond both wire
+// ends). This matches the exact expand-and-intersect computation for the
+// two-rectangle case.
+func ParallelWiresShortArea(l, s int, x int) float64 {
+	if x <= s {
+		return 0
+	}
+	return float64(l+x) * float64(x-s)
+}
+
+// WireOpenArea returns the closed-form critical area for severing a wire
+// of length l and width w: A(x) = l·(x−w) for x > w (first-order band
+// model, end effects ignored) — identical to OpenArea on one rectangle.
+func WireOpenArea(l, w int, x int) float64 {
+	if x <= w {
+		return 0
+	}
+	return float64(l) * float64(x-w)
+}
+
+// WireArrayShortAreaPerTrack returns the average short critical area per
+// adjacent wire pair in an infinite array of parallel wires (width w,
+// spacing s, overlap length l), integrated over the defect-size
+// distribution: the building block of pre-layout yield estimates for
+// routing channels. Defects large enough to span several pitches still
+// count once per adjacent pair (multi-wire shorts are dominated by the
+// nearest-neighbour term under the 1/x³ tail).
+func WireArrayShortAreaPerTrack(l, w, s int, dist defect.SizeDist, maxSize int) float64 {
+	return Average(dist, maxSize, func(x int) float64 {
+		return ParallelWiresShortArea(l, s, x)
+	})
+}
+
+// EstimateChannelShortWeight estimates the total expected short count of a
+// routing channel with nTracks tracks of the given geometry and an
+// extra-material defect density (per 10⁶ λ²): (nTracks−1) adjacent pairs
+// times the per-pair average critical area times the density.
+func EstimateChannelShortWeight(nTracks, l, w, s int, dist defect.SizeDist, density float64, maxSize int) float64 {
+	if nTracks < 2 {
+		return 0
+	}
+	perPair := WireArrayShortAreaPerTrack(l, w, s, dist, maxSize)
+	return float64(nTracks-1) * perPair * density * 1e-6
+}

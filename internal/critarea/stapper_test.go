@@ -1,0 +1,64 @@
+package critarea
+
+import (
+	"math"
+	"testing"
+
+	"defectsim/internal/defect"
+	"defectsim/internal/geom"
+)
+
+func TestParallelWiresClosedFormMatchesExact(t *testing.T) {
+	const l, w, s = 80, 2, 4
+	a := []geom.Rect{geom.R(0, 0, l, w)}
+	b := []geom.Rect{geom.R(0, w+s, l, 2*w+s)}
+	for x := 1; x <= 20; x++ {
+		exact := ShortArea(a, b, x)
+		closed := ParallelWiresShortArea(l, s, x)
+		if math.Abs(exact-closed) > 1e-9 {
+			t.Fatalf("x=%d: exact %g vs closed form %g", x, exact, closed)
+		}
+	}
+}
+
+func TestWireOpenClosedFormMatchesExact(t *testing.T) {
+	const l, w = 60, 3
+	wire := []geom.Rect{geom.R(0, 0, l, w)}
+	for x := 1; x <= 16; x++ {
+		if got, want := OpenArea(wire, x), WireOpenArea(l, w, x); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("x=%d: %g vs %g", x, got, want)
+		}
+	}
+}
+
+func TestWireArrayAverageMatchesAvgShortArea(t *testing.T) {
+	dist := defect.SizeDist{X0: 3}
+	const l, w, s, maxX = 100, 2, 4, 24
+	a := []geom.Rect{geom.R(0, 0, l, w)}
+	b := []geom.Rect{geom.R(0, w+s, l, 2*w+s)}
+	exact := AvgShortArea(a, b, dist, maxX)
+	closed := WireArrayShortAreaPerTrack(l, w, s, dist, maxX)
+	if math.Abs(exact-closed) > 1e-9 {
+		t.Fatalf("avg: exact %g vs closed %g", exact, closed)
+	}
+}
+
+func TestEstimateChannelShortWeight(t *testing.T) {
+	dist := defect.SizeDist{X0: 3}
+	one := EstimateChannelShortWeight(2, 100, 2, 4, dist, 1.6, 24)
+	if one <= 0 {
+		t.Fatal("two tracks must have a positive short weight")
+	}
+	ten := EstimateChannelShortWeight(10, 100, 2, 4, dist, 1.6, 24)
+	if math.Abs(ten-9*one) > 1e-12 {
+		t.Fatalf("weight must scale with adjacent pairs: %g vs 9×%g", ten, one)
+	}
+	if EstimateChannelShortWeight(1, 100, 2, 4, dist, 1.6, 24) != 0 {
+		t.Fatal("a single track cannot short")
+	}
+	// Denser channels are worse: halving the spacing raises the weight.
+	tight := EstimateChannelShortWeight(10, 100, 2, 2, dist, 1.6, 24)
+	if tight <= ten {
+		t.Fatal("tighter spacing must raise the short weight")
+	}
+}

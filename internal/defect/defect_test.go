@@ -1,0 +1,183 @@
+package defect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"defectsim/internal/geom"
+)
+
+func TestTypeClassification(t *testing.T) {
+	bridges := []Type{ExtraPoly, ExtraMetal1, ExtraMetal2, ExtraActive}
+	opens := []Type{MissingPoly, MissingMetal1, MissingMetal2, MissingActive, MissingContact, MissingVia}
+	for _, ty := range bridges {
+		if !ty.Bridge() || ty.Open() {
+			t.Errorf("%v must be a bridge type", ty)
+		}
+	}
+	for _, ty := range opens {
+		if ty.Bridge() || !ty.Open() {
+			t.Errorf("%v must be an open type", ty)
+		}
+	}
+	if int(NumTypes) != len(bridges)+len(opens) {
+		t.Fatal("type count mismatch")
+	}
+}
+
+func TestTypeLayerAndString(t *testing.T) {
+	if ExtraMetal1.Layer() != geom.LayerMetal1 || MissingVia.Layer() != geom.LayerVia {
+		t.Fatal("layer mapping wrong")
+	}
+	for ty := Type(0); ty < NumTypes; ty++ {
+		if ty.String() == "" {
+			t.Fatalf("type %d has no name", ty)
+		}
+		_ = ty.Layer() // must not panic
+	}
+}
+
+func TestSizeDistNormalization(t *testing.T) {
+	d := SizeDist{X0: 3}
+	// CDF properties.
+	if d.CDF(0) != 0 {
+		t.Fatal("CDF(0) must be 0")
+	}
+	if got := d.CDF(d.X0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CDF(x0) = %g, want 0.5 (half the mass below the peak)", got)
+	}
+	if got := d.CDF(1e9); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("CDF(∞) = %g", got)
+	}
+	// PDF integrates to CDF (numeric check).
+	var integral float64
+	dx := 0.001
+	for x := 0.0; x < 30; x += dx {
+		integral += d.PDF(x+dx/2) * dx
+	}
+	if math.Abs(integral-d.CDF(30)) > 1e-3 {
+		t.Fatalf("∫PDF = %g vs CDF(30) = %g", integral, d.CDF(30))
+	}
+	// Peak at X0 and 1/x³ tail.
+	if d.PDF(d.X0) < d.PDF(d.X0/2) || d.PDF(d.X0) < d.PDF(2*d.X0) {
+		t.Fatal("PDF must peak at X0")
+	}
+	if r := d.PDF(10) / d.PDF(20); math.Abs(r-8) > 1e-9 {
+		t.Fatalf("tail must fall as 1/x³: ratio %g, want 8", r)
+	}
+}
+
+func TestSizeDistCDFMonotoneProperty(t *testing.T) {
+	d := SizeDist{X0: 2.5}
+	f := func(a, b uint16) bool {
+		x, y := float64(a)/100, float64(b)/100
+		if x > y {
+			x, y = y, x
+		}
+		return d.CDF(x) <= d.CDF(y)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleMatchesCDF(t *testing.T) {
+	d := SizeDist{X0: 2}
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	var below, mid int
+	for i := 0; i < n; i++ {
+		x := d.Sample(rng)
+		if x <= d.X0 {
+			below++
+		}
+		if x <= 2*d.X0 {
+			mid++
+		}
+	}
+	if p := float64(below) / n; math.Abs(p-0.5) > 0.01 {
+		t.Fatalf("P(x≤x0) = %g, want 0.5", p)
+	}
+	want := d.CDF(2 * d.X0) // 1 - 1/8 = 0.875
+	if p := float64(mid) / n; math.Abs(p-want) > 0.01 {
+		t.Fatalf("P(x≤2x0) = %g, want %g", p, want)
+	}
+}
+
+func TestTypicalStatistics(t *testing.T) {
+	s := Typical()
+	if s.MaxSize <= 0 {
+		t.Fatal("MaxSize must be positive")
+	}
+	var bridge, open float64
+	for ty := Type(0); ty < NumTypes; ty++ {
+		c := s.Classes[ty]
+		if c.Type != ty {
+			t.Fatalf("class %v mislabeled as %v", ty, c.Type)
+		}
+		if c.Density <= 0 || c.Size.X0 <= 0 {
+			t.Fatalf("class %v unparameterized", ty)
+		}
+		if ty.Bridge() {
+			bridge += c.Density
+		} else {
+			open += c.Density
+		}
+	}
+	if bridge <= open {
+		t.Fatalf("Typical() must be bridging-dominant: bridge %g vs open %g", bridge, open)
+	}
+	o := OpensDominant()
+	bridge, open = 0, 0
+	for ty := Type(0); ty < NumTypes; ty++ {
+		if ty.Bridge() {
+			bridge += o.Classes[ty].Density
+		} else {
+			open += o.Classes[ty].Density
+		}
+	}
+	if open <= bridge {
+		t.Fatal("OpensDominant() must flip the balance")
+	}
+}
+
+func TestScaleAndTotalDensity(t *testing.T) {
+	s := Typical()
+	d0 := s.TotalDensity()
+	s2 := s.Scale(2)
+	if math.Abs(s2.TotalDensity()-2*d0) > 1e-9 {
+		t.Fatal("Scale must multiply total density")
+	}
+	if math.Abs(s.TotalDensity()-d0) > 1e-12 {
+		t.Fatal("Scale must not mutate the receiver")
+	}
+}
+
+func TestStatisticsSample(t *testing.T) {
+	s := Typical()
+	rng := rand.New(rand.NewSource(7))
+	area := geom.R(0, 0, 1000, 500)
+	counts := make(map[Type]int)
+	for i := 0; i < 20000; i++ {
+		ty, size, p := s.Sample(rng, area)
+		counts[ty]++
+		if size <= 0 {
+			t.Fatal("non-positive defect size")
+		}
+		if !area.Contains(p) {
+			t.Fatalf("defect outside area: %v", p)
+		}
+	}
+	// Most frequent type must be the densest one (extra-metal1).
+	best, bestN := Type(0), -1
+	for ty, n := range counts {
+		if n > bestN {
+			best, bestN = ty, n
+		}
+	}
+	if best != ExtraMetal1 {
+		t.Fatalf("densest class should dominate samples, got %v", best)
+	}
+}

@@ -1,0 +1,170 @@
+// Package diagnose implements fault-dictionary diagnosis: matching an
+// observed failure signature (which vectors failed at which primary
+// outputs) against the precomputed signatures of the single stuck-at
+// universe. Real defects — bridges, opens — are diagnosed through their
+// stuck-at *surrogates*: the highest-scoring stuck-at candidates localize
+// the defective nets even though no stuck-at fault reproduces the defect's
+// behaviour exactly. The experiments use this to close the paper's loop
+// from fallout back to physical defects.
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+
+	"defectsim/internal/fault"
+	"defectsim/internal/gatesim"
+	"defectsim/internal/netlist"
+)
+
+// Dictionary is a full-response fault dictionary over a test set.
+type Dictionary struct {
+	Netlist  *netlist.Netlist
+	Faults   []fault.StuckAt
+	Sigs     [][]gatesim.Fail
+	patterns int
+}
+
+// Build simulates the fault universe without dropping and stores every
+// failing observation.
+func Build(nl *netlist.Netlist, faults []fault.StuckAt, patterns []gatesim.Pattern) (*Dictionary, error) {
+	sigs, err := gatesim.Signatures(nl, faults, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return &Dictionary{Netlist: nl, Faults: faults, Sigs: sigs, patterns: len(patterns)}, nil
+}
+
+// Candidate is one scored diagnosis.
+type Candidate struct {
+	Fault fault.StuckAt
+	// Match counts observations predicted by the candidate and seen;
+	// Mispredict counts predicted but unseen; Nonpredict counts seen but
+	// unpredicted (classic match/mis/non diagnosis metrics).
+	Match, Mispredict, Nonpredict int
+}
+
+// Score orders candidates: more matches first, then fewer mispredictions,
+// then fewer nonpredictions.
+func (c Candidate) Score() (int, int, int) { return c.Match, -c.Mispredict, -c.Nonpredict }
+
+func (c Candidate) String() string {
+	return fmt.Sprintf("%v (match %d, mis %d, non %d)", c.Fault, c.Match, c.Mispredict, c.Nonpredict)
+}
+
+type failKey struct {
+	vector int
+	poMask uint64
+}
+
+// DiagnoseStructural is Diagnose with classic region pruning: only faults
+// whose net lies in the union fanin cone of the failing primary outputs
+// are considered. Structurally impossible candidates (whose signature
+// happens to intersect the observation through aliasing) are discarded
+// before scoring.
+func (d *Dictionary) DiagnoseStructural(observed []gatesim.Fail, topN int) []Candidate {
+	var failingPOs []int
+	seen := uint64(0)
+	for _, f := range observed {
+		seen |= f.POMask
+	}
+	for i, po := range d.Netlist.POs {
+		if seen&(1<<uint(i)) != 0 {
+			failingPOs = append(failingPOs, po)
+		}
+	}
+	if len(failingPOs) == 0 {
+		return nil
+	}
+	cone := d.Netlist.FaninCone(failingPOs...)
+	cands := d.Diagnose(observed, 0)
+	out := cands[:0]
+	for _, c := range cands {
+		if cone[c.Fault.Net] {
+			out = append(out, c)
+		}
+	}
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// Diagnose ranks the dictionary against the observed failures and returns
+// the topN candidates (all candidates with at least one match when topN ≤
+// 0). Observations match at (vector, output) granularity.
+func (d *Dictionary) Diagnose(observed []gatesim.Fail, topN int) []Candidate {
+	obs := map[int]uint64{}
+	for _, f := range observed {
+		obs[f.Vector] |= f.POMask
+	}
+	var obsBits int
+	for _, m := range obs {
+		obsBits += popcount(m)
+	}
+	var cands []Candidate
+	for i, sig := range d.Sigs {
+		var match, mis int
+		for _, f := range sig {
+			m := f.POMask & obs[f.Vector]
+			match += popcount(m)
+			mis += popcount(f.POMask &^ obs[f.Vector])
+		}
+		if match == 0 {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Fault: d.Faults[i], Match: match, Mispredict: mis,
+			Nonpredict: obsBits - match,
+		})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		m1, s1, n1 := ca.Score()
+		m2, s2, n2 := cb.Score()
+		if m1 != m2 {
+			return m1 > m2
+		}
+		if s1 != s2 {
+			return s1 > s2
+		}
+		if n1 != n2 {
+			return n1 > n2
+		}
+		// Deterministic tiebreak.
+		if ca.Fault.Net != cb.Fault.Net {
+			return ca.Fault.Net < cb.Fault.Net
+		}
+		if ca.Fault.Branch != cb.Fault.Branch {
+			return ca.Fault.Branch < cb.Fault.Branch
+		}
+		return ca.Fault.Value < cb.Fault.Value
+	})
+	if topN > 0 && len(cands) > topN {
+		cands = cands[:topN]
+	}
+	return cands
+}
+
+// ImplicatedNets returns the distinct nets of the top candidates, in rank
+// order — the localization a failure analyst would act on.
+func ImplicatedNets(cands []Candidate) []int {
+	seen := map[int]bool{}
+	var nets []int
+	for _, c := range cands {
+		if !seen[c.Fault.Net] {
+			seen[c.Fault.Net] = true
+			nets = append(nets, c.Fault.Net)
+		}
+	}
+	return nets
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

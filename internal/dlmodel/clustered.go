@@ -1,0 +1,43 @@
+package dlmodel
+
+import "math"
+
+// Clustered returns the defect level under negative-binomial (clustered)
+// defect statistics — the generalization of the weighted Poisson model
+// (eq. 3) to Stapper-clustered defects.
+//
+// With the fault count N compound-Poisson over a Gamma-distributed rate
+// (mean λ, clustering parameter α) and each present fault escaping the
+// test with probability (1−Θ) of staying undetected, a die ships defective
+// iff it carries at least one fault and none of its faults is detected:
+//
+//	DL = 1 − P(N = 0) / P(no detected fault)
+//	   = 1 − [(α + λΘ) / (α + λ)]^α
+//
+// As α → ∞ this recovers 1 − e^{−λ(1−Θ)} = 1 − Y^{1−Θ}, the Poisson form.
+// Clustering (small α) lowers the defect level at equal λ and Θ: defective
+// dies tend to carry several faults, so catching any one of them removes
+// the die.
+func Clustered(lambda, alpha, theta float64) float64 {
+	if lambda < 0 {
+		panic("dlmodel: negative defect rate")
+	}
+	if alpha <= 0 {
+		panic("dlmodel: clustering parameter must be positive")
+	}
+	if theta < 0 || theta > 1 {
+		panic("dlmodel: coverage out of [0,1]")
+	}
+	return 1 - math.Pow((alpha+lambda*theta)/(alpha+lambda), alpha)
+}
+
+// ClusteredFromYield expresses Clustered through the negative-binomial
+// yield y = (1 + λ/α)^{−α} instead of the raw rate λ.
+func ClusteredFromYield(y, alpha, theta float64) float64 {
+	checkY(y)
+	if alpha <= 0 {
+		panic("dlmodel: clustering parameter must be positive")
+	}
+	lambda := alpha * (math.Pow(y, -1/alpha) - 1)
+	return Clustered(lambda, alpha, theta)
+}

@@ -1,0 +1,156 @@
+package dlmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusteredRecoversPoisson(t *testing.T) {
+	lambda, theta := 0.288, 0.8
+	poisson := 1 - math.Exp(-lambda*(1-theta))
+	if d := math.Abs(Clustered(lambda, 1e9, theta) - poisson); d > 1e-6 {
+		t.Fatalf("α→∞ must recover Poisson (Δ=%g)", d)
+	}
+	// And ClusteredFromYield agrees with Weighted in the same limit.
+	y := math.Exp(-lambda)
+	if d := math.Abs(ClusteredFromYield(y, 1e9, theta) - Weighted(y, theta)); d > 1e-6 {
+		t.Fatalf("yield form mismatch (Δ=%g)", d)
+	}
+}
+
+func TestClusteredEndpoints(t *testing.T) {
+	lambda, alpha := 0.5, 2.0
+	if got := Clustered(lambda, alpha, 1); got != 0 {
+		t.Fatalf("full coverage must ship zero defects, got %g", got)
+	}
+	wantAt0 := 1 - math.Pow(alpha/(alpha+lambda), alpha) // 1 − yield
+	if got := Clustered(lambda, alpha, 0); math.Abs(got-wantAt0) > 1e-12 {
+		t.Fatalf("zero coverage DL = %g, want 1−Y = %g", got, wantAt0)
+	}
+	if Clustered(0, alpha, 0.5) != 0 {
+		t.Fatal("no defects, no defect level")
+	}
+}
+
+func TestClusteringLowersDL(t *testing.T) {
+	// At equal λ and Θ, clustering concentrates faults on fewer dies, so
+	// detecting any one fault scraps the die: DL falls as α shrinks.
+	lambda, theta := 0.3, 0.7
+	prev := -1.0
+	for _, alpha := range []float64{0.25, 0.5, 1, 2, 8, 64} {
+		dl := Clustered(lambda, alpha, theta)
+		if dl <= prev {
+			t.Fatalf("DL must increase with α (toward Poisson): α=%g dl=%g prev=%g",
+				alpha, dl, prev)
+		}
+		prev = dl
+	}
+}
+
+func TestClusteredMonotoneInTheta(t *testing.T) {
+	f := func(lRaw, aRaw, t1Raw, t2Raw uint16) bool {
+		lambda := float64(lRaw) / 10000
+		alpha := 0.1 + float64(aRaw)/1000
+		t1 := float64(t1Raw) / 65535
+		t2 := float64(t2Raw) / 65535
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return Clustered(lambda, alpha, t1) >= Clustered(lambda, alpha, t2)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusteredAgainstSimulation validates the closed form against a direct
+// Monte-Carlo of the compound Poisson–Gamma process.
+func TestClusteredAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	lambda, alpha, theta := 0.6, 1.5, 0.75
+	const dies = 400000
+	bad := 0
+	shippedBad := 0
+	for d := 0; d < dies; d++ {
+		// Gamma(α, λ/α) rate via sum of exponentials is only exact for
+		// integer α; use Marsaglia–Tsang for general shape.
+		rate := gammaSample(rng, alpha) * lambda / alpha
+		n := poissonSample(rng, rate)
+		if n == 0 {
+			continue
+		}
+		bad++
+		detected := false
+		for i := 0; i < n; i++ {
+			if rng.Float64() < theta {
+				detected = true
+				break
+			}
+		}
+		if !detected {
+			shippedBad++
+		}
+	}
+	// DL = shipped bad / shipped total = shippedBad / (dies - detectedDies).
+	shippedTotal := dies - (bad - shippedBad)
+	got := float64(shippedBad) / float64(shippedTotal)
+	want := Clustered(lambda, alpha, theta)
+	if math.Abs(got-want) > 0.004 {
+		t.Fatalf("Monte-Carlo DL = %.5f, closed form %.5f", got, want)
+	}
+}
+
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	// Marsaglia–Tsang; shape ≥ 1 branch plus boost for shape < 1.
+	if shape < 1 {
+		u := rng.Float64()
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+func poissonSample(rng *rand.Rand, rate float64) int {
+	l := math.Exp(-rate)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func TestClusteredPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative lambda", func() { Clustered(-1, 1, 0.5) })
+	mustPanic("alpha 0", func() { Clustered(1, 0, 0.5) })
+	mustPanic("theta 2", func() { Clustered(1, 1, 2) })
+	mustPanic("bad yield", func() { ClusteredFromYield(0, 1, 0.5) })
+	mustPanic("bad alpha", func() { ClusteredFromYield(0.5, 0, 0.5) })
+}

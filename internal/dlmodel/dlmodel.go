@@ -1,0 +1,138 @@
+// Package dlmodel implements the defect-level models compared in the
+// paper:
+//
+//	Williams–Brown (eq. 1):   DL = 1 − Y^(1−T)
+//	Agrawal et al. (eq. 2):   DL = (1−T)(1−Y)e^{−(n−1)T} /
+//	                               (Y + (1−T)(1−Y)e^{−(n−1)T})
+//	Weighted realistic (3):   DL = 1 − Y^(1−Θ)
+//	Proposed model (eq. 11):  DL = 1 − Y^(1−Θmax·(1−(1−T)^R))
+//
+// plus the inversions used by the worked examples (required coverage for a
+// target DL) and the residual defect level 1 − Y^(1−Θmax) of an incomplete
+// detection technique.
+package dlmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// WilliamsBrown returns DL = 1 − Y^(1−T) (eq. 1).
+func WilliamsBrown(y, t float64) float64 {
+	checkYT(y, t)
+	return 1 - math.Pow(y, 1-t)
+}
+
+// WilliamsBrownRequiredT inverts eq. 1: the stuck-at coverage needed to
+// reach defect level dl at yield y.
+func WilliamsBrownRequiredT(y, dl float64) float64 {
+	checkY(y)
+	if dl <= 0 || dl >= 1 {
+		panic("dlmodel: target DL must be in (0,1)")
+	}
+	return 1 - math.Log(1-dl)/math.Log(y)
+}
+
+// Agrawal returns the Agrawal–Seth–Agrawal defect level (eq. 2) with n the
+// average number of faults on a faulty chip.
+func Agrawal(y, t, n float64) float64 {
+	checkYT(y, t)
+	if n < 1 {
+		panic("dlmodel: Agrawal n must be ≥ 1")
+	}
+	b := (1 - t) * (1 - y) * math.Exp(-(n-1)*t)
+	return b / (y + b)
+}
+
+// Weighted returns DL = 1 − Y^(1−Θ) (eq. 3), the Williams–Brown form over
+// the weighted realistic fault coverage Θ.
+func Weighted(y, theta float64) float64 {
+	checkYT(y, theta)
+	return 1 - math.Pow(y, 1-theta)
+}
+
+// Params carries the two parameters the proposed model adds over
+// Williams–Brown.
+type Params struct {
+	// R is the susceptibility ratio ln(σ_T)/ln(σ_Θ) (eq. 10): R > 1 when
+	// the dominant realistic faults (bridges) are easier to detect than the
+	// average stuck-at fault.
+	R float64
+	// ThetaMax is the maximum realistic fault coverage achievable by the
+	// detection technique (< 1 for static voltage testing).
+	ThetaMax float64
+}
+
+// Validate checks the parameter domain.
+func (p Params) Validate() error {
+	if p.R <= 0 {
+		return fmt.Errorf("dlmodel: R = %g must be positive", p.R)
+	}
+	if p.ThetaMax <= 0 || p.ThetaMax > 1 {
+		return fmt.Errorf("dlmodel: Θmax = %g must be in (0,1]", p.ThetaMax)
+	}
+	return nil
+}
+
+// ThetaFromT returns eq. 9: Θ(T) = Θmax·(1 − (1−T)^R), the realistic
+// coverage reached when random testing has brought the stuck-at coverage to
+// T.
+func (p Params) ThetaFromT(t float64) float64 {
+	if t < 0 || t > 1 {
+		panic("dlmodel: coverage out of [0,1]")
+	}
+	return p.ThetaMax * (1 - math.Pow(1-t, p.R))
+}
+
+// DL returns the proposed model (eq. 11): DL(T) = 1 − Y^(1−Θ(T)).
+func (p Params) DL(y, t float64) float64 {
+	checkY(y)
+	return 1 - math.Pow(y, 1-p.ThetaFromT(t))
+}
+
+// RequiredT inverts eq. 11: the stuck-at coverage needed for defect level
+// dl at yield y (the paper's Example 1). It returns an error when the
+// target lies below the model's residual defect level.
+func (p Params) RequiredT(y, dl float64) (float64, error) {
+	checkY(y)
+	if dl <= 0 || dl >= 1 {
+		return 0, fmt.Errorf("dlmodel: target DL %g out of (0,1)", dl)
+	}
+	if res := p.ResidualDL(y); dl < res {
+		return 0, fmt.Errorf("dlmodel: target DL %.3g below residual defect level %.3g (Θmax=%g)",
+			dl, res, p.ThetaMax)
+	}
+	// 1 − Y^(1−Θ) = dl  ⇒  Θ = 1 − ln(1−dl)/ln(Y)
+	theta := 1 - math.Log(1-dl)/math.Log(y)
+	// Θ = Θmax(1−(1−T)^R)  ⇒  T = 1 − (1 − Θ/Θmax)^(1/R)
+	frac := 1 - theta/p.ThetaMax
+	if frac < 0 {
+		frac = 0
+	}
+	return 1 - math.Pow(frac, 1/p.R), nil
+}
+
+// ResidualDL returns 1 − Y^(1−Θmax): the defect level that remains at 100%
+// stuck-at coverage, attributable to faults the detection technique cannot
+// cover (the paper's Example 2).
+func (p Params) ResidualDL(y float64) float64 {
+	checkY(y)
+	return 1 - math.Pow(y, 1-p.ThetaMax)
+}
+
+// WilliamsBrownParams returns the degenerate parameters (R = 1, Θmax = 1)
+// under which the proposed model reduces exactly to eq. 1.
+func WilliamsBrownParams() Params { return Params{R: 1, ThetaMax: 1} }
+
+func checkY(y float64) {
+	if y <= 0 || y >= 1 {
+		panic(fmt.Sprintf("dlmodel: yield %g must be in (0,1)", y))
+	}
+}
+
+func checkYT(y, t float64) {
+	checkY(y)
+	if t < 0 || t > 1 {
+		panic(fmt.Sprintf("dlmodel: coverage %g must be in [0,1]", t))
+	}
+}

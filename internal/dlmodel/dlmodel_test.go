@@ -1,0 +1,186 @@
+package dlmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilliamsBrownEndpoints(t *testing.T) {
+	if got := WilliamsBrown(0.75, 1); got != 0 {
+		t.Fatalf("DL at T=1 must be 0, got %g", got)
+	}
+	if got := WilliamsBrown(0.75, 0); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("DL at T=0 must be 1−Y, got %g", got)
+	}
+}
+
+func TestWilliamsBrownPaperValue(t *testing.T) {
+	// Example 1's Williams–Brown comparison: Y = 0.75, DL target 100 ppm ⇒
+	// T = 99.97%.
+	tReq := WilliamsBrownRequiredT(0.75, 100e-6)
+	if math.Abs(tReq-0.9997) > 5e-5 {
+		t.Fatalf("W-B required T = %.5f, paper says ≈0.9997", tReq)
+	}
+	// And the inversion round-trips.
+	if dl := WilliamsBrown(0.75, tReq); math.Abs(dl-100e-6) > 1e-9 {
+		t.Fatalf("round trip DL = %g", dl)
+	}
+}
+
+func TestExample1RequiredCoverage(t *testing.T) {
+	// Paper §2 Example 1: Y = 0.75, Θmax = 1, R = 2.1, DL = 100 ppm ⇒
+	// T ≈ 97.7% (printed as "97:7%").
+	p := Params{R: 2.1, ThetaMax: 1}
+	tReq, err := p.RequiredT(0.75, 100e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tReq-0.977) > 1e-3 {
+		t.Fatalf("Example 1: required T = %.4f, paper says ≈0.977", tReq)
+	}
+	// Round trip.
+	if dl := p.DL(0.75, tReq); math.Abs(dl-100e-6) > 1e-9 {
+		t.Fatalf("round trip DL = %g", dl)
+	}
+}
+
+func TestExample2ResidualDL(t *testing.T) {
+	// Paper §2 Example 2: Y = 0.75, T = 100%, Θmax = 0.99, R = 1 ⇒
+	// DL = 1 − 0.75^0.01 ≈ 2873 ppm (the scan prints "2279"; the formula
+	// gives 2.87e-3). Williams–Brown would predict zero.
+	p := Params{R: 1, ThetaMax: 0.99}
+	dl := p.DL(0.75, 1)
+	want := 1 - math.Pow(0.75, 0.01)
+	if math.Abs(dl-want) > 1e-12 {
+		t.Fatalf("Example 2 DL = %g, want %g", dl, want)
+	}
+	if dl < 2.8e-3 || dl > 2.95e-3 {
+		t.Fatalf("Example 2 DL = %g, expected ≈2.87e-3", dl)
+	}
+	if dl2 := p.ResidualDL(0.75); math.Abs(dl-dl2) > 1e-12 {
+		t.Fatal("residual DL must equal DL at full coverage")
+	}
+	if WilliamsBrown(0.75, 1) != 0 {
+		t.Fatal("W-B predicts zero at full coverage")
+	}
+}
+
+func TestReducesToWilliamsBrown(t *testing.T) {
+	p := WilliamsBrownParams()
+	for _, y := range []float64{0.3, 0.75, 0.95} {
+		for tt := 0.0; tt <= 1.0; tt += 0.05 {
+			if d := math.Abs(p.DL(y, tt) - WilliamsBrown(y, tt)); d > 1e-12 {
+				t.Fatalf("R=1,Θmax=1 must reduce to W-B (y=%g t=%g, Δ=%g)", y, tt, d)
+			}
+		}
+	}
+}
+
+func TestProposedBelowWilliamsBrown(t *testing.T) {
+	// With R > 1 and Θmax slightly below 1, the proposed curve lies below
+	// W-B through the mid-coverage range (the observed concavity) and
+	// crosses above near T = 1 (residual defect level).
+	p := Params{R: 2, ThetaMax: 0.96}
+	y := 0.75
+	for _, tt := range []float64{0.2, 0.4, 0.6, 0.8} {
+		if p.DL(y, tt) >= WilliamsBrown(y, tt) {
+			t.Fatalf("at T=%g the proposed model must lie below W-B", tt)
+		}
+	}
+	if p.DL(y, 1) <= WilliamsBrown(y, 1) {
+		t.Fatal("at T=1 the residual defect level must exceed W-B's zero")
+	}
+}
+
+func TestThetaFromT(t *testing.T) {
+	p := Params{R: 2, ThetaMax: 0.96}
+	if got := p.ThetaFromT(0); got != 0 {
+		t.Fatalf("Θ(0) = %g", got)
+	}
+	if got := p.ThetaFromT(1); math.Abs(got-0.96) > 1e-12 {
+		t.Fatalf("Θ(1) = %g, want Θmax", got)
+	}
+	// R > 1 ⇒ Θ(T) rises faster than T (scaled): Θ(0.5)/Θmax > 0.5.
+	if p.ThetaFromT(0.5)/p.ThetaMax <= 0.5 {
+		t.Fatal("with R>1, Θ must converge faster than T")
+	}
+}
+
+func TestAgrawalProperties(t *testing.T) {
+	y := 0.75
+	// n = 1 at T = 0 gives (1-Y)/(Y+(1-Y)) = 1-Y.
+	if got := Agrawal(y, 0, 1); math.Abs(got-(1-y)) > 1e-12 {
+		t.Fatalf("Agrawal(T=0) = %g, want %g", got, 1-y)
+	}
+	if got := Agrawal(y, 1, 3); got != 0 {
+		t.Fatalf("Agrawal(T=1) = %g, want 0", got)
+	}
+	// Larger n ⇒ faster DL drop at mid coverage.
+	if Agrawal(y, 0.5, 5) >= Agrawal(y, 0.5, 1) {
+		t.Fatal("larger n must lower mid-coverage DL")
+	}
+}
+
+func TestMonotonicityProperties(t *testing.T) {
+	// DL decreases in T; DL decreases as yield rises.
+	f := func(rRaw, mRaw, yRaw, t1Raw, t2Raw uint16) bool {
+		p := Params{
+			R:        0.2 + 4*float64(rRaw)/65535,
+			ThetaMax: 0.05 + 0.95*float64(mRaw)/65535,
+		}
+		y := 0.05 + 0.9*float64(yRaw)/65535
+		t1 := float64(t1Raw) / 65535
+		t2 := float64(t2Raw) / 65535
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return p.DL(y, t1) >= p.DL(y, t2)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiredTErrors(t *testing.T) {
+	p := Params{R: 1, ThetaMax: 0.9}
+	// Target below the residual level is unreachable.
+	if _, err := p.RequiredT(0.75, 1e-6); err == nil {
+		t.Fatal("target below residual DL must error")
+	}
+	if _, err := p.RequiredT(0.75, 0); err == nil {
+		t.Fatal("DL=0 must error")
+	}
+	if _, err := p.RequiredT(0.75, p.ResidualDL(0.75)*1.5); err != nil {
+		t.Fatalf("reachable target must succeed: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{{R: 0, ThetaMax: 0.9}, {R: -1, ThetaMax: 0.9},
+		{R: 1, ThetaMax: 0}, {R: 1, ThetaMax: 1.1}}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("Params %+v must be invalid", p)
+		}
+	}
+	if (Params{R: 2, ThetaMax: 0.96}).Validate() != nil {
+		t.Fatal("valid params rejected")
+	}
+}
+
+func TestPanicsOnDomainErrors(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("yield 0", func() { WilliamsBrown(0, 0.5) })
+	mustPanic("yield 1", func() { WilliamsBrown(1, 0.5) })
+	mustPanic("coverage -1", func() { WilliamsBrown(0.5, -1) })
+	mustPanic("agrawal n<1", func() { Agrawal(0.5, 0.5, 0.5) })
+	mustPanic("theta domain", func() { (Params{R: 1, ThetaMax: 1}).ThetaFromT(2) })
+}

@@ -1,0 +1,46 @@
+package dlmodel_test
+
+import (
+	"fmt"
+
+	"defectsim/internal/dlmodel"
+)
+
+// The paper's worked Example 1: how much stuck-at coverage does a 100 ppm
+// quality target need at 75 % yield when the realistic faults are easier
+// to detect than stuck-at faults (R = 2.1)?
+func ExampleParams_RequiredT() {
+	p := dlmodel.Params{R: 2.1, ThetaMax: 1}
+	t, err := p.RequiredT(0.75, 100e-6)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("proposed model: T = %.2f%%\n", 100*t)
+	fmt.Printf("Williams-Brown: T = %.2f%%\n", 100*dlmodel.WilliamsBrownRequiredT(0.75, 100e-6))
+	// Output:
+	// proposed model: T = 97.75%
+	// Williams-Brown: T = 99.97%
+}
+
+// The paper's worked Example 2: even at 100 % stuck-at coverage, an
+// incomplete detection technique (Θmax = 0.99) leaves a residual defect
+// level that Williams–Brown cannot express.
+func ExampleParams_ResidualDL() {
+	p := dlmodel.Params{R: 1, ThetaMax: 0.99}
+	fmt.Printf("residual DL: %.0f ppm\n", 1e6*p.ResidualDL(0.75))
+	fmt.Printf("Williams-Brown at T=1: %.0f ppm\n", 1e6*dlmodel.WilliamsBrown(0.75, 1))
+	// Output:
+	// residual DL: 2873 ppm
+	// Williams-Brown at T=1: 0 ppm
+}
+
+// With R = 1 and Θmax = 1 the proposed model collapses to the classic
+// Williams–Brown formula.
+func ExampleWilliamsBrownParams() {
+	p := dlmodel.WilliamsBrownParams()
+	fmt.Printf("%.6f\n", p.DL(0.75, 0.9))
+	fmt.Printf("%.6f\n", dlmodel.WilliamsBrown(0.75, 0.9))
+	// Output:
+	// 0.028358
+	// 0.028358
+}

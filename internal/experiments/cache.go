@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"defectsim/internal/atpg"
+	"defectsim/internal/coverage"
+	"defectsim/internal/extract"
+	"defectsim/internal/fault"
+	"defectsim/internal/gatesim"
+	"defectsim/internal/layout"
+	"defectsim/internal/netlist"
+	"defectsim/internal/switchsim"
+	"defectsim/internal/transistor"
+)
+
+// cacheFile is the serialized form of a pipeline's expensive simulation
+// results. Everything else (layout, extraction, transistor netlist, the
+// fault universes) is deterministic and cheap to rebuild, so only the
+// vectors and detection data are stored.
+type cacheFile struct {
+	Version      int         `json:"version"`
+	Circuit      string      `json:"circuit"`
+	Config       cacheConfig `json:"config"`
+	NumFaults    int         `json:"num_faults"`
+	NumStuckAt   int         `json:"num_stuck_at"`
+	Patterns     [][]uint8   `json:"patterns"`
+	RandomCount  int         `json:"random_count"`
+	SADetectedAt []int       `json:"sa_detected_at"`
+	Untestable   []bool      `json:"untestable"`
+	Aborted      []bool      `json:"aborted"`
+	SwDetectedAt []int       `json:"sw_detected_at"`
+	IDDQAt       []int       `json:"iddq_at"`
+	Oscillations int         `json:"oscillations"`
+}
+
+type cacheConfig struct {
+	Seed           int64   `json:"seed"`
+	TargetYield    float64 `json:"target_yield"`
+	RandomVectors  int     `json:"random_vectors"`
+	BacktrackLimit int     `json:"backtrack_limit"`
+	StatsDigest    string  `json:"stats_digest"`
+}
+
+const cacheVersion = 1
+
+func digestConfig(cfg Config) cacheConfig {
+	d := ""
+	for _, c := range cfg.Stats.Classes {
+		d += fmt.Sprintf("%v:%g:%g;", c.Type, c.Density, c.Size.X0)
+	}
+	d += fmt.Sprintf("max=%d", cfg.Stats.MaxSize)
+	return cacheConfig{
+		Seed: cfg.Seed, TargetYield: cfg.TargetYield,
+		RandomVectors: cfg.RandomVectors, BacktrackLimit: cfg.BacktrackLimit,
+		StatsDigest: d,
+	}
+}
+
+// Save writes the pipeline's simulation results to path.
+func (p *Pipeline) Save(path string) error {
+	cf := cacheFile{
+		Version:      cacheVersion,
+		Circuit:      p.Netlist.Name,
+		Config:       digestConfig(p.Config),
+		NumFaults:    len(p.Faults.Faults),
+		NumStuckAt:   len(p.StuckAt),
+		RandomCount:  p.TestSet.RandomCount,
+		SADetectedAt: p.TestSet.DetectedAt,
+		Untestable:   p.TestSet.Untestable,
+		Aborted:      p.TestSet.Aborted,
+		SwDetectedAt: p.SwitchRes.DetectedAt,
+		IDDQAt:       p.SwitchRes.IDDQAt,
+		Oscillations: p.SwitchRes.Oscillations,
+	}
+	for _, pat := range p.TestSet.Patterns {
+		cf.Patterns = append(cf.Patterns, []uint8(pat))
+	}
+	data, err := json.Marshal(&cf)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// RunCached behaves like Run but reuses the simulation results stored at
+// path when they match the circuit and configuration, rebuilding only the
+// cheap deterministic artifacts. On a cache miss it runs the full pipeline
+// and refreshes the file.
+func RunCached(nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool, error) {
+	if p, ok := loadCached(nl, cfg, path); ok {
+		return p, true, nil
+	}
+	p, err := Run(nl, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := p.Save(path); err != nil {
+		return nil, false, fmt.Errorf("experiments: saving cache: %w", err)
+	}
+	return p, false, nil
+}
+
+func loadCached(nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, false
+	}
+	if cf.Version != cacheVersion || cf.Circuit != nl.Name || cf.Config != digestConfig(cfg) {
+		return nil, false
+	}
+
+	p := &Pipeline{Config: cfg, Netlist: nl}
+	p.Layout, err = layout.Build(nl, nil)
+	if err != nil {
+		return nil, false
+	}
+	p.Faults = extract.Faults(p.Layout, cfg.Stats)
+	if cfg.TargetYield > 0 && len(p.Faults.Faults) > 0 {
+		p.Faults.ScaleToYield(cfg.TargetYield)
+	}
+	p.Yield = p.Faults.Yield()
+	p.Circuit = transistor.FromLayout(p.Layout)
+	p.StuckAt = fault.StuckAtUniverse(nl)
+	if len(p.Faults.Faults) != cf.NumFaults || len(p.StuckAt) != cf.NumStuckAt ||
+		len(cf.SwDetectedAt) != cf.NumFaults || len(cf.SADetectedAt) != cf.NumStuckAt {
+		return nil, false // stale cache from an older code version
+	}
+	p.TestSet = &atpg.TestSet{
+		RandomCount: cf.RandomCount,
+		DetectedAt:  cf.SADetectedAt,
+		Untestable:  cf.Untestable,
+		Aborted:     cf.Aborted,
+	}
+	for _, pat := range cf.Patterns {
+		p.TestSet.Patterns = append(p.TestSet.Patterns, gatesim.Pattern(pat))
+	}
+	p.SwitchRes = &switchsim.Result{
+		DetectedAt:   cf.SwDetectedAt,
+		IDDQAt:       cf.IDDQAt,
+		Oscillations: cf.Oscillations,
+	}
+	p.Ks = coverage.SampleKs(len(p.TestSet.Patterns), 8)
+	return p, true
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"defectsim/internal/netlist"
+)
+
+func TestRunCachedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.json")
+	nl := netlist.RippleAdder(3)
+	cfg := smallConfig()
+
+	p1, hit, err := RunCached(nl, cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first run cannot hit the cache")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("cache file missing")
+	}
+
+	p2, hit, err := RunCached(netlist.RippleAdder(3), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second run must hit the cache")
+	}
+	// Every derived curve must be identical.
+	c1, c2 := p1.ThetaCurve(false), p2.ThetaCurve(false)
+	if len(c1) != len(c2) {
+		t.Fatal("curve length mismatch")
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("Θ curve differs at %d: %+v vs %+v", i, c1[i], c2[i])
+		}
+	}
+	t1, t2 := p1.TCurve(), p2.TCurve()
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("T curve differs")
+		}
+	}
+	if p1.Yield != p2.Yield {
+		t.Fatal("yield differs")
+	}
+	f1, f2 := Figure5(p1), Figure5(p2)
+	if f1.Fitted != f2.Fitted {
+		t.Fatalf("fit differs: %+v vs %+v", f1.Fitted, f2.Fitted)
+	}
+}
+
+func TestRunCachedInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.json")
+	cfg := smallConfig()
+	if _, _, err := RunCached(netlist.RippleAdder(3), cfg, path); err != nil {
+		t.Fatal(err)
+	}
+	// Different circuit: miss.
+	if _, hit, err := RunCached(netlist.MuxTree(2), cfg, path); err != nil || hit {
+		t.Fatalf("different circuit must miss (hit=%v err=%v)", hit, err)
+	}
+	// Different config: miss.
+	cfg2 := cfg
+	cfg2.Seed++
+	if _, hit, err := RunCached(netlist.MuxTree(2), cfg2, path); err != nil || hit {
+		t.Fatal("different config must miss")
+	}
+	// Corrupt file: miss, then refreshed.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := RunCached(netlist.RippleAdder(3), cfg, path); err != nil || hit {
+		t.Fatal("corrupt cache must miss")
+	}
+	if _, hit, err := RunCached(netlist.RippleAdder(3), cfg, path); err != nil || !hit {
+		t.Fatal("refreshed cache must hit")
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"defectsim/internal/netlist"
+)
+
+func TestDiagnosisStudyLocalizesBridges(t *testing.T) {
+	p, err := Run(netlist.RippleAdder(4), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunDiagnosisStudy(p, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bridges < 20 {
+		t.Fatalf("too few diagnosable bridges: %d", st.Bridges)
+	}
+	rate := float64(st.Localized) / float64(st.Bridges)
+	if rate < 0.7 {
+		t.Fatalf("localization rate %.0f%% too low", 100*rate)
+	}
+	if st.MeanRank < 1 || st.MeanRank > float64(st.TopK) {
+		t.Fatalf("mean rank %.1f outside [1,%d]", st.MeanRank, st.TopK)
+	}
+	if !strings.Contains(st.Render(), "VAL-3") {
+		t.Fatal("render")
+	}
+}
+
+func TestDiagnosisStudyBudget(t *testing.T) {
+	p, err := Run(netlist.C17(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunDiagnosisStudy(p, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bridges > 3 {
+		t.Fatalf("budget exceeded: %d", st.Bridges)
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"defectsim/internal/dlmodel"
+	"defectsim/internal/netlist"
+)
+
+// smallConfig keeps unit-test pipelines fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RandomVectors = 48
+	return cfg
+}
+
+func TestFigure1MatchesPaperParameters(t *testing.T) {
+	f := Figure1()
+	if math.Abs(f.R()-2) > 1e-12 {
+		t.Fatalf("R = %g, want 2", f.R())
+	}
+	// T(10⁶) = 1 − 10^(−2) = 0.99 for σ_T = e³.
+	last := len(f.Ks) - 1
+	if math.Abs(f.Ks[last]-1e6) > 1 {
+		t.Fatalf("grid must end at 10⁶, got %g", f.Ks[last])
+	}
+	if math.Abs(f.T[last]-0.99) > 1e-3 {
+		t.Fatalf("T(1e6) = %g, want ≈0.99", f.T[last])
+	}
+	// Θ approaches its 0.96 ceiling faster than T approaches 1.
+	for i, k := range f.Ks {
+		if k < 10 {
+			continue
+		}
+		if f.Theta[i]/f.ThetaMax <= f.T[i]-1e-12 {
+			t.Fatalf("Θ/Θmax must lead T at k=%g", k)
+		}
+	}
+	if !strings.Contains(f.Render(), "Fig.1") {
+		t.Fatal("render")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	f := Figure2()
+	// The proposed curve must lie below W-B through mid coverage and end
+	// at the positive residual defect level while W-B ends at zero.
+	for i, tt := range f.Ts {
+		if tt > 0.2 && tt < 0.9 && f.Model[i] >= f.WB[i] {
+			t.Fatalf("model must undercut W-B at T=%.2f", tt)
+		}
+	}
+	last := len(f.Ts) - 1
+	if f.WB[last] != 0 || f.Model[last] <= 0 {
+		t.Fatalf("endpoint: WB=%g model=%g", f.WB[last], f.Model[last])
+	}
+	want := dlmodel.Params{R: 2, ThetaMax: 0.96}.ResidualDL(0.75)
+	if math.Abs(f.Model[last]-want) > 1e-12 {
+		t.Fatalf("residual endpoint %g, want %g", f.Model[last], want)
+	}
+	if !strings.Contains(f.Render(), "Williams") {
+		t.Fatal("render")
+	}
+}
+
+func TestExamples(t *testing.T) {
+	e1, err := RunExample1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e1.RequiredT-0.977) > 1e-3 {
+		t.Fatalf("Example 1 T = %.4f, want ≈0.977", e1.RequiredT)
+	}
+	if math.Abs(e1.WilliamsBrownT-0.9997) > 1e-4 {
+		t.Fatalf("Example 1 W-B T = %.5f, want ≈0.9997", e1.WilliamsBrownT)
+	}
+	e2 := RunExample2()
+	if e2.DL < 2.8e-3 || e2.DL > 2.95e-3 {
+		t.Fatalf("Example 2 DL = %g, want ≈2.87e-3", e2.DL)
+	}
+	if e2.WB != 0 {
+		t.Fatal("W-B must predict zero at full coverage")
+	}
+	if !strings.Contains(e1.Render(), "97.7") || !strings.Contains(e2.Render(), "ppm") {
+		t.Fatal("render")
+	}
+}
+
+func TestPipelineSmallCircuit(t *testing.T) {
+	p, err := Run(netlist.RippleAdder(4), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Yield-0.75) > 1e-9 {
+		t.Fatalf("yield scaled to %g", p.Yield)
+	}
+	tc := p.TCurve()
+	if tc.Final() < 0.99 {
+		t.Fatalf("ATPG set must cover testable stuck-at faults, T(final)=%g", tc.Final())
+	}
+	th := p.ThetaCurve(false)
+	ga := p.GammaCurve()
+	if th.Final() <= 0 || th.Final() >= 1 {
+		t.Fatalf("Θ(final) = %g out of (0,1)", th.Final())
+	}
+	if ga.Final() <= 0 || ga.Final() >= 1 {
+		t.Fatalf("Γ(final) = %g", ga.Final())
+	}
+	// Bridging-dominant statistics: weighted coverage must exceed
+	// unweighted (the heavy bridge faults are the detected ones).
+	if th.Final() <= ga.Final() {
+		t.Fatalf("Θ (%.3f) must exceed Γ (%.3f) under bridging-dominant stats",
+			th.Final(), ga.Final())
+	}
+	if !strings.Contains(p.Report(), "test set") {
+		t.Fatal("report")
+	}
+}
+
+func TestFigure3456OnSmallCircuit(t *testing.T) {
+	p, err := Run(netlist.RippleAdder(4), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3 := Figure3(p)
+	if f3.Hist.N() != len(p.Faults.Faults) {
+		t.Fatal("histogram must bin every fault")
+	}
+	if f3.Summary.DispersionDecades < 1.5 {
+		t.Fatalf("weight dispersion %.2f decades too small", f3.Summary.DispersionDecades)
+	}
+
+	f4 := Figure4(p)
+	if f4.SigmaT <= 1 || f4.SigmaTheta <= 1 || f4.SigmaGamma <= 1 {
+		t.Fatalf("susceptibilities must exceed 1: %+v", f4)
+	}
+	if f4.R <= 0 {
+		t.Fatalf("R = %.2f must be positive", f4.R)
+	}
+
+	f5 := Figure5(p)
+	if err := f5.Fitted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f5.Fitted.ThetaMax >= 0.995 {
+		t.Fatalf("fitted Θmax = %.4f must reflect the coverage ceiling", f5.Fitted.ThetaMax)
+	}
+
+	f6 := Figure6(p)
+	if f6.MaxDeviation() <= 1 {
+		t.Fatal("unweighted prediction must deviate")
+	}
+	for _, s := range []string{f3.Render(), f4.Render(), f5.Render(), f6.Render()} {
+		if s == "" {
+			t.Fatal("empty render")
+		}
+	}
+}
+
+func TestAblationsOnSmallCircuit(t *testing.T) {
+	p, err := Run(netlist.RippleAdder(4), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RunAgrawalComparison(p)
+	if a.N < 1 {
+		t.Fatalf("fitted n = %g", a.N)
+	}
+	if a.RMSLogProp > a.RMSLogA+1e-9 {
+		t.Fatalf("proposed model (%.3f) must fit at least as well as Agrawal (%.3f)",
+			a.RMSLogProp, a.RMSLogA)
+	}
+	i := RunIDDQAblation(p)
+	if i.ThetaIDDQ < i.ThetaVoltage {
+		t.Fatal("IDDQ cannot lower the coverage ceiling")
+	}
+	if i.ResidualI > i.ResidualV {
+		t.Fatal("IDDQ cannot raise the residual defect level")
+	}
+	if a.Render() == "" || i.Render() == "" {
+		t.Fatal("render")
+	}
+}
+
+// TestC432ClassHeadline reproduces the paper's headline claims on the
+// c432-class benchmark. It is the slowest test in the suite (~15 s); skip
+// with -short.
+func TestC432ClassHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full c432-class pipeline is slow")
+	}
+	p, err := Run(netlist.C432Class(1994), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4 := Figure4(p)
+	// The realistic weighted set must be more susceptible (faster-covered)
+	// than the stuck-at set: σ_Θ < σ_T, i.e. R > 1 (paper §4: bridging
+	// faults dominate the weight and are easier to detect).
+	if f4.SigmaTheta >= f4.SigmaT {
+		t.Fatalf("σ_Θ=e^%.2f must be below σ_T=e^%.2f",
+			math.Log(f4.SigmaTheta), math.Log(f4.SigmaT))
+	}
+	if f4.R <= 1 {
+		t.Fatalf("R = %.2f must exceed 1", f4.R)
+	}
+	// Γ saturates below T's final coverage (opens are harder to detect).
+	if f4.Gamma.Final() >= f4.T.Final() {
+		t.Fatalf("Γ(final)=%.3f must stay below T(final)=%.3f", f4.Gamma.Final(), f4.T.Final())
+	}
+	f5 := Figure5(p)
+	if f5.Fitted.R <= 1 {
+		t.Fatalf("fitted R = %.2f must exceed 1", f5.Fitted.R)
+	}
+	if f5.Fitted.ThetaMax >= 0.99 || f5.Fitted.ThetaMax < 0.5 {
+		t.Fatalf("fitted Θmax = %.3f implausible", f5.Fitted.ThetaMax)
+	}
+	if dev := f5.MaxWBDeviation(); dev < 1.05 {
+		t.Fatalf("W-B overestimation %.2f× too small for the observed concavity", dev)
+	}
+	// The curve must cross back above Williams–Brown at full stuck-at
+	// coverage: the residual defect level (W-B predicts zero there).
+	last := f5.Points[len(f5.Points)-1]
+	if last.T < 0.999 || last.DL <= 0 {
+		t.Fatalf("endpoint (T=%.4f, DL=%g) must show a positive residual DL", last.T, last.DL)
+	}
+	f3 := Figure3(p)
+	if f3.Summary.DispersionDecades < 2 {
+		t.Fatalf("weight dispersion %.2f decades (paper: ~3)", f3.Summary.DispersionDecades)
+	}
+}

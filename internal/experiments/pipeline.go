@@ -1,0 +1,194 @@
+// Package experiments reproduces the paper's evaluation: it wires the full
+// pipeline (standard-cell layout → inductive fault extraction → gate- and
+// switch-level fault simulation → defect-level models) and provides one
+// driver per figure/example, each returning its data along with an ASCII
+// rendering. See DESIGN.md for the per-experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"defectsim/internal/atpg"
+	"defectsim/internal/coverage"
+	"defectsim/internal/defect"
+	"defectsim/internal/extract"
+	"defectsim/internal/fault"
+	"defectsim/internal/layout"
+	"defectsim/internal/netlist"
+	"defectsim/internal/switchsim"
+	"defectsim/internal/transistor"
+)
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Seed drives benchmark generation and the random vector prefix.
+	Seed int64
+	// TargetYield rescales the extracted fault weights (paper: 0.75).
+	// Zero disables scaling.
+	TargetYield float64
+	// RandomVectors is the length of the random prefix before deterministic
+	// top-up (paper: enough for >80% stuck-at coverage).
+	RandomVectors int
+	// BacktrackLimit bounds the deterministic generator per fault.
+	BacktrackLimit int
+	// Stats is the spot-defect characterization (default defect.Typical()).
+	Stats defect.Statistics
+}
+
+// DefaultConfig returns the configuration of the paper's c432 experiment.
+func DefaultConfig() Config {
+	return Config{
+		Seed:           1994,
+		TargetYield:    0.75,
+		RandomVectors:  64,
+		BacktrackLimit: 2000,
+		Stats:          defect.Typical(),
+	}
+}
+
+// Pipeline is a fully simulated design: every artifact the figures need.
+type Pipeline struct {
+	Config  Config
+	Netlist *netlist.Netlist
+	Layout  *layout.Layout
+	Circuit *transistor.Circuit
+
+	// Realistic faults with weights scaled to the target yield.
+	Faults *fault.List
+	Yield  float64
+
+	// Stuck-at side: collapsed universe, test set (random + deterministic),
+	// detection data.
+	StuckAt []fault.StuckAt
+	TestSet *atpg.TestSet
+
+	// Switch-level side: realistic-fault detection data under the same
+	// vectors.
+	SwitchRes *switchsim.Result
+
+	// Ks is the log-spaced vector-count grid shared by all curves.
+	Ks []int
+}
+
+// Run executes the full pipeline for nl.
+func Run(nl *netlist.Netlist, cfg Config) (*Pipeline, error) {
+	p := &Pipeline{Config: cfg, Netlist: nl}
+
+	var err error
+	p.Layout, err = layout.Build(nl, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: layout: %w", err)
+	}
+	if err := extract.VerifyLVS(p.Layout); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	p.Faults = extract.Faults(p.Layout, cfg.Stats)
+	if len(p.Faults.Faults) == 0 {
+		return nil, fmt.Errorf("experiments: no faults extracted from %s", nl.Name)
+	}
+	if cfg.TargetYield > 0 {
+		p.Faults.ScaleToYield(cfg.TargetYield)
+	}
+	p.Yield = p.Faults.Yield()
+
+	p.Circuit = transistor.FromLayout(p.Layout)
+	if err := p.Circuit.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	p.StuckAt = fault.StuckAtUniverse(nl)
+	p.TestSet, err = atpg.BuildTestSet(nl, p.StuckAt, cfg.RandomVectors, uint64(cfg.Seed), cfg.BacktrackLimit)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: atpg: %w", err)
+	}
+
+	vectors := make([]switchsim.Vector, len(p.TestSet.Patterns))
+	for i, pat := range p.TestSet.Patterns {
+		v := make(switchsim.Vector, len(pat))
+		for j, b := range pat {
+			v[j] = switchsim.Val(b)
+		}
+		vectors[i] = v
+	}
+	p.SwitchRes, err = switchsim.SimulateFaults(p.Circuit, p.Faults, vectors)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: switchsim: %w", err)
+	}
+
+	p.Ks = coverage.SampleKs(len(p.TestSet.Patterns), 8)
+	return p, nil
+}
+
+// StuckAtDetections returns the stuck-at first-detection indices with
+// untestable (redundant) faults excluded — the paper neglects redundant
+// faults so that T(k) → 1.
+func (p *Pipeline) StuckAtDetections() []int {
+	var out []int
+	for i := range p.StuckAt {
+		if p.TestSet.Untestable[i] {
+			continue
+		}
+		out = append(out, p.TestSet.DetectedAt[i])
+	}
+	return out
+}
+
+// TCurve returns the stuck-at coverage curve T(k) over testable faults.
+func (p *Pipeline) TCurve() coverage.Curve {
+	return coverage.FromDetections(p.StuckAtDetections(), nil, p.Ks)
+}
+
+// Weights returns the realistic fault weights aligned with Faults.Faults.
+func (p *Pipeline) Weights() []float64 {
+	w := make([]float64, len(p.Faults.Faults))
+	for i, f := range p.Faults.Faults {
+		w[i] = f.Weight
+	}
+	return w
+}
+
+// ThetaCurve returns the weighted realistic coverage curve Θ(k); with iddq
+// true, quiescent-current detections count as well (ablation ABL-2).
+func (p *Pipeline) ThetaCurve(iddq bool) coverage.Curve {
+	det := p.detections(iddq)
+	return coverage.FromDetections(det, p.Weights(), p.Ks)
+}
+
+// GammaCurve returns the unweighted realistic coverage curve Γ(k).
+func (p *Pipeline) GammaCurve() coverage.Curve {
+	return coverage.FromDetections(p.detections(false), nil, p.Ks)
+}
+
+func (p *Pipeline) detections(iddq bool) []int {
+	det := make([]int, len(p.Faults.Faults))
+	copy(det, p.SwitchRes.DetectedAt)
+	if iddq {
+		for i, d := range p.SwitchRes.IDDQAt {
+			if d > 0 && (det[i] == 0 || d < det[i]) {
+				det[i] = d
+			}
+		}
+	}
+	return det
+}
+
+// Report summarizes the pipeline in a human-readable block.
+func (p *Pipeline) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit    : %s\n", p.Netlist.ComputeStats())
+	fmt.Fprintf(&b, "layout     : %s\n", p.Layout.ComputeStats())
+	fmt.Fprintf(&b, "transistor : %s\n", p.Circuit.ComputeStats())
+	counts := p.Faults.CountByKind()
+	fmt.Fprintf(&b, "faults     : %d bridges, %d input opens, %d driver opens (Y scaled to %.3f)\n",
+		counts[fault.KindBridge], counts[fault.KindOpenInput], counts[fault.KindOpenDriver], p.Yield)
+	fmt.Fprintf(&b, "test set   : %d vectors (%d random + %d deterministic), stuck-at coverage %.4f (testable)\n",
+		len(p.TestSet.Patterns), p.TestSet.RandomCount,
+		len(p.TestSet.Patterns)-p.TestSet.RandomCount, p.TestSet.Coverage(true))
+	thetaEnd := p.ThetaCurve(false).Final()
+	gammaEnd := p.GammaCurve().Final()
+	fmt.Fprintf(&b, "realistic  : Θ(final) = %.4f, Γ(final) = %.4f\n", thetaEnd, gammaEnd)
+	return b.String()
+}

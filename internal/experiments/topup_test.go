@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"defectsim/internal/netlist"
+)
+
+func TestBridgeTopUpRaisesTheta(t *testing.T) {
+	// Use a short random-only test budget so plenty of bridges stay
+	// undetected for the top-up to attack.
+	cfg := DefaultConfig()
+	cfg.RandomVectors = 8
+	p, err := Run(netlist.Comparator(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := RunBridgeTopUp(p, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu.Targeted == 0 {
+		t.Skip("campaign left no netlist-visible bridges undetected")
+	}
+	if tu.Generated == 0 {
+		t.Fatal("constrained ATPG produced no candidates")
+	}
+	if tu.Verified == 0 {
+		t.Fatal("no candidate survived switch-level verification")
+	}
+	if tu.ThetaAfter < tu.ThetaBefore {
+		t.Fatalf("top-up cannot lower Θ: %.4f → %.4f", tu.ThetaBefore, tu.ThetaAfter)
+	}
+	if tu.NewlyDetected == 0 {
+		t.Fatal("verified vectors must detect new faults in the re-scored campaign")
+	}
+	if tu.ResidualAfter > tu.ResidualBefore {
+		t.Fatal("residual DL cannot rise")
+	}
+	if !strings.Contains(tu.Render(), "ABL-5") {
+		t.Fatal("render")
+	}
+}
+
+func TestBridgeTopUpNoTargets(t *testing.T) {
+	// With the full test set on a tiny circuit, few or no signal bridges
+	// remain; the top-up must handle the empty case gracefully.
+	cfg := DefaultConfig()
+	cfg.RandomVectors = 64
+	p, err := Run(netlist.C17(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := RunBridgeTopUp(p, 0) // zero budget: no targets at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu.Targeted != 0 || tu.ExtraVectors != 0 {
+		t.Fatalf("zero budget must do nothing: %+v", tu)
+	}
+	if tu.ThetaAfter != tu.ThetaBefore {
+		t.Fatal("Θ must be unchanged")
+	}
+}

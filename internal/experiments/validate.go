@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"defectsim/internal/coverage"
+	"defectsim/internal/dlmodel"
+	"defectsim/internal/fault"
+	"defectsim/internal/gatesim"
+	"defectsim/internal/montecarlo"
+	"defectsim/internal/textplot"
+	"defectsim/internal/timing"
+)
+
+// LotValidation (VAL-1) compares the closed-form defect level
+// DL = 1 − Y^(1−Θ(k)) against the *empirical* defect level of a simulated
+// production lot at several test lengths k — the experiment a 1994 fab
+// could only approximate with real fallout data.
+type LotValidation struct {
+	Dies   int
+	Rows   []LotValidationRow
+	MaxErr float64 // worst relative |empirical − model| / model
+}
+
+// LotValidationRow is one test-length sample.
+type LotValidationRow struct {
+	K           int
+	Theta       float64
+	ModelDL     float64
+	EmpiricalDL float64
+	Escapes     int
+}
+
+// RunLotValidation simulates dies per test length on the pipeline's fault
+// statistics and detection data.
+func RunLotValidation(p *Pipeline, dies int, seed int64) *LotValidation {
+	v := &LotValidation{Dies: dies}
+	ths := p.ThetaCurve(false)
+	for i, k := range p.Ks {
+		if k < 2 && len(p.Ks) > 4 && i > 0 {
+			continue
+		}
+		res := montecarlo.SimulateLot(p.Faults, p.SwitchRes.DetectedAt, k, dies, seed+int64(k))
+		model := dlmodel.Weighted(p.Yield, ths[i].C)
+		row := LotValidationRow{
+			K: k, Theta: ths[i].C, ModelDL: model,
+			EmpiricalDL: res.DefectLevel(), Escapes: res.Escapes,
+		}
+		v.Rows = append(v.Rows, row)
+		if model > 1e-6 {
+			if e := math.Abs(row.EmpiricalDL-model) / model; e > v.MaxErr {
+				v.MaxErr = e
+			}
+		}
+	}
+	return v
+}
+
+// Render prints the validation table.
+func (v *LotValidation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VAL-1  Lot simulation vs closed form (%d dies per test length)\n", v.Dies)
+	tb := textplot.Table{Headers: []string{"k", "Θ(k)", "model DL (ppm)", "empirical DL (ppm)", "escapes"}}
+	for _, r := range v.Rows {
+		tb.AddRow(r.K, fmt.Sprintf("%.4f", r.Theta),
+			fmt.Sprintf("%.0f", 1e6*r.ModelDL),
+			fmt.Sprintf("%.0f", 1e6*r.EmpiricalDL), r.Escapes)
+	}
+	b.WriteString(tb.Render())
+	fmt.Fprintf(&b, "worst relative deviation: %.1f%%\n", 100*v.MaxErr)
+	return b.String()
+}
+
+// InjectionValidation (VAL-2) drops random spot defects on the mask
+// geometry and checks, independently of the critical-area engine, that
+// every geometrically observed fault was predicted by the extraction and
+// that hit frequencies track the extracted weights.
+type InjectionValidation struct {
+	Defects     int
+	Bridges     int
+	Opens       int
+	Benign      int
+	Complete    bool
+	CompleteErr string
+	TopQuartile float64 // fraction of bridge hits on the top weight quartile
+}
+
+// RunInjectionValidation executes the campaign on the pipeline's layout.
+func RunInjectionValidation(p *Pipeline, defects int, seed int64) *InjectionValidation {
+	rep := montecarlo.InjectDefects(p.Layout, p.Config.Stats, defects, seed)
+	v := &InjectionValidation{
+		Defects: rep.Total,
+		Bridges: rep.ByEffect[montecarlo.EffectBridge],
+		Opens:   rep.ByEffect[montecarlo.EffectOpen],
+		Benign:  rep.ByEffect[montecarlo.EffectBenign],
+	}
+	if err := rep.ValidateAgainst(p.Faults); err != nil {
+		v.CompleteErr = err.Error()
+	} else {
+		v.Complete = true
+	}
+	v.TopQuartile = rep.WeightCorrelation(p.Faults, 0.25)
+	return v
+}
+
+// Render prints the validation summary.
+func (v *InjectionValidation) Render() string {
+	status := "COMPLETE (every observed fault was predicted)"
+	if !v.Complete {
+		status = "INCOMPLETE: " + v.CompleteErr
+	}
+	return fmt.Sprintf(
+		"VAL-2  Geometric defect injection (%d spot defects)\n"+
+			"  effects: %d bridges, %d opens, %d benign\n"+
+			"  extraction coverage: %s\n"+
+			"  bridge hits on top-25%%-weight faults: %.0f%%\n",
+		v.Defects, v.Bridges, v.Opens, v.Benign, status, 100*v.TopQuartile)
+}
+
+// DelayAblation (ABL-4) scores the same stuck-at universe under the
+// two-pattern transition-fault criterion, quantifying how much longer
+// delay-style testing needs the vector sequence to be — the flip side of
+// the paper's recommendation to add delay tests for opens.
+type DelayAblation struct {
+	StuckAtCurve    coverage.Curve
+	TransitionCurve coverage.Curve
+	SigmaSA         float64
+	SigmaTR         float64
+}
+
+// RunDelayAblation simulates transition faults on the pipeline's vectors.
+func RunDelayAblation(p *Pipeline) (*DelayAblation, error) {
+	tr, err := gatesim.SimulateTransitions(p.Netlist, p.StuckAt, p.TestSet.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	// Restrict both curves to testable faults, like T(k).
+	var saDet, trDet []int
+	for i := range p.StuckAt {
+		if p.TestSet.Untestable[i] {
+			continue
+		}
+		saDet = append(saDet, p.TestSet.DetectedAt[i])
+		trDet = append(trDet, tr.DetectedAt[i])
+	}
+	a := &DelayAblation{
+		StuckAtCurve:    coverage.FromDetections(saDet, nil, p.Ks),
+		TransitionCurve: coverage.FromDetections(trDet, nil, p.Ks),
+	}
+	a.SigmaSA = coverage.FitSigma(a.StuckAtCurve, 1)
+	a.SigmaTR = coverage.FitSigma(a.TransitionCurve, 0)
+	return a, nil
+}
+
+// Render prints the ablation.
+func (a *DelayAblation) Render() string {
+	var b strings.Builder
+	b.WriteString("ABL-4  Transition (delay) testing vs static stuck-at testing\n")
+	tb := textplot.Table{Headers: []string{"k", "stuck-at coverage", "transition coverage"}}
+	for i := range a.StuckAtCurve {
+		tb.AddRow(int(a.StuckAtCurve[i].K),
+			fmt.Sprintf("%.4f", a.StuckAtCurve[i].C),
+			fmt.Sprintf("%.4f", a.TransitionCurve[i].C))
+	}
+	b.WriteString(tb.Render())
+	fmt.Fprintf(&b, "susceptibilities: σ_SA=e^%.2f  σ_TR=e^%.2f (transition tests need longer sequences)\n",
+		math.Log(a.SigmaSA), math.Log(a.SigmaTR))
+	return b.String()
+}
+
+// PathDelayStudy (ABL-6) evaluates path-delay testing on the K longest
+// paths: what fraction of them the stuck-at test set's consecutive pairs
+// happen to test non-robustly, plus the circuit's timing profile.
+type PathDelayStudy struct {
+	K             int
+	CriticalDelay float64
+	Longest       float64
+	Covered       int
+	Coverage      float64
+}
+
+// RunPathDelayStudy analyzes the pipeline's circuit and scores the K
+// longest paths against the test set.
+func RunPathDelayStudy(p *Pipeline, k int) (*PathDelayStudy, error) {
+	model := timing.DefaultDelays()
+	an, err := timing.Analyze(p.Netlist, model)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := timing.KLongestPaths(p.Netlist, model, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := timing.PathCoverage(p.Netlist, paths, p.TestSet.Patterns)
+	if err != nil {
+		return nil, err
+	}
+	st := &PathDelayStudy{K: len(paths), CriticalDelay: an.CriticalDelay}
+	if len(paths) > 0 {
+		st.Longest = paths[0].Delay
+	}
+	for _, d := range res.DetectedAt {
+		if d > 0 {
+			st.Covered++
+		}
+	}
+	if st.K > 0 {
+		st.Coverage = float64(st.Covered) / float64(st.K)
+	}
+	return st, nil
+}
+
+// Render prints the study.
+func (st *PathDelayStudy) Render() string {
+	return fmt.Sprintf(
+		"ABL-6  Path-delay testing of the %d longest paths\n"+
+			"  critical delay          : %.2f (longest enumerated: %.2f)\n"+
+			"  non-robustly tested     : %d (%.0f%%) by the stuck-at set's pairs\n"+
+			"  (the uncovered long paths are why delay testing needs its own\n"+
+			"   two-pattern generation, not reused stuck-at vectors)\n",
+		st.K, st.CriticalDelay, st.Longest, st.Covered, 100*st.Coverage)
+}
+
+// FaultKindBreakdown returns the detection profile per realistic fault
+// kind after the full test set — the data behind the Θmax discussion.
+func FaultKindBreakdown(p *Pipeline) string {
+	k := len(p.TestSet.Patterns)
+	det := p.SwitchRes.DetectedBy(k, false)
+	var b strings.Builder
+	tb := textplot.Table{Headers: []string{"kind", "faults", "detected", "weight", "weight detected"}}
+	for _, kind := range []fault.Kind{fault.KindBridge, fault.KindOpenInput, fault.KindOpenDriver} {
+		var n, nd int
+		var w, wd float64
+		for i, f := range p.Faults.Faults {
+			if f.Kind != kind {
+				continue
+			}
+			n++
+			w += f.Weight
+			if det[i] {
+				nd++
+				wd += f.Weight
+			}
+		}
+		tb.AddRow(kind.String(), n, nd, fmt.Sprintf("%.4f", w), fmt.Sprintf("%.4f", wd))
+	}
+	b.WriteString(tb.Render())
+	return b.String()
+}

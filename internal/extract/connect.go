@@ -1,0 +1,148 @@
+// Package extract implements layout fault extraction in the style of the
+// paper's lift tool: circuit-connectivity extraction from mask geometry
+// (used as an LVS check of the generated layouts) and, in fault.go,
+// inductive fault analysis — the weighted realistic fault list obtained by
+// combining critical areas with spot-defect statistics.
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"defectsim/internal/geom"
+	"defectsim/internal/layout"
+)
+
+// gridStep is the bucket size (λ) of the spatial hash used by the
+// connectivity pass.
+const gridStep = 64
+
+// connects reports whether shapes a and b are electrically continuous by
+// construction: same conducting layer and touching, or joined through a
+// contact/via cut that overlaps the routed layer.
+func connects(a, b geom.Shape) bool {
+	if a.Layer == b.Layer {
+		return a.Layer.Conducting() && a.Rect.Touches(b.Rect)
+	}
+	// Order so that a is the cut.
+	if b.Layer == geom.LayerContact || b.Layer == geom.LayerVia {
+		a, b = b, a
+	}
+	switch a.Layer {
+	case geom.LayerContact:
+		switch b.Layer {
+		case geom.LayerPoly, geom.LayerNDiff, geom.LayerPDiff, geom.LayerMetal1:
+			return a.Rect.Overlaps(b.Rect)
+		}
+	case geom.LayerVia:
+		switch b.Layer {
+		case geom.LayerMetal1, geom.LayerMetal2:
+			return a.Rect.Overlaps(b.Rect)
+		}
+	}
+	return false
+}
+
+// Connectivity computes the electrically connected components of the
+// net-tagged shapes in ss (shapes with Net < 0 — wells, transistor channels
+// — do not conduct and are ignored). It returns comp, with comp[i] the
+// component of shape i (-1 for ignored shapes), and the component count.
+func Connectivity(ss *geom.ShapeSet) (comp []int, n int) {
+	shapes := ss.Shapes
+	active := make([]int, 0, len(shapes))
+	for i, sh := range shapes {
+		if sh.Net >= 0 {
+			active = append(active, i)
+		}
+	}
+	ds := geom.NewDisjointSet(len(shapes))
+
+	// Spatial hash: bucket each shape by the grid cells its rect covers.
+	buckets := make(map[[2]int][]int)
+	for _, i := range active {
+		r := shapes[i].Rect
+		for gx := floorDiv(r.X0, gridStep); gx <= floorDiv(r.X1, gridStep); gx++ {
+			for gy := floorDiv(r.Y0, gridStep); gy <= floorDiv(r.Y1, gridStep); gy++ {
+				buckets[[2]int{gx, gy}] = append(buckets[[2]int{gx, gy}], i)
+			}
+		}
+	}
+	for _, idx := range buckets {
+		for a := 0; a < len(idx); a++ {
+			for b := a + 1; b < len(idx); b++ {
+				i, j := idx[a], idx[b]
+				if ds.Find(i) == ds.Find(j) {
+					continue
+				}
+				if connects(shapes[i], shapes[j]) {
+					ds.Union(i, j)
+				}
+			}
+		}
+	}
+
+	comp = make([]int, len(shapes))
+	label := make(map[int]int)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for _, i := range active {
+		r := ds.Find(i)
+		id, ok := label[r]
+		if !ok {
+			id = len(label)
+			label[r] = id
+		}
+		comp[i] = id
+	}
+	return comp, len(label)
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// VerifyLVS checks that the drawn geometry of L realizes exactly the
+// intended connectivity: every extracted component carries a single net tag
+// (no shorts) and every net's shapes fall into a single component (no
+// opens), except that nets are allowed to be absent from the geometry when
+// they have no shapes at all.
+func VerifyLVS(L *layout.Layout) error {
+	comp, _ := Connectivity(&L.Shapes)
+	compNet := map[int]int{}
+	netComp := make(map[int]map[int]bool)
+	for i, sh := range L.Shapes.Shapes {
+		c := comp[i]
+		if c < 0 {
+			continue
+		}
+		if prev, ok := compNet[c]; ok && prev != sh.Net {
+			return fmt.Errorf("lvs %s: short: nets %q and %q share a component",
+				L.Name, L.Nets[prev].Name, L.Nets[sh.Net].Name)
+		}
+		compNet[c] = sh.Net
+		if netComp[sh.Net] == nil {
+			netComp[sh.Net] = map[int]bool{}
+		}
+		netComp[sh.Net][c] = true
+	}
+	var broken []string
+	for net, comps := range netComp {
+		// Internal series-diffusion nets legitimately consist of a single
+		// isolated diffusion segment per stage; they may have several
+		// components only if the cell instantiates several stages — they
+		// never do, so one component is still required.
+		if len(comps) > 1 {
+			broken = append(broken, L.Nets[net].Name)
+		}
+	}
+	if len(broken) > 0 {
+		sort.Strings(broken)
+		return fmt.Errorf("lvs %s: open: nets split into multiple components: %v", L.Name, broken)
+	}
+	return nil
+}

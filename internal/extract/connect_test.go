@@ -1,0 +1,136 @@
+package extract
+
+import (
+	"testing"
+
+	"defectsim/internal/geom"
+	"defectsim/internal/layout"
+	"defectsim/internal/netlist"
+)
+
+func TestConnectivitySimple(t *testing.T) {
+	var ss geom.ShapeSet
+	// Net A: two touching metal1 rects plus a via to metal2.
+	ss.AddNet(geom.LayerMetal1, geom.R(0, 0, 10, 2), 0)
+	ss.AddNet(geom.LayerMetal1, geom.R(10, 0, 20, 2), 0)
+	ss.AddNet(geom.LayerVia, geom.R(2, 0, 4, 2), 0)
+	ss.AddNet(geom.LayerMetal2, geom.R(2, 0, 4, 30), 0)
+	// Net B: metal1 crossing net A's metal2 (no via) — stays separate.
+	ss.AddNet(geom.LayerMetal1, geom.R(0, 10, 10, 12), 1)
+	// Untagged well: ignored.
+	ss.AddNet(geom.LayerNWell, geom.R(-5, -5, 50, 50), -1)
+
+	comp, n := Connectivity(&ss)
+	if n != 2 {
+		t.Fatalf("components = %d, want 2", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] || comp[2] != comp[3] {
+		t.Fatalf("net A shapes not merged: %v", comp)
+	}
+	if comp[4] == comp[0] {
+		t.Fatal("net B merged with net A")
+	}
+	if comp[5] != -1 {
+		t.Fatal("untagged shape must be ignored")
+	}
+}
+
+func TestConnectivityCutRequiresOverlap(t *testing.T) {
+	var ss geom.ShapeSet
+	// Via only abuts the metal2 (no interior overlap): not connected.
+	ss.AddNet(geom.LayerMetal1, geom.R(0, 0, 4, 4), 0)
+	ss.AddNet(geom.LayerVia, geom.R(0, 0, 2, 2), 0)
+	ss.AddNet(geom.LayerMetal2, geom.R(2, 0, 6, 4), 0)
+	comp, n := Connectivity(&ss)
+	if n != 2 {
+		t.Fatalf("abutting cut must not connect: %d components (%v)", n, comp)
+	}
+}
+
+func TestConnectivityPolyDiffCross(t *testing.T) {
+	// Poly crossing diffusion is a transistor, not a connection.
+	var ss geom.ShapeSet
+	ss.AddNet(geom.LayerPoly, geom.R(4, 0, 6, 20), 0)
+	ss.AddNet(geom.LayerNDiff, geom.R(0, 8, 10, 12), 1)
+	if _, n := Connectivity(&ss); n != 2 {
+		t.Fatal("poly over diffusion must stay disconnected")
+	}
+}
+
+func TestLVSAllBenchmarks(t *testing.T) {
+	circuits := []*netlist.Netlist{
+		netlist.C17(),
+		netlist.RippleAdder(4),
+		netlist.MuxTree(2),
+		netlist.ParityTree(5),
+		netlist.Comparator(4),
+		netlist.Decoder(2),
+		netlist.C432Class(1994),
+	}
+	for _, nl := range circuits {
+		L, err := layout.Build(nl, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", nl.Name, err)
+		}
+		if err := VerifyLVS(L); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+func TestLVSDetectsInjectedShort(t *testing.T) {
+	L, err := layout.Build(netlist.C17(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find two distinct signal nets with metal1 and bridge them.
+	var netA, netB = -1, -1
+	var ra, rb geom.Rect
+	for _, sh := range L.Shapes.Shapes {
+		if sh.Layer != geom.LayerMetal1 || sh.Net <= layout.NetVDD {
+			continue
+		}
+		if netA < 0 {
+			netA, ra = sh.Net, sh.Rect
+		} else if sh.Net != netA {
+			netB, rb = sh.Net, sh.Rect
+			break
+		}
+	}
+	if netB < 0 {
+		t.Fatal("need two nets")
+	}
+	bridge := ra.Union(rb)
+	L.Shapes.AddNet(geom.LayerMetal1, bridge, netA)
+	if err := VerifyLVS(L); err == nil {
+		t.Fatal("LVS must flag the injected short")
+	}
+}
+
+func TestLVSDetectsInjectedOpen(t *testing.T) {
+	L, err := layout.Build(netlist.C17(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break a net by replacing one of its metal2 stubs with a far-away rect.
+	for i, sh := range L.Shapes.Shapes {
+		if sh.Layer == geom.LayerMetal2 && sh.Net > layout.NetVDD {
+			L.Shapes.Shapes[i].Rect = sh.Rect.Translate(100000, 100000)
+			break
+		}
+	}
+	if err := VerifyLVS(L); err == nil {
+		t.Fatal("LVS must flag the injected open")
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{10, 64, 0}, {64, 64, 1}, {-1, 64, -1}, {-64, 64, -1}, {-65, 64, -2}, {0, 64, 0},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package extract
+
+import (
+	"sort"
+
+	"defectsim/internal/critarea"
+	"defectsim/internal/defect"
+	"defectsim/internal/fault"
+	"defectsim/internal/geom"
+	"defectsim/internal/layout"
+)
+
+// densityScale converts defect densities (per 10⁶ λ²) times critical areas
+// (λ²) into expected defect counts.
+const densityScale = 1e-6
+
+// bridgeLayers lists, per extra-material defect class, the layers whose
+// shapes it can short together (in a fixed order so that floating-point
+// accumulation is deterministic). Active spot defects bridge both
+// diffusion polarities.
+var bridgeLayers = []struct {
+	dt     defect.Type
+	layers []geom.Layer
+}{
+	{defect.ExtraPoly, []geom.Layer{geom.LayerPoly}},
+	{defect.ExtraMetal1, []geom.Layer{geom.LayerMetal1}},
+	{defect.ExtraMetal2, []geom.Layer{geom.LayerMetal2}},
+	{defect.ExtraActive, []geom.Layer{geom.LayerNDiff, geom.LayerPDiff}},
+}
+
+// openLayers lists wire layers with their missing-material defect class, in
+// deterministic order.
+var openLayers = []struct {
+	layer geom.Layer
+	dt    defect.Type
+}{
+	{geom.LayerPoly, defect.MissingPoly},
+	{geom.LayerMetal1, defect.MissingMetal1},
+	{geom.LayerMetal2, defect.MissingMetal2},
+	{geom.LayerNDiff, defect.MissingActive},
+	{geom.LayerPDiff, defect.MissingActive},
+}
+
+// Faults performs inductive fault analysis on L: every extra-material
+// defect class contributes bridge faults between net pairs that come within
+// the maximum defect size, and every missing-material/cut class contributes
+// open faults, attributed either to a specific receiving gate input
+// (KindOpenInput — the input's pad/stub/poly branch) or to the net trunk
+// (KindOpenDriver — tracks, feedthroughs, driver straps and diffusion).
+// Fault weights are size-averaged critical areas times class densities
+// (w = A·D, paper eq. 4). Power nets contribute bridges (a signal shorted
+// to a rail is a classic stuck-like defect) but not opens (rails are wide
+// and redundant).
+func Faults(L *layout.Layout, stats defect.Statistics) *fault.List {
+	list := &fault.List{}
+	extractBridges(L, stats, list)
+	extractOpens(L, stats, list)
+	list.SortByWeight()
+	return list
+}
+
+type pairKey struct{ a, b int }
+
+func extractBridges(L *layout.Layout, stats defect.Statistics, list *fault.List) {
+	maxX := stats.MaxSize
+	bridgeW := make(map[pairKey]float64)
+
+	for _, bl := range bridgeLayers {
+		dt, layers := bl.dt, bl.layers
+		cls := stats.Classes[dt]
+		if cls.Density == 0 {
+			continue
+		}
+		// Collect net-tagged shapes on the class's layers.
+		type idxShape struct {
+			net  int
+			rect geom.Rect
+		}
+		var shapes []idxShape
+		for _, sh := range L.Shapes.Shapes {
+			if sh.Net < 0 {
+				continue
+			}
+			for _, l := range layers {
+				if sh.Layer == l {
+					shapes = append(shapes, idxShape{sh.Net, sh.Rect})
+					break
+				}
+			}
+		}
+		// Spatial hash to find cross-net shape pairs within reach.
+		step := 4 * maxX
+		buckets := make(map[[2]int][]int)
+		for i, s := range shapes {
+			r := s.rect.Expand(maxX)
+			for gx := floorDiv(r.X0, step); gx <= floorDiv(r.X1, step); gx++ {
+				for gy := floorDiv(r.Y0, step); gy <= floorDiv(r.Y1, step); gy++ {
+					buckets[[2]int{gx, gy}] = append(buckets[[2]int{gx, gy}], i)
+				}
+			}
+		}
+		near := make(map[pairKey]*[2][]geom.Rect) // pair -> nearby shapes per side
+		type seenKey struct {
+			p    pairKey
+			i, j int
+		}
+		seen := make(map[seenKey]bool)
+		for _, idx := range buckets {
+			for ai := 0; ai < len(idx); ai++ {
+				for bi := ai + 1; bi < len(idx); bi++ {
+					i, j := idx[ai], idx[bi]
+					si, sj := shapes[i], shapes[j]
+					if si.net == sj.net {
+						continue
+					}
+					dx, dy := si.rect.GapTo(sj.rect)
+					g := dx
+					if dy > g {
+						g = dy
+					}
+					if g >= maxX {
+						continue
+					}
+					a, b := si.net, sj.net
+					ri, rj := i, j
+					if a > b {
+						a, b = b, a
+						ri, rj = rj, ri
+					}
+					sk := seenKey{pairKey{a, b}, ri, rj}
+					if seen[sk] {
+						continue
+					}
+					seen[sk] = true
+					entry := near[pairKey{a, b}]
+					if entry == nil {
+						entry = new([2][]geom.Rect)
+						near[pairKey{a, b}] = entry
+					}
+					entry[0] = append(entry[0], shapes[ri].rect)
+					entry[1] = append(entry[1], shapes[rj].rect)
+				}
+			}
+		}
+		for pk, sets := range near {
+			a := dedupRects(sets[0])
+			b := dedupRects(sets[1])
+			avg := critarea.AvgShortArea(a, b, cls.Size, maxX)
+			if avg > 0 {
+				bridgeW[pk] += avg * cls.Density * densityScale
+			}
+		}
+	}
+
+	keys := make([]pairKey, 0, len(bridgeW))
+	for pk := range bridgeW {
+		keys = append(keys, pk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, pk := range keys {
+		list.Faults = append(list.Faults, fault.Realistic{
+			Kind: fault.KindBridge, NetA: pk.a, NetB: pk.b,
+			Inst: -1, Node: -1, Weight: bridgeW[pk],
+		})
+	}
+}
+
+func dedupRects(rs []geom.Rect) []geom.Rect {
+	seen := make(map[geom.Rect]bool, len(rs))
+	out := rs[:0]
+	for _, r := range rs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func extractOpens(L *layout.Layout, stats defect.Statistics, list *fault.List) {
+	// Receiver branch regions per net: the vertical column over each input
+	// pad, from the cell bottom to the top of the pin's routing stub.
+	type branchKey struct{ inst, node int }
+	type branch struct {
+		net    int
+		region geom.Rect
+	}
+	branches := make(map[branchKey][]branch) // one entry per input pad
+	branchOrder := []branchKey{}
+	for _, p := range L.Pins {
+		if !p.Input || p.Net <= layout.NetVDD {
+			continue
+		}
+		instY := L.RowY[p.Row]
+		top := p.StubTop
+		if top < p.Pad.Y1 {
+			top = p.Pad.Y1
+		}
+		bk := branchKey{p.Inst, p.Node}
+		if _, ok := branches[bk]; !ok {
+			branchOrder = append(branchOrder, bk)
+		}
+		branches[bk] = append(branches[bk], branch{
+			net:    p.Net,
+			region: geom.R(p.Pad.X0-1, instY, p.Pad.X1+1, top),
+		})
+	}
+
+	// Partition each signal net's shapes into branch wires and trunk wires.
+	type wires struct {
+		byLayer map[geom.Layer][]geom.Rect
+		cuts    map[geom.Layer][]geom.Rect
+	}
+	newWires := func() *wires {
+		return &wires{byLayer: map[geom.Layer][]geom.Rect{}, cuts: map[geom.Layer][]geom.Rect{}}
+	}
+	trunk := make(map[int]*wires)
+	branchWires := make(map[branchKey]*wires)
+	branchNet := make(map[branchKey]int)
+
+	for _, sh := range L.Shapes.Shapes {
+		if sh.Net <= layout.NetVDD {
+			continue
+		}
+		isCut := sh.Layer == geom.LayerContact || sh.Layer == geom.LayerVia
+		if !isCut && !sh.Layer.Conducting() {
+			continue
+		}
+		// Does the shape fall inside a receiver branch of its net?
+		var owner *wires
+		for bk, brs := range branches {
+			for _, br := range brs {
+				if br.net == sh.Net && br.region.ContainsRect(sh.Rect) {
+					if branchWires[bk] == nil {
+						branchWires[bk] = newWires()
+						branchNet[bk] = sh.Net
+					}
+					owner = branchWires[bk]
+					break
+				}
+			}
+			if owner != nil {
+				break
+			}
+		}
+		if owner == nil {
+			if trunk[sh.Net] == nil {
+				trunk[sh.Net] = newWires()
+			}
+			owner = trunk[sh.Net]
+		}
+		if isCut {
+			owner.cuts[sh.Layer] = append(owner.cuts[sh.Layer], sh.Rect)
+		} else {
+			owner.byLayer[sh.Layer] = append(owner.byLayer[sh.Layer], sh.Rect)
+		}
+	}
+
+	weightOf := func(w *wires) float64 {
+		var sum float64
+		for _, ol := range openLayers {
+			rects := w.byLayer[ol.layer]
+			if len(rects) == 0 {
+				continue
+			}
+			cls := stats.Classes[ol.dt]
+			if cls.Density == 0 {
+				continue
+			}
+			sum += critarea.AvgOpenArea(rects, cls.Size, stats.MaxSize) * cls.Density * densityScale
+		}
+		for _, cl := range []struct {
+			layer geom.Layer
+			dt    defect.Type
+		}{{geom.LayerContact, defect.MissingContact}, {geom.LayerVia, defect.MissingVia}} {
+			cuts := w.cuts[cl.layer]
+			if len(cuts) == 0 {
+				continue
+			}
+			cls := stats.Classes[cl.dt]
+			if cls.Density == 0 {
+				continue
+			}
+			sum += critarea.AvgCutOpenArea(cuts, cls.Size, stats.MaxSize) * cls.Density * densityScale
+		}
+		return sum
+	}
+
+	for _, bk := range branchOrder {
+		w := branchWires[bk]
+		if w == nil {
+			continue
+		}
+		wt := weightOf(w)
+		if wt <= 0 {
+			continue
+		}
+		list.Faults = append(list.Faults, fault.Realistic{
+			Kind: fault.KindOpenInput, NetA: branchNet[bk], NetB: -1,
+			Inst: bk.inst, Node: bk.node, Weight: wt,
+		})
+	}
+	nets := make([]int, 0, len(trunk))
+	for net := range trunk {
+		nets = append(nets, net)
+	}
+	sort.Ints(nets)
+	for _, net := range nets {
+		wt := weightOf(trunk[net])
+		if wt <= 0 {
+			continue
+		}
+		list.Faults = append(list.Faults, fault.Realistic{
+			Kind: fault.KindOpenDriver, NetA: net, NetB: -1,
+			Inst: -1, Node: -1, Weight: wt,
+		})
+	}
+}

@@ -1,0 +1,56 @@
+package extract
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"defectsim/internal/defect"
+	"defectsim/internal/layout"
+	"defectsim/internal/netlist"
+)
+
+func TestClassReportDecomposesTotalWeight(t *testing.T) {
+	L, err := layout.Build(netlist.RippleAdder(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := defect.Typical()
+	report := ClassReport(L, stats)
+	if len(report) != int(defect.NumTypes) {
+		t.Fatalf("report covers %d classes", len(report))
+	}
+	var sum float64
+	for _, c := range report {
+		if c.Weight < 0 {
+			t.Fatal("negative class weight")
+		}
+		sum += c.Weight
+	}
+	// Linearity: per-class weights must add up to the combined extraction.
+	full := Faults(L, stats)
+	if math.Abs(sum-full.TotalWeight()) > 1e-9*(1+sum) {
+		t.Fatalf("class weights sum %.6g vs combined %.6g", sum, full.TotalWeight())
+	}
+	// Product of limited yields equals the Poisson yield.
+	prod := 1.0
+	for _, c := range report {
+		prod *= c.LimitedYield()
+	}
+	if math.Abs(prod-full.Yield()) > 1e-9 {
+		t.Fatalf("yield product %.6g vs %.6g", prod, full.Yield())
+	}
+	// Bridging-dominant statistics: extra-metal1 must be the largest
+	// contributor among bridges on this routed layout.
+	byType := map[defect.Type]float64{}
+	for _, c := range report {
+		byType[c.Type] = c.Weight
+	}
+	if byType[defect.ExtraMetal1] <= byType[defect.ExtraPoly] {
+		t.Fatal("extra-metal1 should dominate extra-poly on a routing-heavy layout")
+	}
+	s := RenderClassReport(report)
+	if !strings.Contains(s, "extra-metal1") || !strings.Contains(s, "combined Poisson yield") {
+		t.Fatalf("render:\n%s", s)
+	}
+}

@@ -1,0 +1,173 @@
+// Package fit provides the numerical fitting tools of the experiments:
+// a Nelder–Mead simplex minimizer, golden-section line search, and the
+// specific parameter fits the paper performs — (R, Θmax) of the proposed
+// defect-level model against simulated fallout data, and the n parameter
+// of the Agrawal model.
+package fit
+
+import (
+	"math"
+	"sort"
+
+	"defectsim/internal/dlmodel"
+)
+
+// NelderMead minimizes f over dim dimensions starting from x0 with initial
+// simplex step sizes step. It returns the best point and value found after
+// maxIter iterations (or earlier convergence).
+func NelderMead(f func([]float64) float64, x0 []float64, step float64, maxIter int) ([]float64, float64) {
+	dim := len(x0)
+	type vertex struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vertex, dim+1)
+	for i := range simplex {
+		x := append([]float64(nil), x0...)
+		if i > 0 {
+			x[i-1] += step
+		}
+		simplex[i] = vertex{x, f(x)}
+	}
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	for iter := 0; iter < maxIter; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].v < simplex[b].v })
+		if math.Abs(simplex[dim].v-simplex[0].v) < 1e-14*(1+math.Abs(simplex[0].v)) {
+			break
+		}
+		// Centroid of all but worst.
+		cen := make([]float64, dim)
+		for _, vtx := range simplex[:dim] {
+			for j := range cen {
+				cen[j] += vtx.x[j] / float64(dim)
+			}
+		}
+		worst := simplex[dim]
+		refl := make([]float64, dim)
+		for j := range refl {
+			refl[j] = cen[j] + alpha*(cen[j]-worst.x[j])
+		}
+		fr := f(refl)
+		switch {
+		case fr < simplex[0].v:
+			exp := make([]float64, dim)
+			for j := range exp {
+				exp[j] = cen[j] + gamma*(refl[j]-cen[j])
+			}
+			if fe := f(exp); fe < fr {
+				simplex[dim] = vertex{exp, fe}
+			} else {
+				simplex[dim] = vertex{refl, fr}
+			}
+		case fr < simplex[dim-1].v:
+			simplex[dim] = vertex{refl, fr}
+		default:
+			con := make([]float64, dim)
+			for j := range con {
+				con[j] = cen[j] + rho*(worst.x[j]-cen[j])
+			}
+			if fc := f(con); fc < worst.v {
+				simplex[dim] = vertex{con, fc}
+			} else {
+				for i := 1; i <= dim; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].v = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].v < simplex[b].v })
+	return simplex[0].x, simplex[0].v
+}
+
+// Golden minimizes a unimodal 1-D function on [lo, hi] by golden-section
+// search.
+func Golden(f func(float64) float64, lo, hi float64) float64 {
+	const phi = 0.6180339887498949
+	a, b := hi-phi*(hi-lo), lo+phi*(hi-lo)
+	fa, fb := f(a), f(b)
+	for i := 0; i < 300 && hi-lo > 1e-12*(1+math.Abs(lo)+math.Abs(hi)); i++ {
+		if fa < fb {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			fa = f(a)
+		} else {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			fb = f(b)
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// DLPoint is one observed fallout point: stuck-at coverage T with the
+// corresponding measured defect level DL.
+type DLPoint struct {
+	T, DL float64
+}
+
+// FitParams fits the proposed model's (R, Θmax) to observed (T, DL) points
+// at known yield y, minimizing squared error in log defect level (DL spans
+// decades). Parameters are transformed (R = e^r, Θmax = sigmoid(m)) so the
+// search is unconstrained.
+func FitParams(points []DLPoint, y float64) dlmodel.Params {
+	obj := func(x []float64) float64 {
+		p := dlmodel.Params{
+			R:        math.Exp(x[0]),
+			ThetaMax: 1 / (1 + math.Exp(-x[1])),
+		}
+		var sse float64
+		for _, pt := range points {
+			if pt.DL <= 0 {
+				continue
+			}
+			m := p.DL(y, pt.T)
+			if m <= 0 {
+				m = 1e-300
+			}
+			d := math.Log(m) - math.Log(pt.DL)
+			sse += d * d
+		}
+		return sse
+	}
+	best, bestV := []float64{0, 3}, math.Inf(1)
+	// Multistart to escape local minima.
+	for _, start := range [][]float64{{0, 3}, {0.7, 2}, {1.2, 4}, {-0.3, 1}} {
+		x, v := NelderMead(obj, start, 0.5, 600)
+		if v < bestV {
+			best, bestV = x, v
+		}
+	}
+	return dlmodel.Params{
+		R:        math.Exp(best[0]),
+		ThetaMax: 1 / (1 + math.Exp(-best[1])),
+	}
+}
+
+// FitAgrawalN fits the Agrawal model's n parameter to observed fallout
+// points at known yield, minimizing squared log-DL error over n ∈ [1, 50].
+func FitAgrawalN(points []DLPoint, y float64) float64 {
+	obj := func(n float64) float64 {
+		var sse float64
+		for _, pt := range points {
+			if pt.DL <= 0 {
+				continue
+			}
+			m := dlmodel.Agrawal(y, pt.T, n)
+			if m <= 0 {
+				m = 1e-300
+			}
+			d := math.Log(m) - math.Log(pt.DL)
+			sse += d * d
+		}
+		return sse
+	}
+	return Golden(obj, 1, 50)
+}

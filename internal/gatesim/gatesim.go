@@ -1,0 +1,209 @@
+// Package gatesim is the gate-level fault simulator of the pipeline: a
+// 64-way parallel-pattern single stuck-at simulator with fault dropping.
+// It produces the stuck-at coverage curves T(k) of the paper's figures 4
+// and 5.
+package gatesim
+
+import (
+	"fmt"
+
+	"defectsim/internal/fault"
+	"defectsim/internal/netlist"
+)
+
+// Pattern is one input vector: a 0/1 value per primary input in PI order.
+type Pattern []uint8
+
+// Result of a stuck-at fault simulation campaign.
+type Result struct {
+	// DetectedAt[i] is the 1-based index of the first vector detecting
+	// fault i, or 0 if the vector set never detects it.
+	DetectedAt []int
+}
+
+// Coverage returns T(k): the fraction of the fault list detected by the
+// first k vectors.
+func (r *Result) Coverage(k int) float64 {
+	if len(r.DetectedAt) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range r.DetectedAt {
+		if d > 0 && d <= k {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.DetectedAt))
+}
+
+// Detected returns the number of faults detected by the whole vector set.
+func (r *Result) Detected() int {
+	n := 0
+	for _, d := range r.DetectedAt {
+		if d > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// simulator caches the levelized structure of a netlist.
+type simulator struct {
+	nl    *netlist.Netlist
+	order []int
+	vals  []uint64 // scratch, indexed by net
+}
+
+func newSimulator(nl *netlist.Netlist) (*simulator, error) {
+	order, _, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	return &simulator{nl: nl, order: order, vals: make([]uint64, nl.NumNets())}, nil
+}
+
+// eval computes all net values for the packed PI words, with an optional
+// stuck-at fault injected (f == nil means fault-free). The result aliases
+// the scratch buffer.
+func (s *simulator) eval(piWords []uint64, f *fault.StuckAt) []uint64 {
+	vals := s.vals
+	for i, pi := range s.nl.PIs {
+		vals[pi] = piWords[i]
+	}
+	stuck := func(v uint8) uint64 {
+		if v == 0 {
+			return 0
+		}
+		return ^uint64(0)
+	}
+	if f != nil && f.Branch < 0 && s.nl.Driver(f.Net) < 0 {
+		// Stem fault on a primary input.
+		vals[f.Net] = stuck(f.Value)
+	}
+	var in [8]uint64
+	for _, gi := range s.order {
+		g := &s.nl.Gates[gi]
+		inputs := in[:0]
+		for _, x := range g.Inputs {
+			v := vals[x]
+			if f != nil && f.Branch == gi && f.Net == x {
+				v = stuck(f.Value)
+			}
+			inputs = append(inputs, v)
+		}
+		out := g.Type.Eval(inputs)
+		if f != nil && f.Branch < 0 && f.Net == g.Out {
+			out = stuck(f.Value)
+		}
+		vals[g.Out] = out
+	}
+	return vals
+}
+
+// Simulate runs the stuck-at fault list against the pattern sequence with
+// fault dropping and returns first-detection indices.
+func Simulate(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern) (*Result, error) {
+	sim, err := newSimulator(nl)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range patterns {
+		if len(p) != len(nl.PIs) {
+			return nil, fmt.Errorf("gatesim: pattern has %d bits, want %d", len(p), len(nl.PIs))
+		}
+	}
+	res := &Result{DetectedAt: make([]int, len(faults))}
+	live := make([]int, 0, len(faults))
+	for i := range faults {
+		live = append(live, i)
+	}
+	goodPO := make([]uint64, len(nl.POs))
+	goodAll := make([]uint64, nl.NumNets())
+	piWords := make([]uint64, len(nl.PIs))
+
+	for base := 0; base < len(patterns) && len(live) > 0; base += 64 {
+		block := patterns[base:]
+		if len(block) > 64 {
+			block = block[:64]
+		}
+		for i := range piWords {
+			piWords[i] = 0
+		}
+		for b, p := range block {
+			for i, bit := range p {
+				if bit != 0 {
+					piWords[i] |= 1 << uint(b)
+				}
+			}
+		}
+		mask := ^uint64(0)
+		if len(block) < 64 {
+			mask = (1 << uint(len(block))) - 1
+		}
+
+		vals := sim.eval(piWords, nil)
+		copy(goodAll, vals)
+		for i, po := range nl.POs {
+			goodPO[i] = vals[po]
+		}
+
+		keep := live[:0]
+		for _, fi := range live {
+			f := &faults[fi]
+			// Activation filter: a fault whose site already carries the
+			// stuck value in every pattern cannot change anything.
+			site := goodAll[f.Net]
+			want := uint64(0)
+			if f.Value == 1 {
+				want = ^uint64(0)
+			}
+			if (site^want)&mask == 0 {
+				keep = append(keep, fi)
+				continue
+			}
+			fv := sim.eval(piWords, f)
+			var diff uint64
+			for i, po := range nl.POs {
+				diff |= (fv[po] ^ goodPO[i]) & mask
+			}
+			if diff == 0 {
+				keep = append(keep, fi)
+				continue
+			}
+			// First set bit = earliest detecting pattern in the block.
+			for b := 0; b < len(block); b++ {
+				if diff&(1<<uint(b)) != 0 {
+					res.DetectedAt[fi] = base + b + 1
+					break
+				}
+			}
+		}
+		live = keep
+	}
+	return res, nil
+}
+
+// RandomPatterns returns n pseudorandom patterns for nl's inputs using a
+// simple deterministic xorshift generator (seeded), suitable for the
+// random-prefix test sets of the experiments.
+func RandomPatterns(nl *netlist.Netlist, n int, seed uint64) []Pattern {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	state := seed
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	out := make([]Pattern, n)
+	for i := range out {
+		p := make(Pattern, len(nl.PIs))
+		for j := range p {
+			p[j] = uint8(next() & 1)
+		}
+		out[i] = p
+	}
+	return out
+}

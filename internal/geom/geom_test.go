@@ -1,0 +1,348 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectNormalize(t *testing.T) {
+	r := R(5, 7, 1, 2)
+	if r != (Rect{1, 2, 5, 7}) {
+		t.Fatalf("R did not normalize: %v", r)
+	}
+	if !r.Valid() {
+		t.Fatal("normalized rect must be valid")
+	}
+}
+
+func TestRectArea(t *testing.T) {
+	cases := []struct {
+		r    Rect
+		want int64
+	}{
+		{R(0, 0, 4, 5), 20},
+		{R(0, 0, 0, 5), 0},
+		{R(-3, -2, 3, 2), 24},
+		{Rect{2, 2, 1, 1}, 0}, // invalid ⇒ empty ⇒ zero area
+	}
+	for _, c := range cases {
+		if got := c.r.Area(); got != c.want {
+			t.Errorf("Area(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRectDims(t *testing.T) {
+	r := R(0, 0, 3, 7)
+	if r.W() != 3 || r.H() != 7 {
+		t.Fatalf("W/H = %d/%d, want 3/7", r.W(), r.H())
+	}
+	if r.MinDim() != 3 || r.MaxDim() != 7 {
+		t.Fatalf("MinDim/MaxDim = %d/%d", r.MinDim(), r.MaxDim())
+	}
+}
+
+func TestIntersectOverlapsTouches(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	x := a.Intersect(b)
+	if x != R(5, 5, 10, 10) {
+		t.Fatalf("Intersect = %v", x)
+	}
+	if !a.Overlaps(b) || !a.Touches(b) {
+		t.Fatal("a and b overlap")
+	}
+	c := R(10, 0, 20, 10) // abuts a along x=10
+	if a.Overlaps(c) {
+		t.Fatal("abutting rects do not overlap")
+	}
+	if !a.Touches(c) {
+		t.Fatal("abutting rects touch")
+	}
+	d := R(11, 0, 20, 10)
+	if a.Touches(d) {
+		t.Fatal("separated rects do not touch")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	r := R(2, 2, 4, 4)
+	if r.Expand(1) != R(1, 1, 5, 5) {
+		t.Fatalf("Expand(1) = %v", r.Expand(1))
+	}
+	if got := r.Expand(-2); got.Valid() && !got.Empty() {
+		t.Fatalf("over-shrunk rect should be empty/invalid: %v", got)
+	}
+}
+
+func TestGapTo(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	cases := []struct {
+		b      Rect
+		dx, dy int
+	}{
+		{R(13, 0, 20, 10), 3, 0},
+		{R(0, 15, 10, 20), 0, 5},
+		{R(12, 14, 20, 20), 2, 4},
+		{R(5, 5, 6, 6), 0, 0},
+		{R(-20, -20, -12, -13), 12, 13},
+	}
+	for _, c := range cases {
+		dx, dy := a.GapTo(c.b)
+		if dx != c.dx || dy != c.dy {
+			t.Errorf("GapTo(%v) = (%d,%d), want (%d,%d)", c.b, dx, dy, c.dx, c.dy)
+		}
+	}
+}
+
+func TestUnionAreaBasic(t *testing.T) {
+	cases := []struct {
+		rects []Rect
+		want  int64
+	}{
+		{nil, 0},
+		{[]Rect{R(0, 0, 10, 10)}, 100},
+		{[]Rect{R(0, 0, 10, 10), R(0, 0, 10, 10)}, 100},                     // identical
+		{[]Rect{R(0, 0, 10, 10), R(5, 5, 15, 15)}, 175},                     // overlap 25
+		{[]Rect{R(0, 0, 10, 10), R(20, 20, 30, 30)}, 200},                   // disjoint
+		{[]Rect{R(0, 0, 10, 10), R(10, 0, 20, 10)}, 200},                    // abutting
+		{[]Rect{R(0, 0, 10, 1), R(0, 0, 1, 10), R(9, 0, 10, 10)}, 28},       // L + bar
+		{[]Rect{R(0, 0, 4, 4), R(1, 1, 3, 3)}, 16},                          // contained
+		{[]Rect{R(0, 0, 0, 10), R(0, 0, 10, 0)}, 0},                         // degenerate
+		{[]Rect{R(-5, -5, 5, 5), R(-1, -1, 1, 1), R(0, 0, 6, 6)}, 100 + 11}, // 36-25 extra
+	}
+	for i, c := range cases {
+		if got := UnionArea(c.rects); got != c.want {
+			t.Errorf("case %d: UnionArea = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+// unionAreaBrute computes union area by brute-force unit-cell counting.
+func unionAreaBrute(rects []Rect) int64 {
+	bb, ok := BoundingBox(rects)
+	if !ok {
+		return 0
+	}
+	var area int64
+	for x := bb.X0; x < bb.X1; x++ {
+		for y := bb.Y0; y < bb.Y1; y++ {
+			for _, r := range rects {
+				if r.X0 <= x && x < r.X1 && r.Y0 <= y && y < r.Y1 {
+					area++
+					break
+				}
+			}
+		}
+	}
+	return area
+}
+
+func TestUnionAreaRandomizedAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		rects := make([]Rect, n)
+		for i := range rects {
+			x, y := rng.Intn(20), rng.Intn(20)
+			rects[i] = R(x, y, x+rng.Intn(10), y+rng.Intn(10))
+		}
+		if got, want := UnionArea(rects), unionAreaBrute(rects); got != want {
+			t.Fatalf("trial %d: UnionArea = %d, brute = %d, rects = %v", trial, got, want, rects)
+		}
+	}
+}
+
+func TestUnionAreaProperties(t *testing.T) {
+	// Union area is bounded below by the max single area and above by the sum.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		rects := make([]Rect, n)
+		var sum, maxA int64
+		for i := range rects {
+			x, y := rng.Intn(1000)-500, rng.Intn(1000)-500
+			rects[i] = R(x, y, x+rng.Intn(100), y+rng.Intn(100))
+			a := rects[i].Area()
+			sum += a
+			if a > maxA {
+				maxA = a
+			}
+		}
+		u := UnionArea(rects)
+		return u >= maxA && u <= sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandMonotonicityProperty(t *testing.T) {
+	// Expanding a set never decreases its union area.
+	f := func(seed int64, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := int(dRaw % 16)
+		n := 1 + rng.Intn(6)
+		rects := make([]Rect, n)
+		for i := range rects {
+			x, y := rng.Intn(100), rng.Intn(100)
+			rects[i] = R(x, y, x+rng.Intn(30), y+rng.Intn(30))
+		}
+		return UnionArea(ExpandSet(rects, d)) >= UnionArea(rects)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectSets(t *testing.T) {
+	a := []Rect{R(0, 0, 10, 10), R(20, 0, 30, 10)}
+	b := []Rect{R(5, 5, 25, 15)}
+	x := IntersectSets(a, b)
+	if got := UnionArea(x); got != 25+25 {
+		t.Fatalf("intersection area = %d, want 50", got)
+	}
+	if len(IntersectSets(a, nil)) != 0 {
+		t.Fatal("intersection with empty set must be empty")
+	}
+}
+
+func TestIntersectSetsCommutesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []Rect {
+			n := rng.Intn(6)
+			rects := make([]Rect, n)
+			for i := range rects {
+				x, y := rng.Intn(50), rng.Intn(50)
+				rects[i] = R(x, y, x+1+rng.Intn(20), y+1+rng.Intn(20))
+			}
+			return rects
+		}
+		a, b := mk(), mk()
+		return UnionArea(IntersectSets(a, b)) == UnionArea(IntersectSets(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	if _, ok := BoundingBox(nil); ok {
+		t.Fatal("empty set has no bounding box")
+	}
+	bb, ok := BoundingBox([]Rect{R(0, 0, 1, 1), R(-5, 3, 2, 9)})
+	if !ok || bb != R(-5, 0, 2, 9) {
+		t.Fatalf("bb = %v ok=%v", bb, ok)
+	}
+}
+
+func TestLayerString(t *testing.T) {
+	if LayerPoly.String() != "poly" || LayerMetal2.String() != "metal2" {
+		t.Fatal("layer names wrong")
+	}
+	if Layer(200).String() == "" {
+		t.Fatal("unknown layer must stringify")
+	}
+}
+
+func TestLayerConducting(t *testing.T) {
+	conducting := map[Layer]bool{
+		LayerNWell: false, LayerPDiff: true, LayerNDiff: true, LayerPoly: true,
+		LayerContact: false, LayerMetal1: true, LayerVia: false, LayerMetal2: true,
+	}
+	for l, want := range conducting {
+		if got := l.Conducting(); got != want {
+			t.Errorf("%v.Conducting() = %v, want %v", l, got, want)
+		}
+	}
+}
+
+func TestDisjointSet(t *testing.T) {
+	d := NewDisjointSet(6)
+	if !d.Union(0, 1) || !d.Union(1, 2) {
+		t.Fatal("first unions must merge")
+	}
+	if d.Union(0, 2) {
+		t.Fatal("already merged")
+	}
+	d.Union(3, 4)
+	comp, n := d.Components()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("0,1,2 must share a component")
+	}
+	if comp[3] != comp[4] || comp[3] == comp[0] || comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Fatal("component labels wrong")
+	}
+}
+
+func TestConnectTouching(t *testing.T) {
+	rects := []Rect{
+		R(0, 0, 10, 2),  // 0
+		R(10, 0, 20, 2), // 1 abuts 0
+		R(19, 0, 30, 2), // 2 overlaps 1
+		R(40, 0, 50, 2), // 3 isolated
+		R(45, 2, 46, 9), // 4 abuts 3 (shares boundary y=2)
+	}
+	d := NewDisjointSet(len(rects))
+	idx := []int{0, 1, 2, 3, 4}
+	ConnectTouching(d, idx, rects)
+	if d.Find(0) != d.Find(2) {
+		t.Fatal("0..2 must connect")
+	}
+	if d.Find(0) == d.Find(3) {
+		t.Fatal("3 must stay isolated from 0")
+	}
+	if d.Find(3) != d.Find(4) {
+		t.Fatal("3 and 4 abut")
+	}
+}
+
+func TestShapeSet(t *testing.T) {
+	var s ShapeSet
+	s.Add(LayerMetal1, R(0, 0, 4, 1))
+	s.AddNet(LayerMetal1, R(0, 2, 4, 3), 7)
+	s.AddNet(LayerPoly, R(0, 0, 1, 8), 7)
+	if got := len(s.OnLayer(LayerMetal1)); got != 2 {
+		t.Fatalf("OnLayer(metal1) = %d shapes", got)
+	}
+	ns := s.NetShapes(LayerMetal1)
+	if len(ns) != 1 || len(ns[7]) != 1 {
+		t.Fatalf("NetShapes wrong: %v", ns)
+	}
+	bb, ok := s.Bounds()
+	if !ok || bb != R(0, 0, 4, 8) {
+		t.Fatalf("Bounds = %v", bb)
+	}
+
+	var dst ShapeSet
+	dst.Append(&s, 10, 20, func(n int) int {
+		if n < 0 {
+			return -1
+		}
+		return n + 100
+	})
+	if dst.Shapes[1].Net != 107 || dst.Shapes[1].Rect != R(10, 22, 14, 23) {
+		t.Fatalf("Append remap/translate wrong: %+v", dst.Shapes[1])
+	}
+	if dst.Shapes[0].Net != -1 {
+		t.Fatal("unassigned net must stay -1")
+	}
+}
+
+func BenchmarkUnionArea(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rects := make([]Rect, 200)
+	for i := range rects {
+		x, y := rng.Intn(1000), rng.Intn(1000)
+		rects[i] = R(x, y, x+rng.Intn(50), y+rng.Intn(50))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnionArea(rects)
+	}
+}

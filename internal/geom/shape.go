@@ -1,0 +1,146 @@
+package geom
+
+import "sort"
+
+// Shape is a rectangle on a specific mask layer, optionally tagged with the
+// electrical net it belongs to (-1 when unknown, i.e. before extraction).
+type Shape struct {
+	Layer Layer
+	Rect  Rect
+	Net   int // electrical net index, -1 if unassigned
+}
+
+// ShapeSet is a bag of mask shapes; the fundamental layout representation.
+type ShapeSet struct {
+	Shapes []Shape
+}
+
+// Add appends a shape with an unassigned net.
+func (s *ShapeSet) Add(l Layer, r Rect) { s.Shapes = append(s.Shapes, Shape{l, r, -1}) }
+
+// AddNet appends a shape pre-tagged with net n.
+func (s *ShapeSet) AddNet(l Layer, r Rect, n int) { s.Shapes = append(s.Shapes, Shape{l, r, n}) }
+
+// Append copies all shapes of t, translated by (dx,dy), into s, remapping
+// each shape's net through remap (identity when remap is nil).
+func (s *ShapeSet) Append(t *ShapeSet, dx, dy int, remap func(int) int) {
+	for _, sh := range t.Shapes {
+		n := sh.Net
+		if remap != nil {
+			n = remap(n)
+		}
+		s.Shapes = append(s.Shapes, Shape{sh.Layer, sh.Rect.Translate(dx, dy), n})
+	}
+}
+
+// OnLayer returns the rectangles on layer l.
+func (s *ShapeSet) OnLayer(l Layer) []Rect {
+	var out []Rect
+	for _, sh := range s.Shapes {
+		if sh.Layer == l {
+			out = append(out, sh.Rect)
+		}
+	}
+	return out
+}
+
+// NetShapes returns, for each net index, the rectangles on layer l belonging
+// to that net. Shapes with unassigned nets are skipped.
+func (s *ShapeSet) NetShapes(l Layer) map[int][]Rect {
+	out := make(map[int][]Rect)
+	for _, sh := range s.Shapes {
+		if sh.Layer == l && sh.Net >= 0 {
+			out[sh.Net] = append(out[sh.Net], sh.Rect)
+		}
+	}
+	return out
+}
+
+// Bounds returns the bounding box over all shapes.
+func (s *ShapeSet) Bounds() (Rect, bool) {
+	rects := make([]Rect, len(s.Shapes))
+	for i, sh := range s.Shapes {
+		rects[i] = sh.Rect
+	}
+	return BoundingBox(rects)
+}
+
+// DisjointSet is a union–find structure used to merge touching shapes into
+// electrical nets during layout extraction.
+type DisjointSet struct {
+	parent []int
+	rank   []byte
+}
+
+// NewDisjointSet returns a DisjointSet over n singleton elements.
+func NewDisjointSet(n int) *DisjointSet {
+	d := &DisjointSet{parent: make([]int, n), rank: make([]byte, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+// Find returns the canonical representative of x's set.
+func (d *DisjointSet) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether they were
+// previously distinct.
+func (d *DisjointSet) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	return true
+}
+
+// Components returns a dense relabeling of the sets: comp[i] is the
+// component id of element i in [0, n), and n is the number of components.
+func (d *DisjointSet) Components() (comp []int, n int) {
+	comp = make([]int, len(d.parent))
+	label := make(map[int]int)
+	for i := range d.parent {
+		r := d.Find(i)
+		id, ok := label[r]
+		if !ok {
+			id = len(label)
+			label[r] = id
+		}
+		comp[i] = id
+	}
+	return comp, len(label)
+}
+
+// ConnectTouching unions every pair of indices whose rectangles touch.
+// pairs of rectangles are tested with a sort-by-x sweep to avoid the full
+// quadratic scan on large layers.
+func ConnectTouching(d *DisjointSet, idx []int, rects []Rect) {
+	order := make([]int, len(idx))
+	copy(order, idx)
+	sort.Slice(order, func(a, b int) bool { return rects[order[a]].X0 < rects[order[b]].X0 })
+	for i, ia := range order {
+		ra := rects[ia]
+		for _, ib := range order[i+1:] {
+			rb := rects[ib]
+			if rb.X0 > ra.X1 {
+				break
+			}
+			if ra.Touches(rb) {
+				d.Union(ia, ib)
+			}
+		}
+	}
+}

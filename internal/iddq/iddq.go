@@ -1,0 +1,238 @@
+// Package iddq models quiescent-current (IDDQ) testing quantitatively:
+// instead of the boolean "bridge with opposite drives ⇒ detect" screen of
+// the switch-level simulator, it estimates the actual defect current per
+// vector from the drive conductances, adds the good die's background
+// leakage, and studies pass/fail limit setting — the engineering step
+// between "IDDQ can see bridges" and a production test (threshold too low:
+// false fails; too high: test escapes).
+//
+// Current model: a bridge conducting between a node pulled to VDD with
+// conductance g_up and a node pulled to GND with conductance g_dn draws
+//
+//	I = VDD · series(g_up, G_bridge, g_dn)
+//
+// in normalized units (VDD = 1, conductances in the cell library's width
+// units). Background leakage is a per-device constant. Gate-input opens
+// add a floating-gate leakage term for the affected stage whenever its
+// output would float — the secondary IDDQ mechanism for opens.
+package iddq
+
+import (
+	"fmt"
+	"math"
+
+	"defectsim/internal/cell"
+	"defectsim/internal/fault"
+	"defectsim/internal/switchsim"
+	"defectsim/internal/transistor"
+)
+
+// Model parameters (normalized units: VDD = 1, conductance = drawn width).
+type Model struct {
+	// LeakPerDevice is the background off-state leakage each transistor
+	// contributes to the good die's IDDQ.
+	LeakPerDevice float64
+	// FloatingGateLeak is the extra current drawn by a stage whose gate
+	// floats at an intermediate level (gate-input open defects).
+	FloatingGateLeak float64
+	// BridgeG is the defect conductance (matches the switch-level model).
+	BridgeG float64
+}
+
+// DefaultModel returns parameters representative of a mature CMOS line:
+// background leakage orders of magnitude below defect currents.
+func DefaultModel() Model {
+	return Model{LeakPerDevice: 1e-6, FloatingGateLeak: 0.05, BridgeG: switchsim.BridgeG}
+}
+
+// Baseline returns the good die's quiescent current (background leakage).
+func (m Model) Baseline(c *transistor.Circuit) float64 {
+	return float64(len(c.Devices)) * m.LeakPerDevice
+}
+
+// series combines conductances in series.
+func series(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	return a * b / (a + b)
+}
+
+// pullConductance returns the strongest conductance with which net is
+// pulled to level v (V0 or V1) through definitely-conducting devices,
+// given the machine's settled good values. It is a single-CCC relaxation
+// mirroring the switch-level solver's strength model.
+func pullConductance(c *transistor.Circuit, good *switchsim.Machine, net int, v switchsim.Val) float64 {
+	id := c.CCCOf[net]
+	if id < 0 {
+		// Rails and primary inputs are ideal drivers.
+		if good.Val(net) == v {
+			return switchsim.RailG
+		}
+		return 0
+	}
+	local := map[int]int{}
+	nets := c.CCCs[id]
+	for i, n := range nets {
+		local[n] = i
+	}
+	g := make([]float64, len(nets))
+	type edge struct {
+		u, v int
+		gd   float64
+		srcV switchsim.Val
+	}
+	var edges []edge
+	for _, di := range c.DevsOf[id] {
+		d := &c.Devices[di]
+		gv := good.Val(d.Gate)
+		on := (gv == switchsim.V1 && d.Type == cell.NMOS) || (gv == switchsim.V0 && d.Type == cell.PMOS)
+		if !on {
+			continue
+		}
+		si, sok := local[d.Source]
+		ti, tok := local[d.Drain]
+		switch {
+		case sok && tok:
+			edges = append(edges, edge{si, ti, d.Conductance, switchsim.VX})
+		case sok:
+			edges = append(edges, edge{-1, si, d.Conductance, good.Val(d.Drain)})
+		case tok:
+			edges = append(edges, edge{-1, ti, d.Conductance, good.Val(d.Source)})
+		}
+	}
+	for iter := 0; iter <= len(nets); iter++ {
+		changed := false
+		for _, e := range edges {
+			if e.u == -1 {
+				if e.srcV != v {
+					continue
+				}
+				if cand := series(switchsim.RailG, e.gd); cand > g[e.v]*(1+1e-12) {
+					g[e.v] = cand
+					changed = true
+				}
+				continue
+			}
+			if cand := series(g[e.u], e.gd); cand > g[e.v]*(1+1e-12) {
+				g[e.v] = cand
+				changed = true
+			}
+			if cand := series(g[e.v], e.gd); cand > g[e.u]*(1+1e-12) {
+				g[e.u] = cand
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return g[local[net]]
+}
+
+// FaultCurrent returns the defect current drawn by fault f on the given
+// settled good machine (normalized units; 0 when the defect draws none).
+func (m Model) FaultCurrent(c *transistor.Circuit, good *switchsim.Machine, f fault.Realistic) float64 {
+	switch f.Kind {
+	case fault.KindBridge:
+		va, vb := good.Val(f.NetA), good.Val(f.NetB)
+		if va == switchsim.VX || vb == switchsim.VX || va == vb {
+			return 0
+		}
+		hi, lo := f.NetA, f.NetB
+		if vb == switchsim.V1 {
+			hi, lo = f.NetB, f.NetA
+		}
+		gUp := pullConductance(c, good, hi, switchsim.V1)
+		gDn := pullConductance(c, good, lo, switchsim.V0)
+		return series(series(gUp, m.BridgeG), gDn)
+	case fault.KindOpenInput:
+		// A floating gate sits at an intermediate level and half-turns
+		// both networks of its stage on: constant extra leakage.
+		return m.FloatingGateLeak
+	default:
+		return 0
+	}
+}
+
+// Measurements is the per-vector IDDQ trace of one defect: max over the
+// vector set is what a single-threshold production test compares.
+type Measurements struct {
+	Baseline float64
+	Currents []float64 // per fault: max defect current over the vector set
+}
+
+// Measure runs the good machine over the vectors and records, per fault,
+// the maximum defect current (plus baseline separately).
+func Measure(c *transistor.Circuit, list *fault.List, vectors []switchsim.Vector, m Model) (*Measurements, error) {
+	good := switchsim.NewMachine(c)
+	out := &Measurements{
+		Baseline: m.Baseline(c),
+		Currents: make([]float64, len(list.Faults)),
+	}
+	for k, vec := range vectors {
+		if !good.Apply(vec) {
+			return nil, fmt.Errorf("iddq: good machine failed to settle on vector %d", k)
+		}
+		for i, f := range list.Faults {
+			if cur := m.FaultCurrent(c, good, f); cur > out.Currents[i] {
+				out.Currents[i] = cur
+			}
+		}
+	}
+	return out, nil
+}
+
+// LimitStudy evaluates a pass/fail threshold sweep: for each candidate
+// limit (as a multiple of baseline), which weighted fraction of the fault
+// list would fail the IDDQ test.
+type LimitStudy struct {
+	Limits   []float64 // absolute current limits
+	Coverage []float64 // weighted fraction of faults with I > limit
+}
+
+// StudyLimits sweeps limits between the baseline and the largest defect
+// current (log-spaced, n points).
+func StudyLimits(meas *Measurements, list *fault.List, n int) *LimitStudy {
+	maxI := meas.Baseline
+	for _, c := range meas.Currents {
+		if c > maxI {
+			maxI = c
+		}
+	}
+	if n < 2 {
+		n = 2
+	}
+	st := &LimitStudy{}
+	lo := math.Log(meas.Baseline)
+	hi := math.Log(maxI * 1.01)
+	total := list.TotalWeight()
+	for i := 0; i < n; i++ {
+		limit := math.Exp(lo + (hi-lo)*float64(i)/float64(n-1))
+		var covered float64
+		for j, c := range meas.Currents {
+			if meas.Baseline+c > limit {
+				covered += list.Faults[j].Weight
+			}
+		}
+		st.Limits = append(st.Limits, limit)
+		st.Coverage = append(st.Coverage, covered/total)
+	}
+	return st
+}
+
+// BestLimit returns the lowest studied limit that is at least headroom×
+// baseline (false-fail guardband), with the coverage it achieves.
+func (st *LimitStudy) BestLimit(baseline, headroom float64) (limit, coverage float64) {
+	best := -1
+	for i, l := range st.Limits {
+		if l >= baseline*headroom {
+			best = i
+			break
+		}
+	}
+	if best < 0 {
+		best = len(st.Limits) - 1
+	}
+	return st.Limits[best], st.Coverage[best]
+}

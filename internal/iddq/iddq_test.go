@@ -1,0 +1,175 @@
+package iddq
+
+import (
+	"math"
+	"testing"
+
+	"defectsim/internal/defect"
+	"defectsim/internal/extract"
+	"defectsim/internal/fault"
+	"defectsim/internal/layout"
+	"defectsim/internal/netlist"
+	"defectsim/internal/switchsim"
+	"defectsim/internal/transistor"
+)
+
+func invChain(t *testing.T) (*transistor.Circuit, int, int) {
+	t.Helper()
+	nl := netlist.New("inv2")
+	a := nl.AddPI("a")
+	n1 := nl.AddGate(netlist.Not, "n1", a)
+	y := nl.AddGate(netlist.Not, "y", n1)
+	nl.MarkPO(y)
+	L, err := layout.Build(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return transistor.FromLayout(L), 2 + n1, 2 + y
+}
+
+func TestBridgeCurrentClosedForm(t *testing.T) {
+	// Bridge between the two inverter outputs with a = 0: n1 = 1 (pull-up
+	// g = 8), y = 0 (pull-down g = 6). Expected defect current ≈
+	// series(series(8, BridgeG), 6) ≈ series(8, 6) = 24/7.
+	c, n1, y := invChain(t)
+	good := switchsim.NewMachine(c)
+	if !good.Apply(switchsim.Vector{switchsim.V0}) {
+		t.Fatal("did not settle")
+	}
+	m := DefaultModel()
+	f := fault.Realistic{Kind: fault.KindBridge, NetA: n1, NetB: y}
+	got := m.FaultCurrent(c, good, f)
+	want := series(series(8, m.BridgeG), 6)
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("bridge current %g, want %g", got, want)
+	}
+	if math.Abs(want-24.0/7.0)/want > 1e-3 {
+		t.Fatalf("closed form drifted: %g vs 24/7", want)
+	}
+}
+
+func TestNoCurrentWithoutContention(t *testing.T) {
+	// a = 1: n1 = 0, y = 1 — opposite polarity pair, still conducting.
+	// But bridge n1 to GND with n1 = 0: no contention, no current.
+	c, n1, _ := invChain(t)
+	good := switchsim.NewMachine(c)
+	good.Apply(switchsim.Vector{switchsim.V1}) // n1 = 0
+	m := DefaultModel()
+	f := fault.Realistic{Kind: fault.KindBridge, NetA: layout.NetGND, NetB: n1}
+	if got := m.FaultCurrent(c, good, f); got != 0 {
+		t.Fatalf("no contention must draw no current, got %g", got)
+	}
+	// Opposite phase: n1 = 1 vs GND → current flows.
+	good.Apply(switchsim.Vector{switchsim.V0})
+	if got := m.FaultCurrent(c, good, f); got <= 0 {
+		t.Fatal("rail contention must draw current")
+	}
+}
+
+func TestOpenInputLeakAndDriverSilence(t *testing.T) {
+	c, n1, _ := invChain(t)
+	good := switchsim.NewMachine(c)
+	good.Apply(switchsim.Vector{switchsim.V0})
+	m := DefaultModel()
+	if got := m.FaultCurrent(c, good, fault.Realistic{
+		Kind: fault.KindOpenInput, NetA: n1, Inst: 1, Node: 2,
+	}); got != m.FloatingGateLeak {
+		t.Fatalf("floating gate leak %g, want %g", got, m.FloatingGateLeak)
+	}
+	if got := m.FaultCurrent(c, good, fault.Realistic{
+		Kind: fault.KindOpenDriver, NetA: n1,
+	}); got != 0 {
+		t.Fatal("driver opens draw no quiescent current in this model")
+	}
+}
+
+func fullSetup(t *testing.T) (*transistor.Circuit, *fault.List, []switchsim.Vector) {
+	t.Helper()
+	nl := netlist.RippleAdder(4)
+	L, err := layout.Build(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := extract.Faults(L, defect.Typical())
+	list.ScaleToYield(0.75)
+	c := transistor.FromLayout(L)
+	var vecs []switchsim.Vector
+	seed := uint64(12345)
+	for k := 0; k < 32; k++ {
+		v := make(switchsim.Vector, len(nl.PIs))
+		for j := range v {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			v[j] = switchsim.Val((seed >> 62) & 1)
+		}
+		vecs = append(vecs, v)
+	}
+	return c, list, vecs
+}
+
+func TestMeasureAndLimits(t *testing.T) {
+	c, list, vecs := fullSetup(t)
+	m := DefaultModel()
+	meas, err := Measure(c, list, vecs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Baseline <= 0 {
+		t.Fatal("baseline must be positive")
+	}
+	var withCurrent int
+	for i, cur := range meas.Currents {
+		if cur < 0 {
+			t.Fatal("negative current")
+		}
+		if cur > 0 {
+			withCurrent++
+			if list.Faults[i].Kind == fault.KindOpenDriver {
+				t.Fatal("driver opens must be silent")
+			}
+		}
+	}
+	if withCurrent == 0 {
+		t.Fatal("no fault drew current")
+	}
+
+	st := StudyLimits(meas, list, 12)
+	if len(st.Limits) != 12 {
+		t.Fatal("limit count")
+	}
+	// Coverage must fall monotonically as the limit rises.
+	for i := 1; i < len(st.Coverage); i++ {
+		if st.Coverage[i] > st.Coverage[i-1]+1e-12 {
+			t.Fatal("coverage must be non-increasing in the limit")
+		}
+	}
+	// A tight limit near baseline catches the most; huge limits catch ~0.
+	if st.Coverage[0] <= st.Coverage[len(st.Coverage)-1] {
+		t.Fatal("limit sweep degenerate")
+	}
+	limit, cov := st.BestLimit(meas.Baseline, 3)
+	if limit < 3*meas.Baseline {
+		t.Fatalf("guardband violated: %g < 3×%g", limit, meas.Baseline)
+	}
+	if cov <= 0 {
+		t.Fatal("guardbanded limit must still cover defects (currents ≫ leakage)")
+	}
+}
+
+func TestDefectCurrentsDominateBaseline(t *testing.T) {
+	// The whole point of IDDQ: bridge currents sit orders of magnitude
+	// above background leakage, so the threshold is easy to place.
+	c, list, vecs := fullSetup(t)
+	meas, err := Measure(c, list, vecs, DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxCur float64
+	for _, cur := range meas.Currents {
+		if cur > maxCur {
+			maxCur = cur
+		}
+	}
+	if maxCur < 1000*meas.Baseline {
+		t.Fatalf("defect current %g not well separated from baseline %g", maxCur, meas.Baseline)
+	}
+}

@@ -1,0 +1,523 @@
+// Package layout assembles a full standard-cell chip layout from a
+// gate-level netlist and the cell library: row-based placement, two-layer
+// channel routing, power distribution and I/O pads. The result is a flat,
+// net-tagged mask geometry — the input of layout fault extraction.
+//
+// Routing discipline (classic two-layer channel routing):
+//
+//   - Each row of cells has a routing channel directly above it; every pin
+//     of a cell connects into its row's channel.
+//   - Horizontal wiring is metal1 tracks inside channels (one private track
+//     per net per channel — no track sharing, which keeps the router
+//     trivially correct; adjacent tracks of different nets still provide
+//     realistic bridge critical area).
+//   - Vertical wiring is metal2: short stubs from pin pads up to tracks and
+//     full-height feedthrough columns (right of the core) that carry
+//     multi-row nets between channels.
+//   - Power is metal1 rails per row (abutting cells merge rails) tied by
+//     metal2 trunks on the left edge.
+//   - Primary inputs/outputs surface as metal1 pads on the left edge,
+//     realized as extensions of the net's lowest channel track.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"defectsim/internal/cell"
+	"defectsim/internal/geom"
+	"defectsim/internal/netlist"
+)
+
+// Routing dimensions in λ.
+const (
+	TrackPitch  = 4 // vertical pitch of channel tracks
+	TrackH      = 2 // metal1 track height
+	ChannelPad  = 3 // clearance at channel top and bottom
+	StubW       = 2 // metal2 pin stub width
+	FtPitch     = 6 // feedthrough column pitch
+	FtW         = 2 // feedthrough wire width
+	PadW        = 8 // I/O pad width
+	TrunkW      = 4 // power trunk width
+	GNDTrunkX   = -20
+	VDDTrunkX   = -30
+	IOPadX      = -12 // left edge of I/O pads
+	MinChannelH = ChannelPad*2 + TrackPitch
+)
+
+// Global net indices 0 and 1 are the power nets; netlist net i becomes
+// global net i+2; cell-internal nets are appended after.
+const (
+	NetGND = 0
+	NetVDD = 1
+)
+
+// NetKind classifies a global net.
+type NetKind uint8
+
+// Net kinds.
+const (
+	KindPower NetKind = iota
+	KindSignal
+	KindInternal // cell-internal stage net (not visible in the netlist)
+)
+
+// Net describes one electrical net of the layout.
+type Net struct {
+	Name string
+	Kind NetKind
+	// NetlistNet is the originating netlist net index, or -1 for power and
+	// cell-internal nets.
+	NetlistNet int
+	IsPI, IsPO bool
+}
+
+// Instance is one placed standard cell.
+type Instance struct {
+	Cell      *cell.Cell
+	GateIndex int // index into the netlist's gate list
+	X, Y      int // placement origin (lower-left)
+	Row       int
+	NodeToNet []int // cell-local node -> global net
+}
+
+// Pin is a routable connection point in chip coordinates.
+type Pin struct {
+	Net  int
+	Pad  geom.Rect // metal1 pad
+	Row  int
+	Inst int // owning instance index
+	Node int // cell-local node of the pad
+	// Input reports whether the pad is a gate-input pad (as opposed to an
+	// output/drain pad); input pins anchor receiver-branch open faults.
+	Input bool
+	// StubTop is the y the pin's metal2 stub rises to (top of its track).
+	StubTop int
+}
+
+// Layout is the assembled chip.
+type Layout struct {
+	Name      string
+	Netlist   *netlist.Netlist
+	Nets      []Net
+	Instances []Instance
+	Shapes    geom.ShapeSet
+	Pins      []Pin
+
+	Rows      int
+	RowY      []int // y origin of each row
+	CoreWidth int
+	Bounds    geom.Rect
+}
+
+// Library caches built cells per (gate type, fan-in).
+type Library struct {
+	cells map[[2]int]*cell.Cell
+}
+
+// NewLibrary returns an empty cell cache.
+func NewLibrary() *Library { return &Library{cells: make(map[[2]int]*cell.Cell)} }
+
+// Get returns (building on first use) the cell for gate type t with the
+// given fan-in.
+func (l *Library) Get(t netlist.GateType, fanin int) (*cell.Cell, error) {
+	key := [2]int{int(t), fanin}
+	if c, ok := l.cells[key]; ok {
+		return c, nil
+	}
+	c, err := cell.Build(t, fanin)
+	if err != nil {
+		return nil, err
+	}
+	l.cells[key] = c
+	return c, nil
+}
+
+// Build places and routes nl and returns the finished layout.
+func Build(nl *netlist.Netlist, lib *Library) (*Layout, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	if lib == nil {
+		lib = NewLibrary()
+	}
+	L := &Layout{Name: nl.Name, Netlist: nl}
+
+	// Global nets: power, then netlist nets.
+	L.Nets = append(L.Nets,
+		Net{Name: "GND", Kind: KindPower, NetlistNet: -1},
+		Net{Name: "VDD", Kind: KindPower, NetlistNet: -1},
+	)
+	for i, name := range nl.NetNames {
+		L.Nets = append(L.Nets, Net{Name: name, Kind: KindSignal, NetlistNet: i})
+	}
+	for _, pi := range nl.PIs {
+		L.Nets[2+pi].IsPI = true
+	}
+	for _, po := range nl.POs {
+		L.Nets[2+po].IsPO = true
+	}
+
+	// Instantiate cells in topological order so connected cells land near
+	// each other.
+	order, _, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	totalW := 0
+	for _, gi := range order {
+		g := &nl.Gates[gi]
+		c, err := lib.Get(g.Type, len(g.Inputs))
+		if err != nil {
+			return nil, fmt.Errorf("layout %s: gate %d: %w", nl.Name, gi, err)
+		}
+		inst := Instance{Cell: c, GateIndex: gi, NodeToNet: make([]int, c.NumNodes())}
+		inst.NodeToNet[cell.NodeGND] = NetGND
+		inst.NodeToNet[cell.NodeVDD] = NetVDD
+		for i := range inst.NodeToNet {
+			if i < 2 {
+				continue
+			}
+			inst.NodeToNet[i] = -1
+		}
+		for i, in := range g.Inputs {
+			inst.NodeToNet[c.Inputs[i]] = 2 + in
+		}
+		inst.NodeToNet[c.Output] = 2 + g.Out
+		for i := 2; i < c.NumNodes(); i++ {
+			if inst.NodeToNet[i] == -1 {
+				L.Nets = append(L.Nets, Net{
+					Name:       fmt.Sprintf("%s.%s#%d", nl.NetNames[g.Out], c.NodeNames[i], len(L.Nets)),
+					Kind:       KindInternal,
+					NetlistNet: -1,
+				})
+				inst.NodeToNet[i] = len(L.Nets) - 1
+			}
+		}
+		L.Instances = append(L.Instances, inst)
+		totalW += c.Width
+	}
+
+	// Row assignment: aim at a roughly square core.
+	rows := int(math.Round(math.Sqrt(float64(totalW) / float64(2*cell.CellHeight))))
+	if rows < 1 {
+		rows = 1
+	}
+	rowTarget := (totalW + rows - 1) / rows
+	x, row := 0, 0
+	for i := range L.Instances {
+		inst := &L.Instances[i]
+		if x > 0 && x+inst.Cell.Width > rowTarget && row < rows-1 {
+			row++
+			x = 0
+		}
+		inst.Row = row
+		inst.X = x
+		x += inst.Cell.Width
+		if x > L.CoreWidth {
+			L.CoreWidth = x
+		}
+	}
+	L.Rows = row + 1
+
+	// Collect pins (chip x known; y filled in after channel sizing).
+	type rawPin struct {
+		inst  int
+		node  int
+		pad   geom.Rect // cell-local
+		net   int
+		row   int
+		input bool
+	}
+	var raw []rawPin
+	for ii, inst := range L.Instances {
+		for _, p := range inst.Cell.Pins {
+			input := p.Pad.Y0 >= cell.InPadY0 && p.Pad.Y1 <= cell.InPadY1
+			raw = append(raw, rawPin{ii, p.Node, p.Pad, inst.NodeToNet[p.Node], inst.Row, input})
+		}
+	}
+
+	// Determine each net's channel span and per-channel track assignment.
+	type netRoute struct {
+		minChan, maxChan int
+		track            map[int]int // channel -> track index
+		ftCol            int         // feedthrough column index, -1 if single-channel
+	}
+	routes := make([]*netRoute, len(L.Nets))
+	for _, rp := range raw {
+		if rp.net <= NetVDD {
+			continue
+		}
+		r := routes[rp.net]
+		if r == nil {
+			r = &netRoute{minChan: rp.row, maxChan: rp.row, track: map[int]int{}, ftCol: -1}
+			routes[rp.net] = r
+		}
+		if rp.row < r.minChan {
+			r.minChan = rp.row
+		}
+		if rp.row > r.maxChan {
+			r.maxChan = rp.row
+		}
+	}
+	// Feedthrough columns for multi-row nets (assigned before tracks so
+	// horizontal extents are final).
+	ftCols := 0
+	for _, r := range routes {
+		if r == nil {
+			continue
+		}
+		if r.maxChan > r.minChan {
+			r.ftCol = ftCols
+			ftCols++
+		}
+	}
+
+	// Horizontal extent of each net in each channel it crosses: the union
+	// of its pin stubs, its feedthrough column and (for chip I/O) the pad
+	// extension — exactly the metal1 the track will carry.
+	type extKey struct{ net, ch int }
+	extLo := map[extKey]int{}
+	extHi := map[extKey]int{}
+	extend := func(net, ch, x0, x1 int) {
+		k := extKey{net, ch}
+		if v, ok := extLo[k]; !ok || x0 < v {
+			extLo[k] = x0
+		}
+		if v, ok := extHi[k]; !ok || x1 > v {
+			extHi[k] = x1
+		}
+	}
+	for _, rp := range raw {
+		if rp.net <= NetVDD {
+			continue
+		}
+		pad := rp.pad.Translate(L.Instances[rp.inst].X, 0)
+		cxm := (pad.X0 + pad.X1) / 2
+		extend(rp.net, rp.row, cxm-StubW/2-1, cxm+StubW/2+1)
+	}
+	for net, r := range routes {
+		if r == nil {
+			continue
+		}
+		if r.ftCol >= 0 {
+			fx := L.CoreWidth + FtPitch + r.ftCol*FtPitch
+			for c := r.minChan; c <= r.maxChan; c++ {
+				extend(net, c, fx-1, fx+FtW+1)
+			}
+		}
+		if L.Nets[net].IsPI || L.Nets[net].IsPO {
+			extend(net, r.minChan, IOPadX, 0)
+		}
+	}
+
+	// Left-edge channel routing: per channel, sort the net intervals by
+	// left edge and pack them greedily onto tracks, keeping TrackGap of
+	// clearance between same-track intervals.
+	const TrackGap = 4
+	tracksPerChan := make([]int, L.Rows)
+	for ch := 0; ch < L.Rows; ch++ {
+		type interval struct {
+			net, x0, x1 int
+		}
+		var ivs []interval
+		for net, r := range routes {
+			if r == nil || ch < r.minChan || ch > r.maxChan {
+				continue
+			}
+			k := extKey{net, ch}
+			ivs = append(ivs, interval{net, extLo[k], extHi[k]})
+		}
+		sort.Slice(ivs, func(a, b int) bool {
+			if ivs[a].x0 != ivs[b].x0 {
+				return ivs[a].x0 < ivs[b].x0
+			}
+			return ivs[a].net < ivs[b].net
+		})
+		var trackEnd []int // rightmost occupied x per track
+		for _, iv := range ivs {
+			placed := false
+			for t := range trackEnd {
+				if trackEnd[t]+TrackGap <= iv.x0 {
+					routes[iv.net].track[ch] = t
+					trackEnd[t] = iv.x1
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				routes[iv.net].track[ch] = len(trackEnd)
+				trackEnd = append(trackEnd, iv.x1)
+			}
+		}
+		tracksPerChan[ch] = len(trackEnd)
+	}
+
+	// Vertical stackup: row 0 at y 0, each channel sized to its tracks.
+	L.RowY = make([]int, L.Rows)
+	chanY0 := make([]int, L.Rows)
+	y := 0
+	for rws := 0; rws < L.Rows; rws++ {
+		L.RowY[rws] = y
+		y += cell.CellHeight
+		chanY0[rws] = y
+		h := ChannelPad*2 + tracksPerChan[rws]*TrackPitch
+		if h < MinChannelH {
+			h = MinChannelH
+		}
+		y += h
+	}
+	chipTop := y
+
+	trackY := func(net, ch int) int {
+		return chanY0[ch] + ChannelPad + routes[net].track[ch]*TrackPitch
+	}
+
+	// Emit cell geometry.
+	for i := range L.Instances {
+		inst := &L.Instances[i]
+		inst.Y = L.RowY[inst.Row]
+		nodeToNet := inst.NodeToNet
+		L.Shapes.Append(&inst.Cell.Shapes, inst.X, inst.Y, func(n int) int {
+			if n < 0 {
+				return -1
+			}
+			return nodeToNet[n]
+		})
+	}
+
+	// Track extents: leftmost/rightmost x each net needs in each channel.
+	type key struct{ net, ch int }
+	xMin := map[key]int{}
+	xMax := map[key]int{}
+	widen := func(net, ch, x0, x1 int) {
+		k := key{net, ch}
+		if v, ok := xMin[k]; !ok || x0 < v {
+			xMin[k] = x0
+		}
+		if v, ok := xMax[k]; !ok || x1 > v {
+			xMax[k] = x1
+		}
+	}
+
+	// Pins: vias and metal2 stubs to the track.
+	for _, rp := range raw {
+		pad := rp.pad.Translate(L.Instances[rp.inst].X, L.Instances[rp.inst].Y)
+		if rp.net <= NetVDD {
+			L.Pins = append(L.Pins, Pin{Net: rp.net, Pad: pad, Row: rp.row, Inst: rp.inst, Node: rp.node, Input: rp.input})
+			continue
+		}
+		ty := trackY(rp.net, rp.row)
+		L.Pins = append(L.Pins, Pin{
+			Net: rp.net, Pad: pad, Row: rp.row, Inst: rp.inst, Node: rp.node,
+			Input: rp.input, StubTop: ty + TrackH,
+		})
+		cxm := (pad.X0 + pad.X1) / 2
+		stub := geom.R(cxm-StubW/2, pad.Y0, cxm+StubW/2, ty+TrackH)
+		L.Shapes.AddNet(geom.LayerMetal2, stub, rp.net)
+		L.Shapes.AddNet(geom.LayerVia, geom.R(stub.X0, pad.Y0+1, stub.X1, pad.Y0+3), rp.net)
+		L.Shapes.AddNet(geom.LayerVia, geom.R(stub.X0, ty, stub.X1, ty+TrackH), rp.net)
+		widen(rp.net, rp.row, stub.X0-1, stub.X1+1)
+	}
+
+	// Feedthrough columns and I/O pad extensions.
+	for net, r := range routes {
+		if r == nil {
+			continue
+		}
+		if r.ftCol >= 0 {
+			fx := L.CoreWidth + FtPitch + r.ftCol*FtPitch
+			for c := r.minChan; c < r.maxChan; c++ {
+				y0 := trackY(net, c)
+				y1 := trackY(net, c+1)
+				L.Shapes.AddNet(geom.LayerMetal2, geom.R(fx, y0, fx+FtW, y1+TrackH), net)
+				L.Shapes.AddNet(geom.LayerVia, geom.R(fx, y0, fx+FtW, y0+TrackH), net)
+				L.Shapes.AddNet(geom.LayerVia, geom.R(fx, y1, fx+FtW, y1+TrackH), net)
+				widen(net, c, fx-1, fx+FtW+1)
+				widen(net, c+1, fx-1, fx+FtW+1)
+			}
+		}
+		if L.Nets[net].IsPI || L.Nets[net].IsPO {
+			widen(net, r.minChan, IOPadX, 0)
+		}
+	}
+
+	// Emit tracks.
+	for k2, x0 := range xMin {
+		ty := trackY(k2.net, k2.ch)
+		L.Shapes.AddNet(geom.LayerMetal1, geom.R(x0, ty, xMax[k2], ty+TrackH), k2.net)
+	}
+
+	// Power: trunks on the left, strapped to every row's rails.
+	L.Shapes.AddNet(geom.LayerMetal2, geom.R(GNDTrunkX, 0, GNDTrunkX+TrunkW, chipTop), NetGND)
+	L.Shapes.AddNet(geom.LayerMetal2, geom.R(VDDTrunkX, 0, VDDTrunkX+TrunkW, chipTop), NetVDD)
+	for rws := 0; rws < L.Rows; rws++ {
+		gy := L.RowY[rws]
+		L.Shapes.AddNet(geom.LayerMetal1, geom.R(VDDTrunkX, gy, 0, gy+cell.RailH), NetGND)
+		L.Shapes.AddNet(geom.LayerVia,
+			geom.R(GNDTrunkX+1, gy+1, GNDTrunkX+3, gy+3), NetGND)
+		vy := gy + cell.CellHeight - cell.RailH
+		L.Shapes.AddNet(geom.LayerMetal1, geom.R(VDDTrunkX, vy, 0, vy+cell.RailH), NetVDD)
+		L.Shapes.AddNet(geom.LayerVia,
+			geom.R(VDDTrunkX+1, vy+1, VDDTrunkX+3, vy+3), NetVDD)
+	}
+
+	bb, _ := L.Shapes.Bounds()
+	L.Bounds = bb
+	return L, nil
+}
+
+// NetShapes returns the conducting shapes of net n grouped by layer.
+func (L *Layout) NetShapes(n int) map[geom.Layer][]geom.Rect {
+	out := make(map[geom.Layer][]geom.Rect)
+	for _, sh := range L.Shapes.Shapes {
+		if sh.Net == n && sh.Layer.Conducting() {
+			out[sh.Layer] = append(out[sh.Layer], sh.Rect)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a layout.
+type Stats struct {
+	Name          string
+	Cells         int
+	Nets          int
+	Rows          int
+	Width, Height int
+	Shapes        int
+	WireLengthM1  int64 // total metal1 wire length (λ), excluding rails
+	WireLengthM2  int64
+	Transistors   int
+}
+
+// ComputeStats returns summary statistics of the layout.
+func (L *Layout) ComputeStats() Stats {
+	s := Stats{
+		Name: L.Name, Cells: len(L.Instances), Nets: len(L.Nets),
+		Rows: L.Rows, Width: L.Bounds.W(), Height: L.Bounds.H(),
+		Shapes: len(L.Shapes.Shapes),
+	}
+	for _, inst := range L.Instances {
+		s.Transistors += len(inst.Cell.Transistors)
+	}
+	for _, sh := range L.Shapes.Shapes {
+		if sh.Net <= NetVDD {
+			continue
+		}
+		switch sh.Layer {
+		case geom.LayerMetal1:
+			s.WireLengthM1 += int64(sh.Rect.MaxDim())
+		case geom.LayerMetal2:
+			s.WireLengthM2 += int64(sh.Rect.MaxDim())
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d cells (%d transistors), %d nets, %d rows, %d×%dλ, %d shapes, wire M1 %dλ / M2 %dλ",
+		s.Name, s.Cells, s.Transistors, s.Nets, s.Rows, s.Width, s.Height, s.Shapes,
+		s.WireLengthM1, s.WireLengthM2)
+}

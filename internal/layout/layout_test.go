@@ -1,0 +1,197 @@
+package layout
+
+import (
+	"testing"
+
+	"defectsim/internal/cell"
+	"defectsim/internal/geom"
+	"defectsim/internal/netlist"
+)
+
+func buildOrDie(t *testing.T, nl *netlist.Netlist) *Layout {
+	t.Helper()
+	L, err := Build(nl, NewLibrary())
+	if err != nil {
+		t.Fatalf("Build(%s): %v", nl.Name, err)
+	}
+	return L
+}
+
+func TestBuildC17(t *testing.T) {
+	L := buildOrDie(t, netlist.C17())
+	if len(L.Instances) != 6 {
+		t.Fatalf("c17 must place 6 cells, got %d", len(L.Instances))
+	}
+	// 2 power + 11 netlist nets + 6 series-stack diffusion nodes (one per
+	// NAND2 cell).
+	if len(L.Nets) != 2+11+6 {
+		t.Fatalf("c17 nets = %d, want 19", len(L.Nets))
+	}
+	s := L.ComputeStats()
+	if s.Transistors != 24 {
+		t.Fatalf("c17 transistors = %d, want 24", s.Transistors)
+	}
+	if s.WireLengthM1 == 0 || s.WireLengthM2 == 0 {
+		t.Fatal("routing must produce wire on both metal layers")
+	}
+}
+
+func TestInternalNetsCreatedForMultiStageCells(t *testing.T) {
+	nl := netlist.New("andchip")
+	a := nl.AddPI("a")
+	b := nl.AddPI("b")
+	// AND2 = NAND2 + INV: one inter-stage net plus one series-stack
+	// diffusion node inside the NAND2 stage.
+	y := nl.AddGate(netlist.And, "y", a, b)
+	nl.MarkPO(y)
+	L := buildOrDie(t, nl)
+	var internals int
+	for _, n := range L.Nets {
+		if n.Kind == KindInternal {
+			internals++
+		}
+	}
+	if internals != 2 {
+		t.Fatalf("AND2 cell must add two internal nets, got %d", internals)
+	}
+}
+
+func TestPlacementNonOverlapping(t *testing.T) {
+	L := buildOrDie(t, netlist.C432Class(1))
+	for i, a := range L.Instances {
+		ra := geom.R(a.X, a.Y, a.X+a.Cell.Width, a.Y+cell.CellHeight)
+		for _, b := range L.Instances[i+1:] {
+			rb := geom.R(b.X, b.Y, b.X+b.Cell.Width, b.Y+cell.CellHeight)
+			if ra.Overlaps(rb) {
+				t.Fatalf("instances overlap: %v and %v", ra, rb)
+			}
+		}
+	}
+	if L.Rows < 2 {
+		t.Fatalf("c432-class should need multiple rows, got %d", L.Rows)
+	}
+}
+
+func TestRowGeometry(t *testing.T) {
+	L := buildOrDie(t, netlist.C432Class(1))
+	for r := 1; r < L.Rows; r++ {
+		if L.RowY[r] < L.RowY[r-1]+cell.CellHeight+MinChannelH {
+			t.Fatalf("row %d does not leave room for channel below", r)
+		}
+	}
+	for _, inst := range L.Instances {
+		if inst.Y != L.RowY[inst.Row] {
+			t.Fatalf("instance y %d does not match row origin %d", inst.Y, L.RowY[inst.Row])
+		}
+	}
+}
+
+func TestPinNetsResolve(t *testing.T) {
+	L := buildOrDie(t, netlist.C17())
+	if len(L.Pins) == 0 {
+		t.Fatal("no pins collected")
+	}
+	for _, p := range L.Pins {
+		if p.Net < 0 || p.Net >= len(L.Nets) {
+			t.Fatalf("pin with bad net %d", p.Net)
+		}
+	}
+}
+
+func TestEveryNetlistNetHasGeometry(t *testing.T) {
+	L := buildOrDie(t, netlist.C432Class(1))
+	seen := make([]bool, len(L.Nets))
+	for _, sh := range L.Shapes.Shapes {
+		if sh.Net >= 0 {
+			seen[sh.Net] = true
+		}
+	}
+	for i, n := range L.Nets {
+		if !seen[i] {
+			t.Errorf("net %q (%d) has no geometry", n.Name, i)
+		}
+	}
+}
+
+func TestIONetsMarked(t *testing.T) {
+	nl := netlist.C432Class(1)
+	L := buildOrDie(t, nl)
+	var pis, pos int
+	for _, n := range L.Nets {
+		if n.IsPI {
+			pis++
+		}
+		if n.IsPO {
+			pos++
+		}
+	}
+	if pis != len(nl.PIs) || pos != len(nl.POs) {
+		t.Fatalf("PI/PO marking wrong: %d/%d want %d/%d", pis, pos, len(nl.PIs), len(nl.POs))
+	}
+	// PI nets must reach the I/O pad column on the left edge.
+	for i, n := range L.Nets {
+		if !n.IsPI {
+			continue
+		}
+		reaches := false
+		for _, sh := range L.Shapes.Shapes {
+			if sh.Net == i && sh.Layer == geom.LayerMetal1 && sh.Rect.X0 <= IOPadX {
+				reaches = true
+				break
+			}
+		}
+		if !reaches {
+			t.Errorf("PI net %q does not reach the pad column", n.Name)
+		}
+	}
+}
+
+func TestLibraryCaches(t *testing.T) {
+	lib := NewLibrary()
+	a, err := lib.Get(netlist.Nand, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := lib.Get(netlist.Nand, 2)
+	if a != b {
+		t.Fatal("library must cache cells")
+	}
+	if _, err := lib.Get(netlist.Nand, 9); err == nil {
+		t.Fatal("bad fanin must propagate error")
+	}
+}
+
+func TestBuildRejectsInvalidNetlist(t *testing.T) {
+	nl := netlist.New("bad")
+	nl.AddNet("floater") // undriven non-PI net
+	if _, err := Build(nl, nil); err == nil {
+		t.Fatal("invalid netlist must be rejected")
+	}
+}
+
+func TestNetShapesGrouping(t *testing.T) {
+	L := buildOrDie(t, netlist.C17())
+	g, ok := L.Netlist.NetByName("G11")
+	if !ok {
+		t.Fatal("G11 missing")
+	}
+	m := L.NetShapes(2 + g)
+	if len(m[geom.LayerPoly]) == 0 {
+		t.Fatal("G11 must have poly gate stripes (it feeds two NANDs)")
+	}
+	if len(m[geom.LayerMetal1]) == 0 {
+		t.Fatal("G11 must have metal1")
+	}
+	for layer := range m {
+		if !layer.Conducting() {
+			t.Fatalf("NetShapes returned non-conducting layer %v", layer)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := buildOrDie(t, netlist.C17()).ComputeStats()
+	if s.String() == "" || s.Cells != 6 {
+		t.Fatalf("stats: %+v", s)
+	}
+}

@@ -1,0 +1,88 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"defectsim/internal/geom"
+)
+
+// layerStyle maps each mask layer to an SVG fill (colors follow the usual
+// Magic/Electric conventions loosely: green diffusion, red poly, blue
+// metal1, purple metal2).
+var layerStyle = map[geom.Layer]string{
+	geom.LayerNWell:   "fill:#f5f0c0;fill-opacity:0.5",
+	geom.LayerPDiff:   "fill:#c8a050;fill-opacity:0.8",
+	geom.LayerNDiff:   "fill:#50a050;fill-opacity:0.8",
+	geom.LayerPoly:    "fill:#d04040;fill-opacity:0.8",
+	geom.LayerContact: "fill:#101010;fill-opacity:0.9",
+	geom.LayerMetal1:  "fill:#4060d0;fill-opacity:0.6",
+	geom.LayerVia:     "fill:#404040;fill-opacity:0.9",
+	geom.LayerMetal2:  "fill:#9040c0;fill-opacity:0.5",
+}
+
+// svgDrawOrder paints bottom-up so upper layers overlay lower ones.
+var svgDrawOrder = []geom.Layer{
+	geom.LayerNWell, geom.LayerPDiff, geom.LayerNDiff, geom.LayerPoly,
+	geom.LayerContact, geom.LayerMetal1, geom.LayerVia, geom.LayerMetal2,
+}
+
+// WriteSVG renders the layout as an SVG document (one rect per mask shape,
+// y-axis flipped so the origin sits bottom-left as in mask coordinates).
+// Set scale to the number of SVG units per λ (≤ 0 chooses 1).
+func (L *Layout) WriteSVG(w io.Writer, scale float64) error {
+	if scale <= 0 {
+		scale = 1
+	}
+	bw := bufio.NewWriter(w)
+	bb := L.Bounds
+	width := float64(bb.W()) * scale
+	height := float64(bb.H()) * scale
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(bw, "<title>%s — %d cells, %d nets</title>\n", L.Name, len(L.Instances), len(L.Nets))
+	fmt.Fprintf(bw, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", width, height)
+
+	tx := func(x int) float64 { return float64(x-bb.X0) * scale }
+	ty := func(y int) float64 { return float64(bb.Y1-y) * scale } // flip
+
+	for _, layer := range svgDrawOrder {
+		style := layerStyle[layer]
+		fmt.Fprintf(bw, `<g id="%s" style="%s">`+"\n", layer, style)
+		for _, sh := range L.Shapes.Shapes {
+			if sh.Layer != layer || sh.Rect.Empty() {
+				continue
+			}
+			r := sh.Rect
+			title := ""
+			if sh.Net >= 0 && sh.Net < len(L.Nets) {
+				title = fmt.Sprintf("<title>%s</title>", xmlEscape(L.Nets[sh.Net].Name))
+			}
+			fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f">%s</rect>`+"\n",
+				tx(r.X0), ty(r.Y1), float64(r.W())*scale, float64(r.H())*scale, title)
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+func xmlEscape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		case '"':
+			out = append(out, "&quot;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,51 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"defectsim/internal/geom"
+	"defectsim/internal/netlist"
+)
+
+func TestWriteSVG(t *testing.T) {
+	L := buildOrDie(t, netlist.C17())
+	var buf bytes.Buffer
+	if err := L.WriteSVG(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// One group per drawn layer, every layer present on a routed chip.
+	for _, layer := range []geom.Layer{geom.LayerPoly, geom.LayerMetal1, geom.LayerMetal2, geom.LayerVia} {
+		if !strings.Contains(s, `id="`+layer.String()+`"`) {
+			t.Fatalf("layer group %v missing", layer)
+		}
+	}
+	// Roughly one rect per shape (plus the background).
+	rects := strings.Count(s, "<rect")
+	if rects < len(L.Shapes.Shapes)/2 {
+		t.Fatalf("only %d rects for %d shapes", rects, len(L.Shapes.Shapes))
+	}
+	// Net names surface as tooltips.
+	if !strings.Contains(s, "<title>G11</title>") {
+		t.Fatal("net tooltips missing")
+	}
+	// Default scale works too.
+	var buf2 bytes.Buffer
+	if err := L.WriteSVG(&buf2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.Len() == 0 {
+		t.Fatal("empty output at default scale")
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("escape: %q", got)
+	}
+}

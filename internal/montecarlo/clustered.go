@@ -1,0 +1,87 @@
+package montecarlo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"defectsim/internal/fault"
+)
+
+// SimulateClusteredLot is SimulateLot under Stapper-clustered defect
+// statistics: each die draws its own defect rate multiplier from a
+// Gamma(α, 1/α) distribution (mean 1) before Poisson fault sampling, so
+// the marginal fault count is negative-binomial with clustering parameter
+// α. As α → ∞ this degenerates to SimulateLot. The result validates the
+// clustered defect-level model dlmodel.Clustered.
+func SimulateClusteredLot(list *fault.List, detectedAt []int, k, dies int, alpha float64, seed int64) LotResult {
+	if len(detectedAt) != len(list.Faults) {
+		panic("montecarlo: detection data does not match the fault list")
+	}
+	if alpha <= 0 {
+		panic("montecarlo: clustering parameter must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lambda := list.TotalWeight()
+
+	cum := make([]float64, len(list.Faults))
+	var acc float64
+	for i, f := range list.Faults {
+		acc += f.Weight
+		cum[i] = acc
+	}
+
+	var res LotResult
+	res.Dies = dies
+	for d := 0; d < dies; d++ {
+		rate := lambda * gammaVariate(rng, alpha) / alpha
+		n := poisson(rng, rate)
+		if n == 0 {
+			res.GoodDies++
+			continue
+		}
+		caught := false
+		for i := 0; i < n && !caught; i++ {
+			u := rng.Float64() * lambda
+			j := sort.SearchFloat64s(cum, u)
+			if j >= len(cum) {
+				j = len(cum) - 1
+			}
+			if det := detectedAt[j]; det > 0 && det <= k {
+				caught = true
+			}
+		}
+		if caught {
+			res.Detected++
+		} else {
+			res.Escapes++
+		}
+	}
+	return res
+}
+
+// gammaVariate draws from Gamma(shape, 1) via Marsaglia–Tsang, with the
+// standard boost for shape < 1.
+func gammaVariate(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		return gammaVariate(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"defectsim/internal/defect"
+	"defectsim/internal/fault"
+	"defectsim/internal/geom"
+	"defectsim/internal/layout"
+)
+
+// Effect classifies what a single injected spot defect does.
+type Effect uint8
+
+// Injection outcomes.
+const (
+	EffectBenign Effect = iota // lands on empty area or a single net
+	EffectBridge               // extra material shorting ≥ 2 nets
+	EffectOpen                 // missing material severing a wire or cut
+)
+
+func (e Effect) String() string {
+	switch e {
+	case EffectBenign:
+		return "benign"
+	case EffectBridge:
+		return "bridge"
+	}
+	return "open"
+}
+
+// Injection is one sampled defect and its derived electrical effect.
+type Injection struct {
+	Type   defect.Type
+	Size   int
+	At     geom.Point
+	Effect Effect
+	Nets   []int // shorted nets (bridge) or severed net (open)
+}
+
+// Report aggregates an injection campaign.
+type Report struct {
+	Total      int
+	ByEffect   map[Effect]int
+	PairCounts map[[2]int]int // bridge net pairs (ordered a < b)
+	OpenCounts map[int]int    // severed nets
+	Injections []Injection    // only the faulting ones
+}
+
+// InjectDefects drops n random spot defects (per the process statistics)
+// onto the layout's core area and derives each defect's electrical effect
+// directly from the mask geometry — no critical-area math involved, so the
+// result is an independent check of the extraction pipeline.
+func InjectDefects(L *layout.Layout, stats defect.Statistics, n int, seed int64) *Report {
+	rng := rand.New(rand.NewSource(seed))
+	rep := &Report{
+		ByEffect:   map[Effect]int{},
+		PairCounts: map[[2]int]int{},
+		OpenCounts: map[int]int{},
+	}
+	idx := buildShapeIndex(L)
+	area := L.Bounds
+
+	for i := 0; i < n; i++ {
+		ty, sizeF, at := stats.Sample(rng, area)
+		size := int(math.Round(sizeF))
+		if size < 1 {
+			size = 1
+		}
+		if size > stats.MaxSize {
+			// The extraction pipeline truncates the size distribution at
+			// MaxSize; do the same so the two sides are comparable.
+			size = stats.MaxSize
+		}
+		inj := Injection{Type: ty, Size: size, At: at, Effect: EffectBenign}
+		q := geom.R(at.X-size/2, at.Y-size/2, at.X+(size+1)/2, at.Y+(size+1)/2)
+
+		switch {
+		case ty.Bridge():
+			nets := idx.netsOverlapping(ty, q)
+			if len(nets) >= 2 {
+				inj.Effect = EffectBridge
+				inj.Nets = nets
+				for a := 0; a < len(nets); a++ {
+					for b := a + 1; b < len(nets); b++ {
+						p := [2]int{nets[a], nets[b]}
+						rep.PairCounts[p]++
+					}
+				}
+			}
+		case ty == defect.MissingContact || ty == defect.MissingVia:
+			if net, ok := idx.cutCovered(ty, q); ok {
+				inj.Effect = EffectOpen
+				inj.Nets = []int{net}
+				rep.OpenCounts[net]++
+			}
+		default: // missing material on a wire layer
+			if net, ok := idx.wireSevered(ty, q); ok {
+				inj.Effect = EffectOpen
+				inj.Nets = []int{net}
+				rep.OpenCounts[net]++
+			}
+		}
+		rep.Total++
+		rep.ByEffect[inj.Effect]++
+		if inj.Effect != EffectBenign {
+			rep.Injections = append(rep.Injections, inj)
+		}
+	}
+	return rep
+}
+
+// shapeIndex buckets conducting/cut shapes per layer for point queries.
+type shapeIndex struct {
+	L       *layout.Layout
+	buckets map[indexKey][]int // shape indices
+}
+
+type indexKey struct {
+	layer  geom.Layer
+	gx, gy int
+}
+
+const indexStep = 64
+
+func buildShapeIndex(L *layout.Layout) *shapeIndex {
+	idx := &shapeIndex{L: L, buckets: map[indexKey][]int{}}
+	for i, sh := range L.Shapes.Shapes {
+		if sh.Net < 0 {
+			continue
+		}
+		for gx := floorDiv(sh.Rect.X0, indexStep); gx <= floorDiv(sh.Rect.X1, indexStep); gx++ {
+			for gy := floorDiv(sh.Rect.Y0, indexStep); gy <= floorDiv(sh.Rect.Y1, indexStep); gy++ {
+				k := indexKey{sh.Layer, gx, gy}
+				idx.buckets[k] = append(idx.buckets[k], i)
+			}
+		}
+	}
+	return idx
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func (idx *shapeIndex) forEach(layer geom.Layer, q geom.Rect, fn func(sh geom.Shape)) {
+	seen := map[int]bool{}
+	for gx := floorDiv(q.X0, indexStep); gx <= floorDiv(q.X1, indexStep); gx++ {
+		for gy := floorDiv(q.Y0, indexStep); gy <= floorDiv(q.Y1, indexStep); gy++ {
+			for _, i := range idx.buckets[indexKey{layer, gx, gy}] {
+				if seen[i] {
+					continue
+				}
+				seen[i] = true
+				fn(idx.L.Shapes.Shapes[i])
+			}
+		}
+	}
+}
+
+// bridgeLayersOf mirrors the extraction pipeline's layer mapping.
+func bridgeLayersOf(ty defect.Type) []geom.Layer {
+	switch ty {
+	case defect.ExtraPoly:
+		return []geom.Layer{geom.LayerPoly}
+	case defect.ExtraMetal1:
+		return []geom.Layer{geom.LayerMetal1}
+	case defect.ExtraMetal2:
+		return []geom.Layer{geom.LayerMetal2}
+	case defect.ExtraActive:
+		return []geom.Layer{geom.LayerNDiff, geom.LayerPDiff}
+	}
+	return nil
+}
+
+func openLayersOf(ty defect.Type) []geom.Layer {
+	switch ty {
+	case defect.MissingPoly:
+		return []geom.Layer{geom.LayerPoly}
+	case defect.MissingMetal1:
+		return []geom.Layer{geom.LayerMetal1}
+	case defect.MissingMetal2:
+		return []geom.Layer{geom.LayerMetal2}
+	case defect.MissingActive:
+		return []geom.Layer{geom.LayerNDiff, geom.LayerPDiff}
+	}
+	return nil
+}
+
+// netsOverlapping returns the distinct nets whose shapes on the defect
+// type's layers overlap the defect square.
+func (idx *shapeIndex) netsOverlapping(ty defect.Type, q geom.Rect) []int {
+	set := map[int]bool{}
+	for _, layer := range bridgeLayersOf(ty) {
+		idx.forEach(layer, q, func(sh geom.Shape) {
+			if sh.Rect.Overlaps(q) {
+				set[sh.Net] = true
+			}
+		})
+	}
+	nets := make([]int, 0, len(set))
+	for n := range set {
+		nets = append(nets, n)
+	}
+	sort.Ints(nets)
+	return nets
+}
+
+// wireSevered reports whether the missing-material square spans the full
+// drawn width of some wire rectangle, returning the severed net.
+func (idx *shapeIndex) wireSevered(ty defect.Type, q geom.Rect) (int, bool) {
+	net, found := -1, false
+	for _, layer := range openLayersOf(ty) {
+		idx.forEach(layer, q, func(sh geom.Shape) {
+			if found || !sh.Rect.Overlaps(q) {
+				return
+			}
+			r := sh.Rect
+			horizontal := r.W() >= r.H()
+			if horizontal {
+				if q.Y0 <= r.Y0 && q.Y1 >= r.Y1 {
+					net, found = sh.Net, true
+				}
+			} else if q.X0 <= r.X0 && q.X1 >= r.X1 {
+				net, found = sh.Net, true
+			}
+		})
+		if found {
+			return net, true
+		}
+	}
+	return -1, false
+}
+
+// cutCovered reports whether the defect square swallows a contact/via cut.
+func (idx *shapeIndex) cutCovered(ty defect.Type, q geom.Rect) (int, bool) {
+	layer := geom.LayerContact
+	if ty == defect.MissingVia {
+		layer = geom.LayerVia
+	}
+	net, found := -1, false
+	idx.forEach(layer, q, func(sh geom.Shape) {
+		if !found && q.ContainsRect(sh.Rect) {
+			net, found = sh.Net, true
+		}
+	})
+	return net, found
+}
+
+// ValidateAgainst checks the injection campaign against an extracted fault
+// list: every observed bridge pair must be predicted (present as a
+// KindBridge fault), and every observed open must fall on a net carrying
+// at least one open fault. It returns a descriptive error on the first
+// unpredicted observation.
+func (rep *Report) ValidateAgainst(list *fault.List) error {
+	bridges := map[[2]int]bool{}
+	opens := map[int]bool{}
+	for _, f := range list.Faults {
+		switch f.Kind {
+		case fault.KindBridge:
+			bridges[[2]int{f.NetA, f.NetB}] = true
+		case fault.KindOpenInput, fault.KindOpenDriver:
+			opens[f.NetA] = true
+		}
+	}
+	for pair, cnt := range rep.PairCounts {
+		if !bridges[pair] {
+			return fmt.Errorf("montecarlo: observed bridge %v (%d hits) missing from the extracted list", pair, cnt)
+		}
+	}
+	for net, cnt := range rep.OpenCounts {
+		if net <= layout.NetVDD {
+			continue // power opens are excluded from extraction by design
+		}
+		if !opens[net] {
+			return fmt.Errorf("montecarlo: observed open on net %d (%d hits) missing from the extracted list", net, cnt)
+		}
+	}
+	return nil
+}
+
+// WeightCorrelation returns the weighted fraction of observed bridge hits
+// that land on the top-q weight quantile of the extracted bridge faults —
+// a crude but assumption-free check that empirical fault frequencies track
+// extracted weights (it should far exceed q itself).
+func (rep *Report) WeightCorrelation(list *fault.List, q float64) float64 {
+	type bw struct {
+		pair [2]int
+		w    float64
+	}
+	var all []bw
+	for _, f := range list.Faults {
+		if f.Kind == fault.KindBridge {
+			all = append(all, bw{[2]int{f.NetA, f.NetB}, f.Weight})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].w > all[j].w })
+	top := map[[2]int]bool{}
+	cut := int(q * float64(len(all)))
+	for _, b := range all[:cut] {
+		top[b.pair] = true
+	}
+	hits, topHits := 0, 0
+	for pair, cnt := range rep.PairCounts {
+		hits += cnt
+		if top[pair] {
+			topHits += cnt
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return float64(topHits) / float64(hits)
+}

@@ -1,0 +1,120 @@
+// Package montecarlo provides the sampling-based validation instruments of
+// the pipeline:
+//
+//   - production-lot simulation: dice carry Poisson-sampled realistic
+//     faults; applying the test campaign's detection data yields an
+//     *empirical* defect level to compare against the closed-form models
+//     (eq. 3 / eq. 11);
+//   - geometric defect injection: random spot defects are dropped on the
+//     actual mask geometry and their electrical effect is derived
+//     independently of the critical-area engine, cross-validating the
+//     extracted fault list (completeness and relative likelihoods).
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"defectsim/internal/fault"
+)
+
+// LotResult summarizes a simulated production lot.
+type LotResult struct {
+	Dies     int
+	GoodDies int // no fault present
+	Detected int // faulty and caught by the test set
+	Escapes  int // faulty and shipped
+}
+
+// Yield returns the fraction of fault-free dies.
+func (r LotResult) Yield() float64 {
+	if r.Dies == 0 {
+		return 0
+	}
+	return float64(r.GoodDies) / float64(r.Dies)
+}
+
+// DefectLevel returns shipped-defective over shipped (the quantity DL
+// models predict).
+func (r LotResult) DefectLevel() float64 {
+	shipped := r.Dies - r.Detected
+	if shipped == 0 {
+		return 0
+	}
+	return float64(r.Escapes) / float64(shipped)
+}
+
+func (r LotResult) String() string {
+	return fmt.Sprintf("%d dies: yield %.4f, %d detected, %d escapes → DL %.1f ppm",
+		r.Dies, r.Yield(), r.Detected, r.Escapes, 1e6*r.DefectLevel())
+}
+
+// SimulateLot manufactures dies whose fault populations follow the
+// weighted list's Poisson statistics (fault j occurs with rate w_j,
+// independently), tests each die with the first k vectors of the campaign
+// (detectedAt[j] is fault j's first-detection index, 0 = never detected)
+// and returns the lot bookkeeping.
+//
+// A faulty die is caught when any of its present faults is individually
+// detected — the single-fault-observability assumption shared with the
+// analytic models, so the result validates the models' probability
+// algebra, not fault-interaction effects.
+func SimulateLot(list *fault.List, detectedAt []int, k, dies int, seed int64) LotResult {
+	if len(detectedAt) != len(list.Faults) {
+		panic("montecarlo: detection data does not match the fault list")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	lambda := list.TotalWeight()
+
+	// Cumulative weights for O(log n) fault draws: occurrences of a
+	// Poisson superposition select fault j with probability w_j/λ.
+	cum := make([]float64, len(list.Faults))
+	var acc float64
+	for i, f := range list.Faults {
+		acc += f.Weight
+		cum[i] = acc
+	}
+
+	var res LotResult
+	res.Dies = dies
+	for d := 0; d < dies; d++ {
+		n := poisson(rng, lambda)
+		if n == 0 {
+			res.GoodDies++
+			continue
+		}
+		caught := false
+		for i := 0; i < n && !caught; i++ {
+			u := rng.Float64() * lambda
+			j := sort.SearchFloat64s(cum, u)
+			if j >= len(cum) {
+				j = len(cum) - 1
+			}
+			if det := detectedAt[j]; det > 0 && det <= k {
+				caught = true
+			}
+		}
+		if caught {
+			res.Detected++
+		} else {
+			res.Escapes++
+		}
+	}
+	return res
+}
+
+// poisson draws from Poisson(rate) by exponential inter-arrival
+// multiplication (rate is small in this application).
+func poisson(rng *rand.Rand, rate float64) int {
+	l := math.Exp(-rate)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,183 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a netlist in the ISCAS-85 .bench format:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G22)
+//	G10 = NAND(G1, G3)
+//
+// Net names are arbitrary identifiers. Gate keywords are case-insensitive.
+func ParseBench(name string, r io.Reader) (*Netlist, error) {
+	n := New(name)
+	ids := make(map[string]int)
+	getNet := func(s string) int {
+		if id, ok := ids[s]; ok {
+			return id
+		}
+		id := n.AddNet(s)
+		ids[s] = id
+		return id
+	}
+	var outputs []string
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			id := getNet(arg)
+			n.PIs = append(n.PIs, id)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("%s:%d: expected assignment, got %q", name, lineNo, line)
+			}
+			lhs := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op := strings.Index(rhs, "(")
+			cp := strings.LastIndex(rhs, ")")
+			if op < 0 || cp < op {
+				return nil, fmt.Errorf("%s:%d: malformed gate %q", name, lineNo, rhs)
+			}
+			gt, err := ParseGateType(strings.TrimSpace(rhs[:op]))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+			}
+			var inputs []int
+			for _, tok := range strings.Split(rhs[op+1:cp], ",") {
+				tok = strings.TrimSpace(tok)
+				if tok == "" {
+					return nil, fmt.Errorf("%s:%d: empty input name", name, lineNo)
+				}
+				inputs = append(inputs, getNet(tok))
+			}
+			n.AddGateTo(gt, getNet(lhs), inputs...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, o := range outputs {
+		id, ok := ids[o]
+		if !ok {
+			return nil, fmt.Errorf("%s: OUTPUT(%s) never defined", name, o)
+		}
+		n.MarkPO(id)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func parenArg(line string) (string, error) {
+	op := strings.Index(line, "(")
+	cp := strings.LastIndex(line, ")")
+	if op < 0 || cp < op {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[op+1 : cp])
+	if arg == "" {
+		return "", fmt.Errorf("empty name in %q", line)
+	}
+	return arg, nil
+}
+
+// WriteBench renders n in .bench format. Gates are emitted in a valid
+// topological order so the output can be read back by simple parsers.
+func WriteBench(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d inputs, %d outputs, %d gates\n",
+		n.Name, len(n.PIs), len(n.POs), len(n.Gates))
+	for _, pi := range n.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", n.NetNames[pi])
+	}
+	for _, po := range n.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", n.NetNames[po])
+	}
+	order, _, err := n.Levelize()
+	if err != nil {
+		return err
+	}
+	for _, gi := range order {
+		g := &n.Gates[gi]
+		names := make([]string, len(g.Inputs))
+		for i, in := range g.Inputs {
+			names[i] = n.NetNames[in]
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", n.NetNames[g.Out], g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// C17 returns the ISCAS-85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND gates.
+// This is the exact published netlist and serves as the primary ground-truth
+// circuit for cross-validating the simulators.
+func C17() *Netlist {
+	const src = `# c17 ISCAS-85
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+`
+	n, err := ParseBench("c17", strings.NewReader(src))
+	if err != nil {
+		panic("netlist: embedded c17 invalid: " + err.Error())
+	}
+	return n
+}
+
+// DanglingNets returns nets that drive nothing and are not primary outputs;
+// useful to sanity-check generated circuits.
+func (n *Netlist) DanglingNets() []int {
+	used := make([]bool, n.NumNets())
+	for _, g := range n.Gates {
+		for _, in := range g.Inputs {
+			used[in] = true
+		}
+	}
+	for _, po := range n.POs {
+		used[po] = true
+	}
+	var out []int
+	for id, u := range used {
+		if !u {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,64 @@
+package netlist
+
+// Structural cone utilities: transitive fanin/fanout over nets. These are
+// the workhorses of diagnosis-region pruning (a candidate fault must lie
+// in the fanin cone of a failing output) and of testability reasoning.
+
+// FaninCone returns the set of nets in the transitive fanin of the given
+// roots, including the roots themselves.
+func (n *Netlist) FaninCone(roots ...int) map[int]bool {
+	cone := make(map[int]bool)
+	stack := append([]int(nil), roots...)
+	for len(stack) > 0 {
+		net := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cone[net] {
+			continue
+		}
+		cone[net] = true
+		if gi := n.Driver(net); gi >= 0 {
+			for _, in := range n.Gates[gi].Inputs {
+				if !cone[in] {
+					stack = append(stack, in)
+				}
+			}
+		}
+	}
+	return cone
+}
+
+// FanoutCone returns the set of nets in the transitive fanout of the given
+// roots, including the roots themselves.
+func (n *Netlist) FanoutCone(roots ...int) map[int]bool {
+	fo := n.Fanouts()
+	cone := make(map[int]bool)
+	stack := append([]int(nil), roots...)
+	for len(stack) > 0 {
+		net := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cone[net] {
+			continue
+		}
+		cone[net] = true
+		for _, gi := range fo[net] {
+			out := n.Gates[gi].Out
+			if !cone[out] {
+				stack = append(stack, out)
+			}
+		}
+	}
+	return cone
+}
+
+// ObservingPOs returns the primary outputs whose fanin cones contain net —
+// the outputs at which a fault on the net could ever be observed.
+func (n *Netlist) ObservingPOs(net int) []int {
+	fo := n.FanoutCone(net)
+	var out []int
+	for _, po := range n.POs {
+		if fo[po] {
+			out = append(out, po)
+		}
+	}
+	return out
+}

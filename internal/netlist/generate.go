@@ -1,0 +1,276 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// C432Class returns a deterministic synthetic benchmark with the structural
+// profile of the ISCAS-85 c432 circuit used in the paper: 36 primary inputs,
+// 7 primary outputs, on the order of 160 gates dominated by NAND/NOT with a
+// sprinkling of NOR/AND/XOR, and a logic depth in the high teens.
+//
+// The exact c432 netlist is not reproduced (see DESIGN.md, substitutions);
+// the experiments only require a mid-size combinational standard-cell
+// circuit, and the generator is seeded so that every run of the pipeline
+// sees the identical circuit.
+func C432Class(seed int64) *Netlist {
+	return randomCircuit(fmt.Sprintf("c432class-%d", seed), seed, 36, 7, 140, []gateWeight{
+		{Nand, 48}, {Not, 22}, {Nor, 12}, {And, 4}, {Or, 4}, {Xor, 10},
+	})
+}
+
+// RandomCircuit returns a seeded random combinational circuit with the given
+// numbers of primary inputs and outputs and approximately bodyGates internal
+// gates (plus the gates of the output-combining trees).
+func RandomCircuit(name string, seed int64, pis, pos, bodyGates int) *Netlist {
+	return randomCircuit(name, seed, pis, pos, bodyGates, []gateWeight{
+		{Nand, 40}, {Not, 15}, {Nor, 15}, {And, 8}, {Or, 8}, {Xor, 14},
+	})
+}
+
+type gateWeight struct {
+	t GateType
+	w int
+}
+
+func randomCircuit(name string, seed int64, pis, pos, bodyGates int, weights []gateWeight) *Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	n := New(name)
+	for i := 0; i < pis; i++ {
+		n.AddPI(fmt.Sprintf("I%d", i+1))
+	}
+	total := 0
+	for _, gw := range weights {
+		total += gw.w
+	}
+	pick := func() GateType {
+		r := rng.Intn(total)
+		for _, gw := range weights {
+			if r < gw.w {
+				return gw.t
+			}
+			r -= gw.w
+		}
+		return weights[len(weights)-1].t
+	}
+	// nets eligible as gate inputs, newest last; picking with a recency bias
+	// builds depth while keeping early nets reachable.
+	avail := append([]int(nil), n.PIs...)
+	pickNet := func() int {
+		// Triangular bias toward recent nets.
+		i := rng.Intn(len(avail))
+		j := rng.Intn(len(avail))
+		if j > i {
+			i = j
+		}
+		return avail[i]
+	}
+	for g := 0; g < bodyGates; g++ {
+		t := pick()
+		var inputs []int
+		if t == Buf || t == Not {
+			inputs = []int{pickNet()}
+		} else {
+			k := 2
+			if t != Xor && t != Xnor && rng.Intn(4) == 0 {
+				k = 3 // occasional 3-input gate, as in standard-cell libraries
+			}
+			seen := map[int]bool{}
+			for len(inputs) < k {
+				x := pickNet()
+				if !seen[x] {
+					seen[x] = true
+					inputs = append(inputs, x)
+				}
+				if len(seen) == len(avail) {
+					break
+				}
+			}
+			if len(inputs) < 2 {
+				t, inputs = Not, inputs[:1]
+			}
+		}
+		out := n.AddGate(t, fmt.Sprintf("N%d", n.NumNets()+1), inputs...)
+		avail = append(avail, out)
+	}
+	// Combine all dangling nets into pos output trees so nothing is
+	// unobservable: deal the dangling nets round-robin into pos buckets and
+	// reduce each bucket with 2-input gates.
+	dangling := n.DanglingNets()
+	buckets := make([][]int, pos)
+	for i, d := range dangling {
+		buckets[i%pos] = append(buckets[i%pos], d)
+	}
+	reduceTypes := []GateType{Nand, Xor, Nor, Nand}
+	for b := range buckets {
+		for len(buckets[b]) == 0 {
+			// Bucket starved (fewer dangling nets than outputs): seed from a
+			// random internal net.
+			buckets[b] = append(buckets[b], avail[rng.Intn(len(avail))])
+		}
+		for len(buckets[b]) > 1 {
+			t := reduceTypes[rng.Intn(len(reduceTypes))]
+			a, c := buckets[b][0], buckets[b][1]
+			rest := buckets[b][2:]
+			if a == c {
+				buckets[b] = append([]int{a}, rest...)
+				continue
+			}
+			out := n.AddGate(t, fmt.Sprintf("N%d", n.NumNets()+1), a, c)
+			buckets[b] = append(append([]int{}, rest...), out)
+		}
+		n.MarkPO(buckets[b][0])
+	}
+	if err := n.Validate(); err != nil {
+		panic("netlist: generated circuit invalid: " + err.Error())
+	}
+	return n
+}
+
+// RippleAdder returns an n-bit ripple-carry adder: inputs A0..A(n-1),
+// B0..B(n-1), CIN; outputs S0..S(n-1), COUT. Built from full-adder cells
+// (2×XOR, 2×AND, 1×OR per bit), it is fully testable and functionally
+// verifiable, which makes it the workhorse of the simulator test suites.
+func RippleAdder(bits int) *Netlist {
+	n := New(fmt.Sprintf("add%d", bits))
+	a := make([]int, bits)
+	b := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		a[i] = n.AddPI(fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		b[i] = n.AddPI(fmt.Sprintf("B%d", i))
+	}
+	carry := n.AddPI("CIN")
+	for i := 0; i < bits; i++ {
+		axb := n.AddGate(Xor, fmt.Sprintf("AXB%d", i), a[i], b[i])
+		sum := n.AddGate(Xor, fmt.Sprintf("S%d", i), axb, carry)
+		n.MarkPO(sum)
+		t1 := n.AddGate(And, fmt.Sprintf("T1_%d", i), a[i], b[i])
+		t2 := n.AddGate(And, fmt.Sprintf("T2_%d", i), axb, carry)
+		carry = n.AddGate(Or, fmt.Sprintf("C%d", i+1), t1, t2)
+	}
+	n.MarkPO(carry)
+	return n
+}
+
+// MuxTree returns a 2^sel-to-1 multiplexer: data inputs D0..D(2^sel-1),
+// select inputs S0..S(sel-1), one output Y. Built from 2:1 mux slices
+// (NOT + 2×AND + OR).
+func MuxTree(sel int) *Netlist {
+	n := New(fmt.Sprintf("mux%d", 1<<sel))
+	data := make([]int, 1<<sel)
+	for i := range data {
+		data[i] = n.AddPI(fmt.Sprintf("D%d", i))
+	}
+	selNets := make([]int, sel)
+	for i := range selNets {
+		selNets[i] = n.AddPI(fmt.Sprintf("S%d", i))
+	}
+	layer := data
+	for s := 0; s < sel; s++ {
+		inv := n.AddGate(Not, fmt.Sprintf("NS%d", s), selNets[s])
+		next := make([]int, len(layer)/2)
+		for i := range next {
+			lo := n.AddGate(And, fmt.Sprintf("L%d_%d", s, i), layer[2*i], inv)
+			hi := n.AddGate(And, fmt.Sprintf("H%d_%d", s, i), layer[2*i+1], selNets[s])
+			next[i] = n.AddGate(Or, fmt.Sprintf("M%d_%d", s, i), lo, hi)
+		}
+		layer = next
+	}
+	n.MarkPO(layer[0])
+	return n
+}
+
+// ParityTree returns an n-input XOR parity tree with one output P.
+func ParityTree(inputs int) *Netlist {
+	n := New(fmt.Sprintf("parity%d", inputs))
+	layer := make([]int, inputs)
+	for i := range layer {
+		layer[i] = n.AddPI(fmt.Sprintf("X%d", i))
+	}
+	lvl := 0
+	for len(layer) > 1 {
+		var next []int
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, n.AddGate(Xor, fmt.Sprintf("P%d_%d", lvl, i/2), layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+		lvl++
+	}
+	n.MarkPO(layer[0])
+	return n
+}
+
+// Comparator returns an n-bit equality comparator: output EQ is 1 iff
+// A == B bitwise. Built from XNOR gates and an AND reduction tree.
+func Comparator(bits int) *Netlist {
+	n := New(fmt.Sprintf("cmp%d", bits))
+	a := make([]int, bits)
+	b := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		a[i] = n.AddPI(fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		b[i] = n.AddPI(fmt.Sprintf("B%d", i))
+	}
+	layer := make([]int, bits)
+	for i := 0; i < bits; i++ {
+		layer[i] = n.AddGate(Xnor, fmt.Sprintf("E%d", i), a[i], b[i])
+	}
+	lvl := 0
+	for len(layer) > 1 {
+		var next []int
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, n.AddGate(And, fmt.Sprintf("Q%d_%d", lvl, i/2), layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+		lvl++
+	}
+	n.MarkPO(layer[0])
+	return n
+}
+
+// Decoder returns an n-to-2^n one-hot decoder with enable: inputs
+// A0..A(n-1), EN; outputs Y0..Y(2^n-1).
+func Decoder(bits int) *Netlist {
+	n := New(fmt.Sprintf("dec%d", bits))
+	a := make([]int, bits)
+	for i := range a {
+		a[i] = n.AddPI(fmt.Sprintf("A%d", i))
+	}
+	en := n.AddPI("EN")
+	inv := make([]int, bits)
+	for i := range a {
+		inv[i] = n.AddGate(Not, fmt.Sprintf("NA%d", i), a[i])
+	}
+	for v := 0; v < 1<<bits; v++ {
+		terms := []int{en}
+		for i := 0; i < bits; i++ {
+			if v&(1<<i) != 0 {
+				terms = append(terms, a[i])
+			} else {
+				terms = append(terms, inv[i])
+			}
+		}
+		// Reduce with 2/3-input ANDs as a cell library would.
+		for len(terms) > 1 {
+			k := 2
+			if len(terms) >= 3 {
+				k = 3
+			}
+			out := n.AddGate(And, fmt.Sprintf("Y%d_r%d", v, len(terms)), terms[:k]...)
+			terms = append([]int{out}, terms[k:]...)
+		}
+		n.NetNames[terms[0]] = fmt.Sprintf("Y%d", v)
+		n.MarkPO(terms[0])
+	}
+	return n
+}

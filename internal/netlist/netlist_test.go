@@ -1,0 +1,450 @@
+package netlist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGateTypeEval(t *testing.T) {
+	a, b := uint64(0b0011), uint64(0b0101)
+	cases := []struct {
+		g    GateType
+		in   []uint64
+		want uint64 // low 4 bits
+	}{
+		{Buf, []uint64{a}, 0b0011},
+		{Not, []uint64{a}, ^a & 0xF},
+		{And, []uint64{a, b}, 0b0001},
+		{Nand, []uint64{a, b}, 0b1110},
+		{Or, []uint64{a, b}, 0b0111},
+		{Nor, []uint64{a, b}, 0b1000},
+		{Xor, []uint64{a, b}, 0b0110},
+		{Xnor, []uint64{a, b}, 0b1001},
+		{And, []uint64{a, b, 0b1111}, 0b0001},
+		{Or, []uint64{0, 0, a}, 0b0011},
+	}
+	for _, c := range cases {
+		if got := c.g.Eval(c.in) & 0xF; got != c.want {
+			t.Errorf("%v.Eval = %04b, want %04b", c.g, got, c.want)
+		}
+	}
+}
+
+func TestParseGateType(t *testing.T) {
+	for _, s := range []string{"nand", "NAND", "NaNd"} {
+		g, err := ParseGateType(s)
+		if err != nil || g != Nand {
+			t.Fatalf("ParseGateType(%q) = %v, %v", s, g, err)
+		}
+	}
+	if _, err := ParseGateType("MAJ"); err == nil {
+		t.Fatal("unknown gate must error")
+	}
+	if g, _ := ParseGateType("BUFF"); g != Buf {
+		t.Fatal("BUFF alias")
+	}
+	if g, _ := ParseGateType("INV"); g != Not {
+		t.Fatal("INV alias")
+	}
+}
+
+func TestInverting(t *testing.T) {
+	want := map[GateType]bool{Buf: false, Not: true, And: false, Nand: true,
+		Or: false, Nor: true, Xor: false, Xnor: true}
+	for g, inv := range want {
+		if g.Inverting() != inv {
+			t.Errorf("%v.Inverting() = %v", g, g.Inverting())
+		}
+	}
+}
+
+func TestC17Truth(t *testing.T) {
+	n := C17()
+	if len(n.PIs) != 5 || len(n.POs) != 2 || len(n.Gates) != 6 {
+		t.Fatalf("c17 profile wrong: %v", n.ComputeStats())
+	}
+	// Exhaustive check against the known c17 function:
+	// G22 = NAND(G10,G16), G23 = NAND(G16,G19) with
+	// G10=NAND(1,3) G11=NAND(3,6) G16=NAND(2,11) G19=NAND(11,7).
+	for v := 0; v < 32; v++ {
+		bit := func(i int) uint64 {
+			if v&(1<<i) != 0 {
+				return 1
+			}
+			return 0
+		}
+		g1, g2, g3, g6, g7 := bit(0), bit(1), bit(2), bit(3), bit(4)
+		nand := func(a, b uint64) uint64 { return (^(a & b)) & 1 }
+		g10 := nand(g1, g3)
+		g11 := nand(g3, g6)
+		g16 := nand(g2, g11)
+		g19 := nand(g11, g7)
+		want22 := nand(g10, g16)
+		want23 := nand(g16, g19)
+
+		vals, err := n.Eval([]uint64{g1, g2, g3, g6, g7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals[n.POs[0]]&1 != want22 || vals[n.POs[1]]&1 != want23 {
+			t.Fatalf("c17(%05b): got %d,%d want %d,%d", v,
+				vals[n.POs[0]]&1, vals[n.POs[1]]&1, want22, want23)
+		}
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	orig := C432Class(1)
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseBench(orig.Name, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.PIs) != len(orig.PIs) || len(back.POs) != len(orig.POs) || len(back.Gates) != len(orig.Gates) {
+		t.Fatalf("round trip changed profile: %v vs %v", back.ComputeStats(), orig.ComputeStats())
+	}
+	// Functional equivalence on random vectors (PI order is preserved).
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		pis := make([]uint64, len(orig.PIs))
+		for i := range pis {
+			pis[i] = rng.Uint64()
+		}
+		v1, err1 := orig.Eval(pis)
+		v2, err2 := back.Eval(pis)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		for i := range orig.POs {
+			if v1[orig.POs[i]] != v2[back.POs[i]] {
+				t.Fatalf("PO %d differs after round trip", i)
+			}
+		}
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	bad := []string{
+		"G1 = FROB(G2)\nINPUT(G2)\n",
+		"INPUT(G1)\nOUTPUT(G9)\n",       // undefined output
+		"INPUT(G1)\nG2 = NAND(G1)\n",    // NAND with one input
+		"INPUT(G1)\nG2 NAND(G1, G1)\n",  // missing =
+		"INPUT(G1)\nG2 = NAND G1, G1\n", // missing parens
+		"INPUT()\n",                     // empty name
+		"INPUT(G1)\nG2 = NOT(G1,G1)\n",  // NOT with two inputs
+		"INPUT(G1)\nG1 = NOT(G1)\n",     // multiply driven / self loop
+		"INPUT(G1)\nG2 = AND(G1, )\n",   // empty input token
+	}
+	for i, src := range bad {
+		if _, err := ParseBench("bad", strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected parse/validate error", i)
+		}
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	n := New("cyc")
+	a := n.AddPI("a")
+	x := n.AddNet("x")
+	y := n.AddNet("y")
+	n.AddGateTo(And, x, a, y)
+	n.AddGateTo(Buf, y, x)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("structure is valid (cycle is a levelization error): %v", err)
+	}
+	if _, _, err := n.Levelize(); err == nil {
+		t.Fatal("Levelize must detect the cycle")
+	}
+}
+
+func TestLevelizeLevels(t *testing.T) {
+	n := C17()
+	_, level, err := n.Levelize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pi := range n.PIs {
+		if level[pi] != 0 {
+			t.Fatal("PI level must be 0")
+		}
+	}
+	if d := n.Depth(); d != 3 {
+		t.Fatalf("c17 depth = %d, want 3", d)
+	}
+}
+
+func TestRippleAdderFunctional(t *testing.T) {
+	const bits = 8
+	n := RippleAdder(bits)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Uint64() & ((1 << bits) - 1)
+		b := rng.Uint64() & ((1 << bits) - 1)
+		cin := rng.Uint64() & 1
+		pis := make([]uint64, 2*bits+1)
+		for i := 0; i < bits; i++ {
+			pis[i] = (a >> i) & 1
+			pis[bits+i] = (b >> i) & 1
+		}
+		pis[2*bits] = cin
+		vals, err := n.Eval(pis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a + b + cin
+		var got uint64
+		for i := 0; i <= bits; i++ { // S0..S(bits-1), COUT
+			got |= (vals[n.POs[i]] & 1) << i
+		}
+		if got != want {
+			t.Fatalf("add(%d,%d,%d) = %d, want %d", a, b, cin, got, want)
+		}
+	}
+}
+
+func TestMuxTreeFunctional(t *testing.T) {
+	const sel = 3
+	n := MuxTree(sel)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		data := rng.Uint64() & 0xFF
+		s := rng.Intn(8)
+		pis := make([]uint64, 8+sel)
+		for i := 0; i < 8; i++ {
+			pis[i] = (data >> i) & 1
+		}
+		for i := 0; i < sel; i++ {
+			pis[8+i] = uint64((s >> i) & 1)
+		}
+		vals, err := n.Eval(pis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := vals[n.POs[0]]&1, (data>>s)&1; got != want {
+			t.Fatalf("mux(data=%08b, s=%d) = %d, want %d", data, s, got, want)
+		}
+	}
+}
+
+func TestParityTreeFunctional(t *testing.T) {
+	n := ParityTree(9)
+	for v := 0; v < 512; v += 7 {
+		pis := make([]uint64, 9)
+		parity := uint64(0)
+		for i := 0; i < 9; i++ {
+			pis[i] = uint64((v >> i) & 1)
+			parity ^= pis[i]
+		}
+		vals, err := n.Eval(pis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vals[n.POs[0]]&1 != parity {
+			t.Fatalf("parity(%09b) wrong", v)
+		}
+	}
+}
+
+func TestComparatorFunctional(t *testing.T) {
+	n := Comparator(6)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Uint64() & 63
+		b := rng.Uint64() & 63
+		if trial%3 == 0 {
+			b = a
+		}
+		pis := make([]uint64, 12)
+		for i := 0; i < 6; i++ {
+			pis[i] = (a >> i) & 1
+			pis[6+i] = (b >> i) & 1
+		}
+		vals, _ := n.Eval(pis)
+		want := uint64(0)
+		if a == b {
+			want = 1
+		}
+		if vals[n.POs[0]]&1 != want {
+			t.Fatalf("cmp(%d,%d) = %d, want %d", a, b, vals[n.POs[0]]&1, want)
+		}
+	}
+}
+
+func TestDecoderFunctional(t *testing.T) {
+	n := Decoder(3)
+	for v := 0; v < 8; v++ {
+		for _, en := range []uint64{0, 1} {
+			pis := make([]uint64, 4)
+			for i := 0; i < 3; i++ {
+				pis[i] = uint64((v >> i) & 1)
+			}
+			pis[3] = en
+			vals, _ := n.Eval(pis)
+			for o := 0; o < 8; o++ {
+				want := uint64(0)
+				if o == v && en == 1 {
+					want = 1
+				}
+				if vals[n.POs[o]]&1 != want {
+					t.Fatalf("dec(v=%d,en=%d) Y%d = %d, want %d", v, en, o, vals[n.POs[o]]&1, want)
+				}
+			}
+		}
+	}
+}
+
+func TestC432ClassProfile(t *testing.T) {
+	n := C432Class(1994)
+	s := n.ComputeStats()
+	if s.PIs != 36 || s.POs != 7 {
+		t.Fatalf("c432-class I/O profile wrong: %v", s)
+	}
+	if s.Gates < 140 || s.Gates > 230 {
+		t.Fatalf("c432-class gate count %d outside [140,230]", s.Gates)
+	}
+	if s.Depth < 6 {
+		t.Fatalf("c432-class depth %d too shallow", s.Depth)
+	}
+	if len(n.DanglingNets()) != 0 {
+		t.Fatalf("dangling nets: %v", n.DanglingNets())
+	}
+	// Deterministic for a fixed seed.
+	m := C432Class(1994)
+	var b1, b2 bytes.Buffer
+	if err := WriteBench(&b1, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBench(&b2, m); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("C432Class is not deterministic")
+	}
+	// Distinct seeds give distinct circuits.
+	o := C432Class(7)
+	var b3 bytes.Buffer
+	if err := WriteBench(&b3, o); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() == b3.String() {
+		t.Fatal("distinct seeds must differ")
+	}
+}
+
+func TestEvalParallelConsistencyProperty(t *testing.T) {
+	// Evaluating 64 patterns in one word must equal evaluating them one by
+	// one — the core parallel-pattern invariant the fault simulator relies on.
+	n := C432Class(11)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		words := make([]uint64, len(n.PIs))
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		packed, err := n.Eval(words)
+		if err != nil {
+			return false
+		}
+		for bit := 0; bit < 64; bit += 17 {
+			single := make([]uint64, len(n.PIs))
+			for i := range single {
+				single[i] = (words[i] >> bit) & 1
+			}
+			sv, err := n.Eval(single)
+			if err != nil {
+				return false
+			}
+			for _, po := range n.POs {
+				if (packed[po]>>bit)&1 != sv[po]&1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetByName(t *testing.T) {
+	n := C17()
+	id, ok := n.NetByName("G11")
+	if !ok {
+		t.Fatal("G11 must exist")
+	}
+	if n.NetNames[id] != "G11" {
+		t.Fatal("name mismatch")
+	}
+	if _, ok := n.NetByName("NOPE"); ok {
+		t.Fatal("NOPE must not exist")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := C17().ComputeStats()
+	str := s.String()
+	if !strings.Contains(str, "NAND:6") || !strings.Contains(str, "5 PI") {
+		t.Fatalf("stats string: %s", str)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	n := C17()
+	if _, err := n.Eval(make([]uint64, 3)); err == nil {
+		t.Fatal("wrong PI count must error")
+	}
+}
+
+func TestFaninCone(t *testing.T) {
+	nl := C17()
+	g22 := nl.POs[0]
+	cone := nl.FaninCone(g22)
+	// G22 = NAND(G10, G16); G10 = NAND(G1,G3); G16 = NAND(G2,G11);
+	// G11 = NAND(G3,G6). Cone: {G22,G10,G16,G1,G3,G2,G11,G6} = 8 nets.
+	if len(cone) != 8 {
+		t.Fatalf("c17 G22 fanin cone has %d nets, want 8", len(cone))
+	}
+	g7, _ := nl.NetByName("G7")
+	if cone[g7] {
+		t.Fatal("G7 feeds only G23, not G22")
+	}
+	if !cone[g22] {
+		t.Fatal("roots belong to their own cone")
+	}
+}
+
+func TestFanoutConeAndObservingPOs(t *testing.T) {
+	nl := C17()
+	g11, _ := nl.NetByName("G11")
+	fo := nl.FanoutCone(g11)
+	// G11 feeds G16 and G19, which feed G22 and G23.
+	for _, name := range []string{"G11", "G16", "G19", "G22", "G23"} {
+		id, _ := nl.NetByName(name)
+		if !fo[id] {
+			t.Fatalf("%s missing from G11 fanout cone", name)
+		}
+	}
+	pos := nl.ObservingPOs(g11)
+	if len(pos) != 2 {
+		t.Fatalf("G11 observed at %d POs, want 2", len(pos))
+	}
+	g10, _ := nl.NetByName("G10")
+	if got := nl.ObservingPOs(g10); len(got) != 1 {
+		t.Fatalf("G10 observed at %d POs, want 1 (G22)", len(got))
+	}
+	// PIs reach everything downstream of themselves; PO cones end at POs.
+	g1, _ := nl.NetByName("G1")
+	if pos := nl.ObservingPOs(g1); len(pos) != 1 {
+		t.Fatalf("G1 observed at %d POs", len(pos))
+	}
+}

@@ -1,0 +1,171 @@
+// Package stats provides the small statistics toolbox of the experiments:
+// logarithmic histograms (the paper's fault-weight histogram, fig. 3),
+// percentiles and summary statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// LogHistogram bins positive values by order of magnitude.
+type LogHistogram struct {
+	// BinsPerDecade controls resolution (default 4 when zero).
+	BinsPerDecade int
+	lo            int // index of the first bin (floor(log10(min)·bpd))
+	counts        []int
+	n             int
+}
+
+// NewLogHistogram builds a histogram of the positive values.
+func NewLogHistogram(values []float64, binsPerDecade int) *LogHistogram {
+	if binsPerDecade <= 0 {
+		binsPerDecade = 4
+	}
+	h := &LogHistogram{BinsPerDecade: binsPerDecade}
+	var idx []int
+	for _, v := range values {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		idx = append(idx, int(math.Floor(math.Log10(v)*float64(binsPerDecade))))
+	}
+	if len(idx) == 0 {
+		return h
+	}
+	lo, hi := idx[0], idx[0]
+	for _, i := range idx {
+		if i < lo {
+			lo = i
+		}
+		if i > hi {
+			hi = i
+		}
+	}
+	h.lo = lo
+	h.counts = make([]int, hi-lo+1)
+	for _, i := range idx {
+		h.counts[i-lo]++
+		h.n++
+	}
+	return h
+}
+
+// N returns the number of binned values.
+func (h *LogHistogram) N() int { return h.n }
+
+// Bins returns the bin lower edges (in value space) and counts.
+func (h *LogHistogram) Bins() (edges []float64, counts []int) {
+	for i, c := range h.counts {
+		e := math.Pow(10, float64(h.lo+i)/float64(h.BinsPerDecade))
+		edges = append(edges, e)
+		counts = append(counts, c)
+	}
+	return edges, counts
+}
+
+// SpanDecades returns the histogram width in decades (0 when empty).
+func (h *LogHistogram) SpanDecades() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(len(h.counts)) / float64(h.BinsPerDecade)
+}
+
+// Render draws the histogram as ASCII art, one row per bin.
+func (h *LogHistogram) Render(width int) string {
+	if h.n == 0 {
+		return "(empty histogram)\n"
+	}
+	if width <= 0 {
+		width = 50
+	}
+	maxC := 0
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	edges, counts := h.Bins()
+	for i, c := range counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%9.2e |%-*s %d\n", edges[i], width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// Percentile returns the p-th percentile (0–100) of values by
+// nearest-rank on a sorted copy. It panics on an empty slice.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		panic("stats: percentile of empty slice")
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// Summary holds the usual scalar summary of a sample.
+type Summary struct {
+	N                 int
+	Min, Max          float64
+	Mean, Median      float64
+	GeoMean           float64 // geometric mean over positive values
+	P05, P95          float64
+	DispersionDecades float64 // log10(P95/P05) over positive values
+}
+
+// Summarize computes a Summary. It panics on an empty slice.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		panic("stats: summarize empty slice")
+	}
+	s := Summary{N: len(values), Min: values[0], Max: values[0]}
+	var sum, logSum float64
+	pos := 0
+	for _, v := range values {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		if v > 0 {
+			logSum += math.Log(v)
+			pos++
+		}
+	}
+	s.Mean = sum / float64(len(values))
+	s.Median = Percentile(values, 50)
+	s.P05 = Percentile(values, 5)
+	s.P95 = Percentile(values, 95)
+	if pos > 0 {
+		s.GeoMean = math.Exp(logSum / float64(pos))
+	}
+	if s.P05 > 0 && s.P95 > 0 {
+		s.DispersionDecades = math.Log10(s.P95 / s.P05)
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g p05=%.3g median=%.3g mean=%.3g p95=%.3g max=%.3g span=%.2f decades",
+		s.N, s.Min, s.P05, s.Median, s.Mean, s.P95, s.Max, s.DispersionDecades)
+}

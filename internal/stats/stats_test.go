@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLogHistogramBasics(t *testing.T) {
+	values := []float64{1e-9, 2e-9, 1e-8, 1e-7, 5e-7, 1e-6}
+	h := NewLogHistogram(values, 1)
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	edges, counts := h.Bins()
+	if len(edges) != len(counts) {
+		t.Fatal("edges/counts mismatch")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 6 {
+		t.Fatalf("counts sum %d", total)
+	}
+	// Span: 1e-9..1e-6 is 4 decade bins at 1 bin/decade.
+	if got := h.SpanDecades(); got != 4 {
+		t.Fatalf("span = %g decades", got)
+	}
+	if !strings.Contains(h.Render(20), "#") {
+		t.Fatal("render must draw bars")
+	}
+}
+
+func TestLogHistogramIgnoresBadValues(t *testing.T) {
+	h := NewLogHistogram([]float64{-1, 0, math.NaN(), math.Inf(1), 10}, 4)
+	if h.N() != 1 {
+		t.Fatalf("N = %d, want 1", h.N())
+	}
+	empty := NewLogHistogram(nil, 4)
+	if empty.N() != 0 || empty.SpanDecades() != 0 {
+		t.Fatal("empty histogram")
+	}
+	if !strings.Contains(empty.Render(10), "empty") {
+		t.Fatal("empty render")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{5, 1, 3, 2, 4}
+	if Percentile(v, 0) != 1 || Percentile(v, 100) != 5 {
+		t.Fatal("extremes")
+	}
+	if Percentile(v, 50) != 3 {
+		t.Fatalf("median = %g", Percentile(v, 50))
+	}
+	if Percentile(v, 20) != 1 {
+		t.Fatalf("p20 = %g", Percentile(v, 20))
+	}
+	// Input must not be mutated.
+	if v[0] != 5 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	v := []float64{1, 10, 100, 1000}
+	s := Summarize(v)
+	if s.N != 4 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.Mean-277.75) > 1e-9 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	if math.Abs(s.GeoMean-math.Pow(10, 1.5)) > 1e-9 {
+		t.Fatalf("geomean = %g", s.GeoMean)
+	}
+	if s.String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	Summarize(nil)
+}

@@ -1,0 +1,307 @@
+package switchsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"defectsim/internal/fault"
+	"defectsim/internal/layout"
+	"defectsim/internal/transistor"
+)
+
+// NewFaultMachine returns a machine with the given realistic fault
+// injected. It returns nil when the fault has no switch-level model worth
+// simulating, together with a verdict:
+//
+//   - a GND–VDD bridge is a gross power short, detected by the very first
+//     vector (verdict detected);
+//   - bridges between ideally driven nets only (PI–PI, PI–rail) never
+//     change a logic value under the strength model (the pad always wins)
+//     and are voltage-undetectable (verdict undetectable).
+type Verdict uint8
+
+// Verdicts for faults that need no simulation.
+const (
+	VerdictSimulate Verdict = iota
+	VerdictDetected
+	VerdictUndetectable
+)
+
+// NewFaultMachine builds the faulty machine for f, or returns a nil machine
+// and a trivial verdict.
+func NewFaultMachine(c *transistor.Circuit, f fault.Realistic) (*Machine, Verdict) {
+	return NewResistiveFaultMachine(c, f, BridgeG)
+}
+
+// NewResistiveFaultMachine is NewFaultMachine with an explicit bridge
+// conductance: hard shorts use BridgeG, while resistive bridges (the
+// Renovell-style model) use conductances comparable to — or below — the
+// gate drive strengths, where a bridge may no longer overpower the weaker
+// driver and quietly escapes voltage testing.
+func NewResistiveFaultMachine(c *transistor.Circuit, f fault.Realistic, bridgeG float64) (*Machine, Verdict) {
+	isPI := func(n int) bool {
+		for _, pi := range c.PIs {
+			if pi == n {
+				return true
+			}
+		}
+		return false
+	}
+	isRail := func(n int) bool { return n == layout.NetGND || n == layout.NetVDD }
+	ideal := func(n int) bool { return isRail(n) || isPI(n) }
+
+	m := NewMachine(c)
+	if bridgeG > 0 {
+		m.bridgeG = bridgeG
+	}
+	m.removedDev = map[int]bool{}
+	m.deadPI = map[int]bool{}
+	m.extraOf = map[int][][2]int{}
+
+	addSeed := func(id int) {
+		if id < 0 {
+			return
+		}
+		for _, s := range m.seedCCCs {
+			if s == id {
+				return
+			}
+		}
+		m.seedCCCs = append(m.seedCCCs, id)
+	}
+
+	switch f.Kind {
+	case fault.KindBridge:
+		a, b := f.NetA, f.NetB
+		if ideal(a) && ideal(b) {
+			// Power short, pad-to-pad short, or pad-to-rail short: these
+			// never change a functional logic value (the ideal driver wins)
+			// but production test catches them before functional vectors —
+			// rail-rail kills the supply, and pad shorts fail the standard
+			// DC continuity/shorts and input-leakage screens.
+			return nil, VerdictDetected
+		}
+		br := [2]int{a, b}
+		m.bridges = append(m.bridges, br)
+		for _, n := range br {
+			if id := c.CCCOf[n]; id >= 0 {
+				m.extraOf[id] = append(m.extraOf[id], br)
+				addSeed(id)
+			} else {
+				m.extraOf[-1-n] = append(m.extraOf[-1-n], br)
+			}
+		}
+		if len(m.seedCCCs) == 0 {
+			// Both endpoints outside CCCs but not ideal: nothing to solve.
+			return nil, VerdictUndetectable
+		}
+	case fault.KindOpenInput:
+		for di, d := range c.Devices {
+			if d.Inst == f.Inst && d.Node == f.Node {
+				m.removedDev[di] = true
+				addSeed(c.CCCOf[d.Source])
+				addSeed(c.CCCOf[d.Drain])
+			}
+		}
+		if len(m.removedDev) == 0 {
+			return nil, VerdictUndetectable
+		}
+	case fault.KindOpenDriver:
+		// A severed interconnect trunk leaves every receiver floating;
+		// junction leakage pulls the dangling wire to a stuck level (we
+		// model stuck-0, the usual n-well process assumption), so trunk
+		// opens behave like stuck-at faults on the whole net — the classic
+		// reason stuck-at test sets cover most interconnect opens, while
+		// gate-level (input-branch) opens need two-pattern sequences.
+		net := f.NetA
+		for di, d := range c.Devices {
+			if d.Source == net || d.Drain == net {
+				m.removedDev[di] = true
+				addSeed(c.CCCOf[d.Source])
+				addSeed(c.CCCOf[d.Drain])
+			}
+		}
+		if isPI(net) {
+			m.deadPI[net] = true
+		}
+		m.forced = map[int]Val{net: V0}
+		if id := c.CCCOf[net]; id >= 0 {
+			addSeed(id)
+		}
+		if len(c.Readers[net]) == 0 && len(m.removedDev) == 0 {
+			// Net neither gates nor channels anything: no logic effect.
+			return nil, VerdictUndetectable
+		}
+	default:
+		return nil, VerdictUndetectable
+	}
+	return m, VerdictSimulate
+}
+
+// Result holds the outcome of a realistic-fault simulation campaign.
+type Result struct {
+	// DetectedAt[i] is the 1-based index of the first vector whose static
+	// voltage observation detects fault i (0 = never detected).
+	DetectedAt []int
+	// IDDQAt[i] is the first vector at which a quiescent-current (IDDQ)
+	// measurement would detect fault i (bridges only; 0 otherwise).
+	IDDQAt []int
+	// Oscillations counts vectors abandoned because a feedback bridge kept
+	// the machine from settling.
+	Oscillations int
+}
+
+// DetectedBy returns the detection flags after k vectors under voltage
+// testing (optionally OR-ing in IDDQ detections).
+func (r *Result) DetectedBy(k int, iddq bool) []bool {
+	out := make([]bool, len(r.DetectedAt))
+	for i, d := range r.DetectedAt {
+		if d > 0 && d <= k {
+			out[i] = true
+		}
+		if iddq && r.IDDQAt[i] > 0 && r.IDDQAt[i] <= k {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// SimulateFaults runs the fault list against the vector sequence on circuit
+// c with one worker per CPU. See SimulateFaultsN.
+func SimulateFaults(c *transistor.Circuit, list *fault.List, vectors []Vector) (*Result, error) {
+	return SimulateFaultsN(c, list, vectors, 0)
+}
+
+// SimulateFaultsN runs the fault list against the vector sequence on
+// circuit c. Detection is static voltage observation at the primary
+// outputs: a fault is detected by vector k when some PO is definite (0/1)
+// in both the good and faulty machine and the values differ — X outputs
+// never detect (the paper's "steady-state voltage measurement" pessimism).
+// Detected faults are dropped; the good/faulty state-sharing fast path
+// keeps undetected faults cheap while they shadow the good machine.
+//
+// workers sets the number of goroutines advancing fault machines (≤ 0
+// chooses GOMAXPROCS). Fault machines are independent given the good
+// trace, so the result is identical for any worker count.
+func SimulateFaultsN(c *transistor.Circuit, list *fault.List, vectors []Vector, workers int) (*Result, error) {
+	return SimulateFaultsR(c, list, vectors, workers, BridgeG)
+}
+
+// SimulateFaultsR is SimulateFaultsN with an explicit bridge conductance
+// for resistive-bridge studies.
+func SimulateFaultsR(c *transistor.Circuit, list *fault.List, vectors []Vector, workers int, bridgeG float64) (*Result, error) {
+	res := &Result{
+		DetectedAt: make([]int, len(list.Faults)),
+		IDDQAt:     make([]int, len(list.Faults)),
+	}
+	type live struct {
+		idx   int
+		m     *Machine
+		clean bool
+	}
+	var lives []*live
+	for i, f := range list.Faults {
+		m, v := NewResistiveFaultMachine(c, f, bridgeG)
+		switch v {
+		case VerdictDetected:
+			res.DetectedAt[i] = 1
+			if f.Kind == fault.KindBridge {
+				res.IDDQAt[i] = 1
+			}
+		case VerdictSimulate:
+			// A fresh machine's state (all X) matches the good machine's
+			// pre-state, so the cheap shared-state path applies from the
+			// very first vector.
+			lives = append(lives, &live{idx: i, m: m, clean: true})
+		}
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	good := NewMachine(c)
+	goodPrev := make([]Val, len(good.val))
+	oscillations := make([]int64, workers)
+	for k, vec := range vectors {
+		copy(goodPrev, good.val)
+		if !good.Apply(vec) {
+			return nil, fmt.Errorf("switchsim: good machine failed to settle on vector %d", k)
+		}
+		goodVal := good.val
+
+		// IDDQ screening of bridges (needs only good values): quiescent
+		// current flows when the bridged nodes are driven to opposite
+		// definite values.
+		for i, f := range list.Faults {
+			if f.Kind != fault.KindBridge || res.IDDQAt[i] != 0 {
+				continue
+			}
+			va, vb := goodVal[f.NetA], goodVal[f.NetB]
+			if va != VX && vb != VX && va != vb {
+				res.IDDQAt[i] = k + 1
+			}
+		}
+
+		// Advance every live machine; each machine touches only its own
+		// state, so the work shards freely.
+		drop := make([]bool, len(lives))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for li := w; li < len(lives); li += workers {
+					lv := lives[li]
+					var ok bool
+					if lv.clean {
+						ok = lv.m.ApplyFromGood(goodVal, goodPrev)
+					} else {
+						ok = lv.m.Apply(vec)
+					}
+					if !ok {
+						oscillations[w]++
+						lv.clean = false
+						continue
+					}
+					detected := false
+					for _, po := range c.POs {
+						gv, fv := goodVal[po], lv.m.val[po]
+						if gv != VX && fv != VX && gv != fv {
+							detected = true
+							break
+						}
+					}
+					if detected {
+						res.DetectedAt[lv.idx] = k + 1
+						drop[li] = true
+						continue
+					}
+					lv.clean = equalVals(lv.m.val, goodVal)
+				}
+			}(w)
+		}
+		wg.Wait()
+		keep := lives[:0]
+		for li, lv := range lives {
+			if !drop[li] {
+				keep = append(keep, lv)
+			}
+		}
+		lives = keep
+	}
+	for _, o := range oscillations {
+		res.Oscillations += int(o)
+	}
+	return res, nil
+}
+
+func equalVals(a, b []Val) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

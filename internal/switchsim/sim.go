@@ -1,0 +1,497 @@
+// Package switchsim is the switch-level fault simulator of the pipeline
+// (the paper's swift): an event-driven, three-valued (0/1/X) simulator over
+// channel-connected components with a conductance-based strength model.
+//
+// Each CCC is solved by max-conductance relaxation: a signal reaching a node
+// through a chain of conducting transistors has the series conductance of
+// the chain (g₁g₂/(g₁+g₂) per device); the node takes the strongest
+// definitely-arriving value unless a possibly-conducting path of comparable
+// strength could deliver the opposite value (→ X). Undriven nodes retain
+// their previous value (charge storage), which is what makes open faults
+// sequence-dependent and harder to detect than bridges — the central
+// mechanism behind the paper's susceptibility ratio R and coverage ceiling
+// Θmax.
+//
+// Fault injection (faultsim.go) supports the realistic fault kinds of
+// package fault: bridges (an always-on short of high conductance, resolved
+// by relative drive strength) and opens (transistors removed / nets severed
+// from their drivers).
+package switchsim
+
+import (
+	"fmt"
+
+	"defectsim/internal/cell"
+	"defectsim/internal/layout"
+	"defectsim/internal/transistor"
+)
+
+// Val is a three-valued logic level.
+type Val uint8
+
+// Logic values.
+const (
+	V0 Val = iota
+	V1
+	VX
+)
+
+// String returns "0", "1" or "X".
+func (v Val) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	}
+	return "X"
+}
+
+// Conductances of the strength model.
+const (
+	RailG   = 1e12 // power rails and primary inputs (ideal drivers)
+	BridgeG = 1e5  // bridging defect (hard short, far above any device)
+	tinyG   = 1e-18
+)
+
+// series combines two conductances in series.
+func series(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	return a * b / (a + b)
+}
+
+// Vector is one input pattern: a 0/1 value per primary input, in netlist PI
+// order.
+type Vector []Val
+
+// conduction state of a device under current gate values.
+type conduction uint8
+
+const (
+	condOff conduction = iota
+	condOn
+	condMaybe
+)
+
+func devConduction(d *transistor.Device, gateVal Val) conduction {
+	switch gateVal {
+	case VX:
+		return condMaybe
+	case V1:
+		if d.Type == cell.NMOS {
+			return condOn
+		}
+		return condOff
+	default: // V0
+		if d.Type == cell.PMOS {
+			return condOn
+		}
+		return condOff
+	}
+}
+
+// Machine is one simulated circuit instance (good or faulty) with its own
+// persistent node state. Faulty machines share the circuit structure and
+// carry a fault configuration.
+type Machine struct {
+	c   *transistor.Circuit
+	val []Val
+
+	// Fault configuration (zero values = fault-free).
+	removedDev map[int]bool // device indices forced off (stuck-open)
+	bridges    [][2]int     // extra always-on edges of conductance bridgeG
+	bridgeG    float64      // defect conductance (BridgeG unless resistive)
+	deadPI     map[int]bool // PI nets severed from their pads
+	forced     map[int]Val  // nets pinned to a level (severed trunks)
+
+	// extraOf[ccc] lists bridges touching the CCC (merged partners are
+	// solved together); key -1-net indexes bridges touching nets outside
+	// any CCC (primary inputs).
+	extraOf map[int][][2]int
+	// seedCCCs are the CCCs hosting the fault hardware; they are re-solved
+	// on every vector.
+	seedCCCs []int
+
+	queue   []int
+	inQueue []bool
+}
+
+// NewMachine returns a fault-free machine over c with all nodes at X.
+func NewMachine(c *transistor.Circuit) *Machine {
+	m := &Machine{c: c, val: make([]Val, c.NumNets), bridgeG: BridgeG}
+	for i := range m.val {
+		m.val[i] = VX
+	}
+	m.val[layout.NetGND] = V0
+	m.val[layout.NetVDD] = V1
+	return m
+}
+
+// Val returns the current value of net n.
+func (m *Machine) Val(n int) Val { return m.val[n] }
+
+// solveCCC evaluates the CCC group containing id (plus bridge-merged
+// partners) against the machine's current values and writes the resulting
+// node values into out (a scratch map). It returns the nets whose value
+// changed.
+func (m *Machine) solveCCC(id int, changed []int) []int {
+	c := m.c
+	// Gather the node group: the CCC itself plus CCCs reachable through
+	// bridges (transitively). Kept as an ordered slice so evaluation is
+	// deterministic.
+	groupIDs := []int{id}
+	inGroup := map[int]bool{id: true}
+	var extra [][2]int
+	for i := 0; i < len(groupIDs); i++ {
+		for _, br := range m.extraOf[groupIDs[i]] {
+			extra = append(extra, br)
+			for _, n := range br {
+				oc := m.cccOfNet(n)
+				if oc >= 0 && !inGroup[oc] {
+					inGroup[oc] = true
+					groupIDs = append(groupIDs, oc)
+				}
+			}
+		}
+	}
+
+	// Local node index.
+	local := map[int]int{}
+	var nets []int
+	addNet := func(n int) {
+		if _, ok := local[n]; !ok {
+			local[n] = len(nets)
+			nets = append(nets, n)
+		}
+	}
+	for _, g := range groupIDs {
+		for _, n := range c.CCCs[g] {
+			addNet(n)
+		}
+	}
+	// Bridged endpoints outside any CCC (rails, PIs, netless nets) act as
+	// sources, handled below.
+
+	type edge struct {
+		u, v int // local node indices; -1 marks a source endpoint
+		g    float64
+		cond conduction
+		srcV Val // value delivered when u == -1
+	}
+	var edges []edge
+	for _, g := range groupIDs {
+		for _, di := range c.DevsOf[g] {
+			if m.removedDev[di] {
+				continue
+			}
+			d := &c.Devices[di]
+			cond := devConduction(d, m.val[d.Gate])
+			if cond == condOff {
+				continue
+			}
+			s, t := d.Source, d.Drain
+			si, sok := local[s]
+			ti, tok := local[t]
+			switch {
+			case sok && tok:
+				edges = append(edges, edge{si, ti, d.Conductance, cond, VX})
+			case sok:
+				// t is a rail (or external strongly driven net).
+				edges = append(edges, edge{-1, si, d.Conductance, cond, m.val[t]})
+			case tok:
+				edges = append(edges, edge{-1, ti, d.Conductance, cond, m.val[s]})
+			}
+		}
+	}
+	for _, br := range extra {
+		a, b := br[0], br[1]
+		ai, aok := local[a]
+		bi, bok := local[b]
+		switch {
+		case aok && bok:
+			edges = append(edges, edge{ai, bi, m.bridgeG, condOn, VX})
+		case aok:
+			edges = append(edges, edge{-1, ai, m.bridgeG, condOn, m.val[b]})
+		case bok:
+			edges = append(edges, edge{-1, bi, m.bridgeG, condOn, m.val[a]})
+		}
+	}
+
+	// Max-conductance relaxation, four fields per node:
+	// def/may × value 0/1.
+	n := len(nets)
+	var d0, d1, m0, m1 []float64
+	d0 = make([]float64, n)
+	d1 = make([]float64, n)
+	m0 = make([]float64, n)
+	m1 = make([]float64, n)
+	relax := func(g []float64, v Val, defOnly bool) {
+		// Seed from sources.
+		for _, e := range edges {
+			if e.u != -1 || e.srcV != v {
+				continue
+			}
+			if defOnly && (e.cond != condOn || e.srcV == VX) {
+				continue
+			}
+			if cand := series(RailG, e.g); cand > g[e.v] {
+				g[e.v] = cand
+			}
+		}
+		for iter := 0; iter < n; iter++ {
+			changedAny := false
+			for _, e := range edges {
+				if e.u == -1 {
+					continue
+				}
+				if defOnly && e.cond != condOn {
+					continue
+				}
+				if cand := series(g[e.u], e.g); cand > g[e.v]*(1+1e-12) && cand > tinyG {
+					g[e.v] = cand
+					changedAny = true
+				}
+				if cand := series(g[e.v], e.g); cand > g[e.u]*(1+1e-12) && cand > tinyG {
+					g[e.u] = cand
+					changedAny = true
+				}
+			}
+			if !changedAny {
+				break
+			}
+		}
+	}
+	relax(d0, V0, true)
+	relax(d1, V1, true)
+	relax(m0, V0, false)
+	relax(m1, V1, false)
+	// An X-valued source may deliver either value in the "may" fields.
+	relaxXSource := func() {
+		seeded := false
+		for _, e := range edges {
+			if e.u == -1 && e.srcV == VX {
+				if cand := series(RailG, e.g); cand > m0[e.v] || cand > m1[e.v] {
+					if cand > m0[e.v] {
+						m0[e.v] = cand
+					}
+					if cand > m1[e.v] {
+						m1[e.v] = cand
+					}
+					seeded = true
+				}
+			}
+		}
+		if seeded {
+			relax(m0, V0, false)
+			relax(m1, V1, false)
+		}
+	}
+	relaxXSource()
+
+	const cmp = 1 + 1e-9
+	for i, net := range nets {
+		if _, pinned := m.forced[net]; pinned {
+			continue
+		}
+		prev := m.val[net]
+		var nv Val
+		switch {
+		case m0[i] < tinyG && m1[i] < tinyG:
+			nv = prev // floating: charge storage
+		case m0[i] < tinyG:
+			if d1[i] > tinyG {
+				nv = V1
+			} else if prev == V1 {
+				nv = V1 // may float or pull up — both give 1
+			} else {
+				nv = VX
+			}
+		case m1[i] < tinyG:
+			if d0[i] > tinyG {
+				nv = V0
+			} else if prev == V0 {
+				nv = V0
+			} else {
+				nv = VX
+			}
+		case d1[i] > m0[i]*cmp:
+			nv = V1
+		case d0[i] > m1[i]*cmp:
+			nv = V0
+		default:
+			nv = VX
+		}
+		if nv != prev {
+			m.val[net] = nv
+			changed = append(changed, net)
+		}
+	}
+	return changed
+}
+
+func (m *Machine) cccOfNet(n int) int {
+	if n < 0 || n >= len(m.c.CCCOf) {
+		return -1
+	}
+	return m.c.CCCOf[n]
+}
+
+// Apply drives the primary inputs with vec and relaxes the whole machine to
+// a fixpoint (bounded). It returns false if the bound was hit (an
+// oscillation, possible only with feedback-creating bridges).
+func (m *Machine) Apply(vec Vector) bool {
+	if len(vec) != len(m.c.PIs) {
+		panic(fmt.Sprintf("switchsim: vector has %d bits, circuit has %d PIs", len(vec), len(m.c.PIs)))
+	}
+	m.ensureQueue()
+	for i, pi := range m.c.PIs {
+		v := vec[i]
+		if m.deadPI[pi] {
+			v = VX // severed from its pad: floats
+		}
+		if m.val[pi] != v {
+			m.val[pi] = v
+			m.pushReaders(pi)
+		}
+	}
+	m.applyForced()
+	// Always re-seed the fault hardware's CCCs, and every CCC on the first
+	// vector (all-X start).
+	for _, id := range m.seedCCCs {
+		m.push(id)
+	}
+	if m.allX() {
+		for id := range m.c.CCCs {
+			m.push(id)
+		}
+	}
+	return m.settle()
+}
+
+// applyForced pins forced nets (severed trunks) to their stuck level.
+func (m *Machine) applyForced() {
+	for net, v := range m.forced {
+		if m.val[net] != v {
+			m.val[net] = v
+			m.pushReaders(net)
+		}
+	}
+}
+
+// ApplyFromGood advances a currently-clean faulty machine: its pre-vector
+// state is known to equal the good machine's pre-vector state, so only the
+// fault hardware's own CCCs need re-solving, with effects propagated from
+// there. goodPost is the good machine's state after the vector; goodPrev is
+// its state before. Nodes outside the seed CCCs evolve exactly like the
+// good machine and take goodPost directly; seed-CCC nodes are reset to
+// goodPrev first so that charge retention (floating nodes keeping their
+// previous value) is computed against the correct history.
+func (m *Machine) ApplyFromGood(goodPost, goodPrev []Val) bool {
+	copy(m.val, goodPost)
+	m.ensureQueue()
+	for _, id := range m.seedCCCs {
+		for _, net := range m.c.CCCs[id] {
+			m.val[net] = goodPrev[net]
+		}
+	}
+	for pi := range m.deadPI {
+		if m.val[pi] != VX {
+			m.val[pi] = VX
+			m.pushReaders(pi)
+		}
+	}
+	m.applyForced()
+	for _, id := range m.seedCCCs {
+		m.push(id)
+	}
+	return m.settle()
+}
+
+func (m *Machine) ensureQueue() {
+	if m.inQueue == nil {
+		m.inQueue = make([]bool, len(m.c.CCCs))
+	}
+}
+
+func (m *Machine) push(id int) {
+	if id >= 0 && !m.inQueue[id] {
+		m.inQueue[id] = true
+		m.queue = append(m.queue, id)
+	}
+}
+
+func (m *Machine) pushReaders(net int) {
+	for _, r := range m.c.Readers[net] {
+		m.push(r)
+	}
+	// Bridges can attach channel groups to nets outside any CCC (PIs).
+	for _, br := range m.extraOf[-1-net] {
+		for _, bn := range br {
+			m.push(m.cccOfNet(bn))
+		}
+	}
+}
+
+// settle drains the event queue to a fixpoint, with a budget bounding
+// bridge-induced oscillation.
+func (m *Machine) settle() bool {
+	budget := 8*len(m.c.CCCs) + 64
+	var scratch []int
+	for len(m.queue) > 0 {
+		if budget == 0 {
+			m.queue = m.queue[:0]
+			for i := range m.inQueue {
+				m.inQueue[i] = false
+			}
+			return false
+		}
+		budget--
+		id := m.queue[0]
+		m.queue = m.queue[1:]
+		m.inQueue[id] = false
+		scratch = m.solveCCC(id, scratch[:0])
+		for _, net := range scratch {
+			m.pushReaders(net)
+		}
+	}
+	return true
+}
+
+func (m *Machine) allX() bool {
+	for i, v := range m.val {
+		if i == layout.NetGND || i == layout.NetVDD {
+			continue
+		}
+		if v != VX {
+			return false
+		}
+	}
+	return true
+}
+
+// Outputs returns the current PO values in netlist order.
+func (m *Machine) Outputs() []Val {
+	out := make([]Val, len(m.c.POs))
+	for i, po := range m.c.POs {
+		out[i] = m.val[po]
+	}
+	return out
+}
+
+// Run applies the vectors in order to a fresh fault-free machine and
+// returns the PO values after each vector. It is the good-circuit
+// switch-level simulation used to cross-validate against gate-level logic
+// simulation.
+func Run(c *transistor.Circuit, vectors []Vector) ([][]Val, error) {
+	m := NewMachine(c)
+	out := make([][]Val, len(vectors))
+	for i, vec := range vectors {
+		if !m.Apply(vec) {
+			return nil, fmt.Errorf("switchsim: %s did not settle on vector %d", c.Name, i)
+		}
+		out[i] = m.Outputs()
+	}
+	return out, nil
+}

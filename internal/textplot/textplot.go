@@ -1,0 +1,194 @@
+// Package textplot renders the experiments' figures as ASCII art: multi-
+// series scatter/line plots with optional logarithmic axes, and aligned
+// tables. Output is deliberately plain so figures can live in terminals,
+// logs and EXPERIMENTS.md alike.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one data set of a plot.
+type Series struct {
+	Name   string
+	Marker byte
+	XS, YS []float64
+}
+
+// Plot is a 2-D character-grid plot.
+type Plot struct {
+	Title          string
+	XLabel, YLabel string
+	XLog, YLog     bool
+	W, H           int // plot area in characters (excluding axes)
+	series         []Series
+}
+
+// Add appends a series; xs and ys must have equal length.
+func (p *Plot) Add(name string, marker byte, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic("textplot: series length mismatch")
+	}
+	p.series = append(p.series, Series{name, marker, xs, ys})
+}
+
+func (p *Plot) transform(v float64, log bool) (float64, bool) {
+	if log {
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+	return v, true
+}
+
+// Render draws the plot.
+func (p *Plot) Render() string {
+	w, h := p.W, p.H
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	// Data range in transformed space.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.XS {
+			x, okx := p.transform(s.XS[i], p.XLog)
+			y, oky := p.transform(s.YS[i], p.YLog)
+			if !okx || !oky {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if math.IsInf(minX, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range p.series {
+		for i := range s.XS {
+			x, okx := p.transform(s.XS[i], p.XLog)
+			y, oky := p.transform(s.YS[i], p.YLog)
+			if !okx || !oky {
+				continue
+			}
+			cx := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+			cy := int(math.Round((y - minY) / (maxY - minY) * float64(h-1)))
+			row := h - 1 - cy
+			if cx >= 0 && cx < w && row >= 0 && row < h {
+				grid[row][cx] = s.Marker
+			}
+		}
+	}
+	inv := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	yLab := func(v float64) string { return fmt.Sprintf("%10.3g", inv(v, p.YLog)) }
+	for i, row := range grid {
+		label := strings.Repeat(" ", 10)
+		switch i {
+		case 0:
+			label = yLab(maxY)
+		case h - 1:
+			label = yLab(minY)
+		case (h - 1) / 2:
+			label = yLab((minY + maxY) / 2)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	lo := fmt.Sprintf("%.3g", inv(minX, p.XLog))
+	hi := fmt.Sprintf("%.3g", inv(maxX, p.XLog))
+	pad := w - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", 10), lo, strings.Repeat(" ", pad), hi)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", 10), p.XLabel, p.YLabel)
+	}
+	for _, s := range p.series {
+		fmt.Fprintf(&b, "%s    %c %s\n", strings.Repeat(" ", 10), s.Marker, s.Name)
+	}
+	return b.String()
+}
+
+// Table renders aligned text tables.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row (cells are stringified via %v).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.6g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render draws the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, hd := range t.Headers {
+		widths[i] = len(hd)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}

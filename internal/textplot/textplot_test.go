@@ -1,0 +1,113 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	p := Plot{Title: "demo", XLabel: "x", YLabel: "y", W: 40, H: 10}
+	p.Add("line", '*', []float64{1, 2, 3, 4}, []float64{1, 4, 9, 16})
+	out := p.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*") {
+		t.Fatalf("render missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "line") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "x: x") {
+		t.Fatal("axis labels missing")
+	}
+	// Monotone increasing data: the marker in the top row must be to the
+	// right of the marker in the bottom row.
+	lines := strings.Split(out, "\n")
+	var first, last int = -1, -1
+	for _, ln := range lines {
+		if i := strings.IndexByte(ln, '*'); i >= 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 || last < 0 || first <= last {
+		t.Fatalf("orientation wrong: first=%d last=%d", first, last)
+	}
+}
+
+func TestPlotLogAxes(t *testing.T) {
+	p := Plot{XLog: true, YLog: true, W: 30, H: 8}
+	p.Add("s", 'o', []float64{1, 10, 100, 1000}, []float64{1e-6, 1e-4, 1e-2, 1})
+	out := p.Render()
+	if !strings.Contains(out, "o") {
+		t.Fatal("no markers")
+	}
+	// Log-transformed straight line: every row between extremes should
+	// contain a marker column strictly between its neighbors — just check
+	// there are at least 3 distinct marker columns.
+	cols := map[int]bool{}
+	for _, ln := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(ln, 'o'); i >= 0 {
+			cols[i] = true
+		}
+	}
+	if len(cols) < 3 {
+		t.Fatalf("log plot degenerate: %v", cols)
+	}
+}
+
+func TestPlotSkipsNonPositiveOnLogAxes(t *testing.T) {
+	p := Plot{YLog: true, W: 20, H: 5}
+	p.Add("s", 'o', []float64{1, 2, 3}, []float64{0, -1, 10})
+	out := p.Render()
+	if strings.Count(out, "o") != 1+1 { // one marker + one legend entry
+		t.Fatalf("non-positive values must be dropped:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := Plot{}
+	if !strings.Contains(p.Render(), "no data") {
+		t.Fatal("empty plot must say so")
+	}
+}
+
+func TestPlotMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths must panic")
+		}
+	}()
+	var p Plot
+	p.Add("bad", 'x', []float64{1}, []float64{1, 2})
+}
+
+func TestPlotDegenerateRange(t *testing.T) {
+	p := Plot{W: 10, H: 4}
+	p.Add("pt", '*', []float64{5}, []float64{7})
+	if !strings.Contains(p.Render(), "*") {
+		t.Fatal("single point must render")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := Table{Headers: []string{"name", "value", "note"}}
+	tb.AddRow("alpha", 3.14159, "pi-ish")
+	tb.AddRow("beta", 42, "int")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatal("header wrong")
+	}
+	if !strings.Contains(lines[2], "3.14159") || !strings.Contains(lines[3], "42") {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+	// Columns aligned: "value" column starts at the same offset everywhere.
+	off := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][off:], "3.14159") {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}

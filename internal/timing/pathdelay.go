@@ -1,0 +1,176 @@
+package timing
+
+import (
+	"fmt"
+
+	"defectsim/internal/gatesim"
+	"defectsim/internal/netlist"
+)
+
+// Path-delay fault testing: a path-delay fault on path P (a specific
+// PI→PO path being slower than the clock) is tested by a vector pair
+// (v1, v2) non-robustly when
+//
+//   - v2 statically sensitizes P: every off-path input of every gate on P
+//     carries a non-controlling value under v2, so the transition entering
+//     each gate determines its output, and
+//   - v1 launches a transition at P's input (the path-input net toggles
+//     between v1 and v2).
+//
+// Non-robust tests can be invalidated by off-path hazards; robust testing
+// adds stability requirements. The non-robust criterion is the standard
+// baseline and what this package checks.
+
+// Sensitized reports whether v2Vals (full net values under the capture
+// vector, 0/1 per net) statically sensitizes the path.
+func Sensitized(nl *netlist.Netlist, p Path, v2Vals []uint64) bool {
+	for i, gi := range p.Gates {
+		g := &nl.Gates[gi]
+		onPath := p.Nets[i]
+		ctrl := controllingValue(g.Type)
+		if ctrl < 0 {
+			continue // XOR class and single-input gates always sensitize
+		}
+		for _, in := range g.Inputs {
+			if in == onPath {
+				continue
+			}
+			if int(v2Vals[in]&1) == ctrl {
+				return false // off-path input at the controlling value
+			}
+		}
+	}
+	return true
+}
+
+// controllingValue returns the controlling input value of a gate type, or
+// −1 when it has none.
+func controllingValue(t netlist.GateType) int {
+	switch t {
+	case netlist.And, netlist.Nand:
+		return 0
+	case netlist.Or, netlist.Nor:
+		return 1
+	}
+	return -1
+}
+
+// RobustSensitized reports whether the pair (v1Vals, v2Vals) tests the
+// path robustly (Lin–Reddy conditions): in addition to static
+// sensitization under v2, every off-path input of a gate whose on-path
+// input ends at a NON-controlling value must hold its non-controlling
+// value on BOTH vectors — otherwise an off-path hazard could mask the
+// on-path transition. (When the on-path input ends at the controlling
+// value, the final value alone decides the output and only v2 matters.)
+// XOR-class gates propagate every input change and cannot be robustly
+// tested through off-path stability; the classic convention treats their
+// off-path inputs as needing stability too, which we enforce.
+func RobustSensitized(nl *netlist.Netlist, p Path, v1Vals, v2Vals []uint64) bool {
+	if !Sensitized(nl, p, v2Vals) {
+		return false
+	}
+	for i, gi := range p.Gates {
+		g := &nl.Gates[gi]
+		onPath := p.Nets[i]
+		ctrl := controllingValue(g.Type)
+		finalOnPath := int(v2Vals[onPath] & 1)
+		needStable := ctrl < 0 || finalOnPath != ctrl
+		if !needStable {
+			continue
+		}
+		for _, in := range g.Inputs {
+			if in == onPath {
+				continue
+			}
+			if v1Vals[in]&1 != v2Vals[in]&1 {
+				return false // off-path input not steady
+			}
+		}
+	}
+	return true
+}
+
+// CoverageResult reports path-delay test coverage of a path set.
+type CoverageResult struct {
+	// DetectedAt[i] is the 1-based capture-vector index of the first pair
+	// testing path i non-robustly (0 = never).
+	DetectedAt []int
+}
+
+// Covered returns the fraction of paths tested by the first k vectors.
+func (r *CoverageResult) Covered(k int) float64 {
+	if len(r.DetectedAt) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range r.DetectedAt {
+		if d > 0 && d <= k {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.DetectedAt))
+}
+
+// PathCoverage scores the paths against consecutive pattern pairs under
+// the non-robust criterion. See PathCoverageRobust for the robust variant.
+func PathCoverage(nl *netlist.Netlist, paths []Path, patterns []gatesim.Pattern) (*CoverageResult, error) {
+	return pathCoverage(nl, paths, patterns, false)
+}
+
+// PathCoverageRobust scores the paths under the robust criterion (a
+// subset of the non-robust detections).
+func PathCoverageRobust(nl *netlist.Netlist, paths []Path, patterns []gatesim.Pattern) (*CoverageResult, error) {
+	return pathCoverage(nl, paths, patterns, true)
+}
+
+func pathCoverage(nl *netlist.Netlist, paths []Path, patterns []gatesim.Pattern, robust bool) (*CoverageResult, error) {
+	res := &CoverageResult{DetectedAt: make([]int, len(paths))}
+	for _, p := range patterns {
+		if len(p) != len(nl.PIs) {
+			return nil, fmt.Errorf("timing: pattern has %d bits, want %d", len(p), len(nl.PIs))
+		}
+	}
+	if len(patterns) < 2 {
+		return res, nil
+	}
+	vals := make([][]uint64, len(patterns))
+	for i, p := range patterns {
+		pis := make([]uint64, len(p))
+		for j, b := range p {
+			pis[j] = uint64(b)
+		}
+		v, err := nl.Eval(pis)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	live := make([]int, 0, len(paths))
+	for i := range paths {
+		live = append(live, i)
+	}
+	for k := 1; k < len(patterns) && len(live) > 0; k++ {
+		v1, v2 := vals[k-1], vals[k]
+		keep := live[:0]
+		for _, pi := range live {
+			p := paths[pi]
+			in := p.Nets[0]
+			launched := v1[in]&1 != v2[in]&1
+			ok := false
+			if launched {
+				if robust {
+					ok = RobustSensitized(nl, p, v1, v2)
+				} else {
+					ok = Sensitized(nl, p, v2)
+				}
+			}
+			if ok {
+				res.DetectedAt[pi] = k + 1
+				continue
+			}
+			keep = append(keep, pi)
+		}
+		live = keep
+	}
+	return res, nil
+}

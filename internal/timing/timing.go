@@ -1,0 +1,251 @@
+// Package timing provides gate-level static timing analysis and the
+// path-delay fault machinery behind delay testing (the paper's ref. [8],
+// Park–Mercer–Williams): a load-dependent linear delay model, arrival and
+// required times with slacks, best-first enumeration of the K longest
+// paths, and non-robust sensitization checks for two-pattern tests.
+package timing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"defectsim/internal/netlist"
+)
+
+// DelayModel is a linear gate-delay model: the delay through a gate is
+// Intrinsic[type] + LoadFactor × fanout(output net). Units are arbitrary
+// (normalized gate delays).
+type DelayModel struct {
+	Intrinsic  map[netlist.GateType]float64
+	LoadFactor float64
+}
+
+// DefaultDelays returns a representative static-CMOS delay model: inverters
+// fastest; series stacks (NAND/NOR grow with fan-in at the cell level, here
+// folded into the per-type constant); XOR-class gates slowest (multi-stage
+// cells).
+func DefaultDelays() DelayModel {
+	return DelayModel{
+		Intrinsic: map[netlist.GateType]float64{
+			netlist.Not:  1.0,
+			netlist.Buf:  2.0, // two stages
+			netlist.Nand: 1.4,
+			netlist.Nor:  1.6,
+			netlist.And:  2.4, // NAND + INV
+			netlist.Or:   2.6, // NOR + INV
+			netlist.Xor:  4.2, // four-stage ladder
+			netlist.Xnor: 4.2,
+		},
+		LoadFactor: 0.25,
+	}
+}
+
+// Analysis is the result of static timing analysis.
+type Analysis struct {
+	nl *netlist.Netlist
+	// GateDelay[i] is the delay through gate i under the model.
+	GateDelay []float64
+	// Arrival[net] is the latest signal arrival at the net (PIs at 0).
+	Arrival []float64
+	// Required[net] is the latest allowed arrival such that every PO meets
+	// the clock constraint (the critical-path delay by default).
+	Required []float64
+	// CriticalDelay is the largest PO arrival time.
+	CriticalDelay float64
+}
+
+// Analyze runs STA over nl with the given delay model.
+func Analyze(nl *netlist.Netlist, m DelayModel) (*Analysis, error) {
+	order, _, err := nl.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	fo := nl.Fanouts()
+	a := &Analysis{
+		nl:        nl,
+		GateDelay: make([]float64, len(nl.Gates)),
+		Arrival:   make([]float64, nl.NumNets()),
+		Required:  make([]float64, nl.NumNets()),
+	}
+	for gi, g := range nl.Gates {
+		intr, ok := m.Intrinsic[g.Type]
+		if !ok {
+			return nil, fmt.Errorf("timing: no intrinsic delay for %v", g.Type)
+		}
+		a.GateDelay[gi] = intr + m.LoadFactor*float64(len(fo[g.Out]))
+	}
+	for _, gi := range order {
+		g := &nl.Gates[gi]
+		at := 0.0
+		for _, in := range g.Inputs {
+			if a.Arrival[in] > at {
+				at = a.Arrival[in]
+			}
+		}
+		a.Arrival[g.Out] = at + a.GateDelay[gi]
+	}
+	for _, po := range nl.POs {
+		if a.Arrival[po] > a.CriticalDelay {
+			a.CriticalDelay = a.Arrival[po]
+		}
+	}
+	// Required times backward from the POs at the critical delay.
+	for n := range a.Required {
+		a.Required[n] = math.Inf(1)
+	}
+	for _, po := range nl.POs {
+		a.Required[po] = a.CriticalDelay
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		gi := order[i]
+		g := &nl.Gates[gi]
+		req := a.Required[g.Out] - a.GateDelay[gi]
+		for _, in := range g.Inputs {
+			if req < a.Required[in] {
+				a.Required[in] = req
+			}
+		}
+	}
+	return a, nil
+}
+
+// Slack returns required − arrival for a net (+Inf when the net reaches no
+// constrained output).
+func (a *Analysis) Slack(net int) float64 { return a.Required[net] - a.Arrival[net] }
+
+// Path is a structural path from a primary input to a primary output,
+// given as the sequence of nets it traverses (PI first, PO last) together
+// with the gates between them.
+type Path struct {
+	Nets  []int
+	Gates []int // Gates[i] drives Nets[i+1] from Nets[i]
+	Delay float64
+}
+
+// String renders the path through net names.
+func (p Path) String() string {
+	names := make([]string, len(p.Nets))
+	for i := range p.Nets {
+		names[i] = fmt.Sprint(p.Nets[i])
+	}
+	return fmt.Sprintf("%.2f: %s", p.Delay, strings.Join(names, "→"))
+}
+
+// KLongestPaths enumerates the k structurally longest PI→PO paths in
+// descending delay order (best-first search guided by the exact longest
+// completion from every net, so no pruning error).
+func KLongestPaths(nl *netlist.Netlist, m DelayModel, k int) ([]Path, error) {
+	a, err := Analyze(nl, m)
+	if err != nil {
+		return nil, err
+	}
+	order, _, _ := nl.Levelize()
+	fo := nl.Fanouts()
+	isPO := make([]bool, nl.NumNets())
+	for _, po := range nl.POs {
+		isPO[po] = true
+	}
+	// maxToPO[net]: longest delay from net to any PO (0 if net is a PO and
+	// −Inf if the net reaches no PO).
+	maxToPO := make([]float64, nl.NumNets())
+	for n := range maxToPO {
+		maxToPO[n] = math.Inf(-1)
+	}
+	for _, po := range nl.POs {
+		maxToPO[po] = 0
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		gi := order[i]
+		g := &nl.Gates[gi]
+		if maxToPO[g.Out] == math.Inf(-1) {
+			continue
+		}
+		cand := maxToPO[g.Out] + a.GateDelay[gi]
+		for _, in := range g.Inputs {
+			if cand > maxToPO[in] {
+				maxToPO[in] = cand
+			}
+		}
+	}
+
+	// Best-first expansion from the PIs. Completed paths re-enter the heap
+	// with bound = their exact delay so emission order is globally correct
+	// even when a PO net feeds further logic.
+	type partial struct {
+		nets  []int
+		gates []int
+		sofar float64 // accumulated delay to the last net
+		bound float64 // sofar + maxToPO(last); == sofar when done
+		done  bool
+	}
+	var heap []partial
+	push := func(p partial) {
+		heap = append(heap, p)
+		for i := len(heap) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if heap[parent].bound >= heap[i].bound {
+				break
+			}
+			heap[parent], heap[i] = heap[i], heap[parent]
+			i = parent
+		}
+	}
+	pop := func() partial {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(heap) && heap[l].bound > heap[big].bound {
+				big = l
+			}
+			if r < len(heap) && heap[r].bound > heap[big].bound {
+				big = r
+			}
+			if big == i {
+				break
+			}
+			heap[i], heap[big] = heap[big], heap[i]
+			i = big
+		}
+		return top
+	}
+	for _, pi := range nl.PIs {
+		if maxToPO[pi] == math.Inf(-1) {
+			continue
+		}
+		push(partial{nets: []int{pi}, sofar: 0, bound: maxToPO[pi]})
+	}
+	var out []Path
+	for len(heap) > 0 && len(out) < k {
+		p := pop()
+		last := p.nets[len(p.nets)-1]
+		if p.done {
+			out = append(out, Path{Nets: p.nets, Gates: p.gates, Delay: p.sofar})
+			continue
+		}
+		if isPO[last] {
+			push(partial{nets: p.nets, gates: p.gates, sofar: p.sofar, bound: p.sofar, done: true})
+		}
+		for _, gi := range fo[last] {
+			g := &nl.Gates[gi]
+			if maxToPO[g.Out] == math.Inf(-1) {
+				continue
+			}
+			sofar := p.sofar + a.GateDelay[gi]
+			np := partial{
+				nets:  append(append([]int{}, p.nets...), g.Out),
+				gates: append(append([]int{}, p.gates...), gi),
+				sofar: sofar,
+				bound: sofar + maxToPO[g.Out],
+			}
+			push(np)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Delay > out[j].Delay })
+	return out, nil
+}

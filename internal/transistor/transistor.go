@@ -1,0 +1,241 @@
+// Package transistor provides the flat transistor-level circuit view of a
+// placed design: MOS devices over the layout's global net numbering, plus
+// the channel-connected component (CCC) partition that the switch-level
+// simulator evaluates as a unit.
+package transistor
+
+import (
+	"fmt"
+	"sort"
+
+	"defectsim/internal/cell"
+	"defectsim/internal/layout"
+)
+
+// Device is one MOS transistor over global (layout) nets.
+type Device struct {
+	Type          cell.MOSType
+	Gate          int // controlling net
+	Source, Drain int // channel terminal nets
+	Conductance   float64
+	Inst          int // owning instance
+	Node          int // cell-local gate node (for open-input fault matching)
+}
+
+// Circuit is a flat switch-level circuit.
+type Circuit struct {
+	Name    string
+	NumNets int
+	Devices []Device
+	// PIs/POs are the layout net indices of the primary inputs/outputs, in
+	// netlist declaration order.
+	PIs, POs []int
+	NetNames []string
+
+	// CCCs is the channel-connected component partition: nets linked by
+	// device channels, with the power rails excluded (they would otherwise
+	// merge everything). CCC[i] lists net indices; CCCOf maps net → CCC
+	// index (-1 for rails, PIs and other netless... nets with no channel
+	// terminals).
+	CCCs  [][]int
+	CCCOf []int
+	// DevsOf lists device indices per CCC.
+	DevsOf [][]int
+	// Readers lists, per net, the CCC indices containing a device gated by
+	// that net.
+	Readers [][]int
+}
+
+// FromLayout expands the placed design into a flat transistor circuit.
+func FromLayout(L *layout.Layout) *Circuit {
+	c := &Circuit{
+		Name:    L.Name,
+		NumNets: len(L.Nets),
+	}
+	c.NetNames = make([]string, len(L.Nets))
+	for i, n := range L.Nets {
+		c.NetNames[i] = n.Name
+	}
+	for ii, inst := range L.Instances {
+		for _, tr := range inst.Cell.Transistors {
+			c.Devices = append(c.Devices, Device{
+				Type:        tr.Type,
+				Gate:        inst.NodeToNet[tr.Gate],
+				Source:      inst.NodeToNet[tr.Source],
+				Drain:       inst.NodeToNet[tr.Drain],
+				Conductance: float64(tr.Width),
+				Inst:        ii,
+				Node:        tr.Gate,
+			})
+		}
+	}
+	for _, pi := range L.Netlist.PIs {
+		c.PIs = append(c.PIs, 2+pi)
+	}
+	for _, po := range L.Netlist.POs {
+		c.POs = append(c.POs, 2+po)
+	}
+	c.buildCCCs()
+	return c
+}
+
+// buildCCCs partitions nets into channel-connected components and builds
+// the reader index.
+func (c *Circuit) buildCCCs() {
+	parent := make([]int, c.NumNets)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	isRail := func(n int) bool { return n == layout.NetGND || n == layout.NetVDD }
+	hasChannel := make([]bool, c.NumNets)
+	for _, d := range c.Devices {
+		if !isRail(d.Source) {
+			hasChannel[d.Source] = true
+		}
+		if !isRail(d.Drain) {
+			hasChannel[d.Drain] = true
+		}
+		if !isRail(d.Source) && !isRail(d.Drain) {
+			union(d.Source, d.Drain)
+		}
+	}
+	c.CCCOf = make([]int, c.NumNets)
+	for i := range c.CCCOf {
+		c.CCCOf[i] = -1
+	}
+	label := map[int]int{}
+	for n := 0; n < c.NumNets; n++ {
+		if !hasChannel[n] {
+			continue
+		}
+		r := find(n)
+		id, ok := label[r]
+		if !ok {
+			id = len(label)
+			label[r] = id
+			c.CCCs = append(c.CCCs, nil)
+			c.DevsOf = append(c.DevsOf, nil)
+		}
+		c.CCCOf[n] = id
+		c.CCCs[id] = append(c.CCCs[id], n)
+	}
+	for di, d := range c.Devices {
+		id := -1
+		if !isRail(d.Source) {
+			id = c.CCCOf[d.Source]
+		}
+		if id < 0 && !isRail(d.Drain) {
+			id = c.CCCOf[d.Drain]
+		}
+		if id >= 0 {
+			c.DevsOf[id] = append(c.DevsOf[id], di)
+		}
+	}
+	c.Readers = make([][]int, c.NumNets)
+	for di, d := range c.Devices {
+		id := -1
+		if d.Source != layout.NetGND && d.Source != layout.NetVDD {
+			id = c.CCCOf[d.Source]
+		}
+		if id < 0 && d.Drain != layout.NetGND && d.Drain != layout.NetVDD {
+			id = c.CCCOf[d.Drain]
+		}
+		if id < 0 {
+			continue
+		}
+		rs := c.Readers[d.Gate]
+		if len(rs) == 0 || rs[len(rs)-1] != id {
+			// Dedup consecutive; full dedup below.
+			c.Readers[d.Gate] = append(rs, id)
+		}
+		_ = di
+	}
+	for n := range c.Readers {
+		rs := c.Readers[n]
+		if len(rs) < 2 {
+			continue
+		}
+		sort.Ints(rs)
+		out := rs[:1]
+		for _, x := range rs[1:] {
+			if x != out[len(out)-1] {
+				out = append(out, x)
+			}
+		}
+		c.Readers[n] = out
+	}
+}
+
+// Stats summarizes the circuit.
+type Stats struct {
+	Name           string
+	Nets, Devices  int
+	NMOS, PMOS     int
+	CCCs           int
+	LargestCCCNets int
+	LargestCCCDevs int
+}
+
+// ComputeStats returns circuit statistics.
+func (c *Circuit) ComputeStats() Stats {
+	s := Stats{Name: c.Name, Nets: c.NumNets, Devices: len(c.Devices), CCCs: len(c.CCCs)}
+	for _, d := range c.Devices {
+		if d.Type == cell.NMOS {
+			s.NMOS++
+		} else {
+			s.PMOS++
+		}
+	}
+	for i := range c.CCCs {
+		if len(c.CCCs[i]) > s.LargestCCCNets {
+			s.LargestCCCNets = len(c.CCCs[i])
+		}
+		if len(c.DevsOf[i]) > s.LargestCCCDevs {
+			s.LargestCCCDevs = len(c.DevsOf[i])
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d nets, %d devices (%dN/%dP), %d CCCs (largest %d nets / %d devices)",
+		s.Name, s.Nets, s.Devices, s.NMOS, s.PMOS, s.CCCs, s.LargestCCCNets, s.LargestCCCDevs)
+}
+
+// Validate checks structural sanity: every device terminal in range, gates
+// never tied to rails, and every PO net exists.
+func (c *Circuit) Validate() error {
+	for i, d := range c.Devices {
+		for _, n := range []int{d.Gate, d.Source, d.Drain} {
+			if n < 0 || n >= c.NumNets {
+				return fmt.Errorf("transistor: device %d net %d out of range", i, n)
+			}
+		}
+		if d.Gate == layout.NetGND || d.Gate == layout.NetVDD {
+			return fmt.Errorf("transistor: device %d gate tied to rail", i)
+		}
+		if d.Conductance <= 0 {
+			return fmt.Errorf("transistor: device %d nonpositive conductance", i)
+		}
+	}
+	for _, po := range c.POs {
+		if po < 0 || po >= c.NumNets {
+			return fmt.Errorf("transistor: PO net %d out of range", po)
+		}
+	}
+	return nil
+}

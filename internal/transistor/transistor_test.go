@@ -1,0 +1,131 @@
+package transistor
+
+import (
+	"testing"
+
+	"defectsim/internal/cell"
+	"defectsim/internal/layout"
+	"defectsim/internal/netlist"
+)
+
+func fromNetlist(t *testing.T, nl *netlist.Netlist) *Circuit {
+	t.Helper()
+	L, err := layout.Build(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := FromLayout(L)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFromLayoutC17(t *testing.T) {
+	c := fromNetlist(t, netlist.C17())
+	if len(c.Devices) != 24 {
+		t.Fatalf("c17 devices = %d, want 24 (6 NAND2 × 4)", len(c.Devices))
+	}
+	s := c.ComputeStats()
+	if s.NMOS != 12 || s.PMOS != 12 {
+		t.Fatalf("device polarity split %d/%d", s.NMOS, s.PMOS)
+	}
+	// One CCC per NAND2 stage on each side? NMOS chain (out + internal) and
+	// PMOS slots (out) merge through the shared output net: one CCC per
+	// gate.
+	if s.CCCs != 6 {
+		t.Fatalf("c17 CCCs = %d, want 6", s.CCCs)
+	}
+	if s.String() == "" {
+		t.Fatal("stats string empty")
+	}
+}
+
+func TestCCCsExcludeRailsAndPIs(t *testing.T) {
+	c := fromNetlist(t, netlist.C17())
+	if c.CCCOf[layout.NetGND] != -1 || c.CCCOf[layout.NetVDD] != -1 {
+		t.Fatal("rails must not join CCCs")
+	}
+	for _, pi := range c.PIs {
+		if c.CCCOf[pi] != -1 {
+			t.Fatal("PI nets have no channel terminals")
+		}
+	}
+	for _, po := range c.POs {
+		if c.CCCOf[po] < 0 {
+			t.Fatal("PO nets are driven by a stage and must be in a CCC")
+		}
+	}
+}
+
+func TestReadersIndex(t *testing.T) {
+	nl := netlist.C17()
+	c := fromNetlist(t, nl)
+	// G11 feeds two NAND gates: its reader set must contain exactly the two
+	// CCCs of those gates.
+	g11, _ := nl.NetByName("G11")
+	readers := c.Readers[2+g11]
+	if len(readers) != 2 {
+		t.Fatalf("G11 readers = %v, want 2 CCCs", readers)
+	}
+	for i := 1; i < len(readers); i++ {
+		if readers[i] == readers[i-1] {
+			t.Fatal("reader list must be deduplicated")
+		}
+	}
+	// Rails gate nothing.
+	if len(c.Readers[layout.NetGND]) != 0 || len(c.Readers[layout.NetVDD]) != 0 {
+		t.Fatal("rails must gate nothing")
+	}
+}
+
+func TestDeviceProvenance(t *testing.T) {
+	c := fromNetlist(t, netlist.C432Class(1994))
+	for _, d := range c.Devices {
+		if d.Inst < 0 {
+			t.Fatal("device without instance provenance")
+		}
+		if d.Node < 2 {
+			t.Fatal("gate node must be a signal node")
+		}
+		if d.Type != cell.NMOS && d.Type != cell.PMOS {
+			t.Fatal("bad device type")
+		}
+	}
+}
+
+func TestDevsOfPartition(t *testing.T) {
+	c := fromNetlist(t, netlist.RippleAdder(3))
+	seen := map[int]bool{}
+	total := 0
+	for id := range c.CCCs {
+		for _, di := range c.DevsOf[id] {
+			if seen[di] {
+				t.Fatalf("device %d in two CCCs", di)
+			}
+			seen[di] = true
+			total++
+		}
+	}
+	if total != len(c.Devices) {
+		t.Fatalf("device partition covers %d of %d devices", total, len(c.Devices))
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	c := fromNetlist(t, netlist.C17())
+	c.Devices[0].Gate = layout.NetGND
+	if err := c.Validate(); err == nil {
+		t.Fatal("gate tied to rail must fail validation")
+	}
+	c = fromNetlist(t, netlist.C17())
+	c.Devices[0].Drain = 10 + c.NumNets
+	if err := c.Validate(); err == nil {
+		t.Fatal("out-of-range terminal must fail validation")
+	}
+	c = fromNetlist(t, netlist.C17())
+	c.Devices[0].Conductance = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero conductance must fail validation")
+	}
+}

@@ -1,0 +1,59 @@
+// Package yield provides IC yield models: the Poisson model underlying the
+// paper's equation (5) and the Stapper negative-binomial model with defect
+// clustering, plus fault-count statistics used by the Agrawal et al. defect
+// level model (paper eq. 2).
+package yield
+
+import "math"
+
+// Poisson returns the Poisson yield e^{−λ} for a total expected defect
+// (fault) count λ = Σ A·D.
+func Poisson(lambda float64) float64 { return math.Exp(-lambda) }
+
+// PoissonLambda inverts Poisson: the expected defect count giving yield y.
+func PoissonLambda(y float64) float64 {
+	if y <= 0 || y > 1 {
+		panic("yield: Poisson yield must be in (0,1]")
+	}
+	return -math.Log(y)
+}
+
+// NegBinomial returns Stapper's negative-binomial yield
+// (1 + λ/α)^{−α} with clustering parameter α (α → ∞ recovers Poisson).
+func NegBinomial(lambda, alpha float64) float64 {
+	if alpha <= 0 {
+		panic("yield: clustering parameter must be positive")
+	}
+	return math.Pow(1+lambda/alpha, -alpha)
+}
+
+// PoissonPMF returns P(N = k) for N ~ Poisson(λ).
+func PoissonPMF(lambda float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	logp := -lambda + float64(k)*math.Log(lambda) - lgammaInt(k+1)
+	return math.Exp(logp)
+}
+
+func lgammaInt(n int) float64 {
+	v, _ := math.Lgamma(float64(n))
+	return v
+}
+
+// MeanFaultsPerFaultyChip returns n̄ = λ / (1 − e^{−λ}): the average number
+// of faults on a chip conditioned on the chip being faulty — the physical
+// interpretation of the Agrawal model's n parameter under Poisson
+// statistics.
+func MeanFaultsPerFaultyChip(lambda float64) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	return lambda / (1 - math.Exp(-lambda))
+}
+
+// MeanFaultsPerFaultyChipFromYield is the same quantity expressed through
+// the yield: n̄ = −ln(Y)/(1−Y).
+func MeanFaultsPerFaultyChipFromYield(y float64) float64 {
+	return MeanFaultsPerFaultyChip(PoissonLambda(y))
+}

@@ -1,0 +1,102 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonRoundTrip(t *testing.T) {
+	for _, y := range []float64{0.1, 0.5, 0.75, 0.99} {
+		if got := Poisson(PoissonLambda(y)); math.Abs(got-y) > 1e-12 {
+			t.Fatalf("round trip %g → %g", y, got)
+		}
+	}
+	if Poisson(0) != 1 {
+		t.Fatal("zero defects means perfect yield")
+	}
+}
+
+func TestNegBinomialLimits(t *testing.T) {
+	lambda := 0.3
+	// α → ∞ recovers Poisson.
+	if d := math.Abs(NegBinomial(lambda, 1e9) - Poisson(lambda)); d > 1e-6 {
+		t.Fatalf("large-α NB must approach Poisson (Δ=%g)", d)
+	}
+	// Clustering (small α) raises yield at equal λ.
+	if NegBinomial(lambda, 0.5) <= Poisson(lambda) {
+		t.Fatal("clustered defects must improve yield")
+	}
+}
+
+func TestPoissonPMF(t *testing.T) {
+	lambda := 1.7
+	var sum, mean float64
+	for k := 0; k < 60; k++ {
+		p := PoissonPMF(lambda, k)
+		sum += p
+		mean += float64(k) * p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PMF sums to %g", sum)
+	}
+	if math.Abs(mean-lambda) > 1e-9 {
+		t.Fatalf("PMF mean %g, want %g", mean, lambda)
+	}
+	if PoissonPMF(lambda, -1) != 0 {
+		t.Fatal("negative k")
+	}
+	if got, want := PoissonPMF(lambda, 0), math.Exp(-lambda); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("P(0) = %g, want %g", got, want)
+	}
+}
+
+func TestMeanFaultsPerFaultyChip(t *testing.T) {
+	// Small λ: nearly every faulty chip has exactly one fault.
+	if got := MeanFaultsPerFaultyChip(1e-6); math.Abs(got-1) > 1e-3 {
+		t.Fatalf("n̄(λ→0) = %g, want →1", got)
+	}
+	// Large λ: n̄ → λ.
+	if got := MeanFaultsPerFaultyChip(20); math.Abs(got-20) > 1e-6 {
+		t.Fatalf("n̄(20) = %g", got)
+	}
+	// Consistency of the yield-based form.
+	for _, y := range []float64{0.2, 0.75, 0.95} {
+		a := MeanFaultsPerFaultyChipFromYield(y)
+		b := MeanFaultsPerFaultyChip(PoissonLambda(y))
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("forms disagree at y=%g", y)
+		}
+		if a <= 1 {
+			t.Fatalf("n̄ must exceed 1, got %g", a)
+		}
+	}
+}
+
+func TestYieldMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		l1 := float64(a) / 1000
+		l2 := float64(b) / 1000
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		return Poisson(l1) >= Poisson(l2) && NegBinomial(l1, 2) >= NegBinomial(l2, 2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("lambda of 0", func() { PoissonLambda(0) })
+	mustPanic("lambda of 1.5", func() { PoissonLambda(1.5) })
+	mustPanic("NB alpha 0", func() { NegBinomial(1, 0) })
+}
