@@ -16,6 +16,7 @@ import (
 	"defectsim/internal/experiments"
 	"defectsim/internal/fit"
 	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
 )
 
 // Model parameters and defect-level equations (package internal/dlmodel).
@@ -114,3 +115,18 @@ func RunPipelineCached(nl *Netlist, cfg PipelineConfig, path string) (p *Pipelin
 func FitPipeline(p *Pipeline) ModelParams {
 	return experiments.Figure5(p).Fitted
 }
+
+// Observability (package internal/obs).
+type (
+	// Tracer records per-stage spans (wall clock + allocation deltas) and
+	// owns a metrics registry. Assign one to PipelineConfig.Obs to get a
+	// RunReport in Pipeline.Report; the default nil tracer is free.
+	Tracer = obs.Tracer
+	// RunReport is a machine-readable snapshot of one pipeline run: the
+	// stage tree plus every metric the subsystems recorded. It marshals
+	// to JSON and renders as ASCII tables via Render().
+	RunReport = obs.Report
+)
+
+// NewTracer returns a recording tracer for PipelineConfig.Obs.
+func NewTracer() *Tracer { return obs.New() }

@@ -22,6 +22,7 @@ import (
 	"defectsim/internal/gatesim"
 	"defectsim/internal/layout"
 	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
 	"defectsim/internal/switchsim"
 	"defectsim/internal/transistor"
 )
@@ -401,5 +402,86 @@ func BenchmarkATPG(b *testing.B) {
 		if _, err := atpg.BuildTestSet(nl, faults, 64, 1994, 2000); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Observability overhead: instrumented hot loops, no-op vs traced. ---
+
+// benchATPGTopUp runs the deterministic ATPG top-up (the instrumented
+// per-fault backtracking loop) under the given tracer.
+func benchATPGTopUp(b *testing.B, tr func() *obs.Tracer) {
+	nl := netlist.C432Class(1994)
+	faults := fault.StuckAtUniverse(nl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atpg.BuildTestSetObs(nl, faults, 64, 1994, 2000, tr()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkATPGTopUpNoopObs is the instrumented ATPG top-up with the
+// default nil tracer — the baseline every library user gets.
+func BenchmarkATPGTopUpNoopObs(b *testing.B) {
+	benchATPGTopUp(b, func() *obs.Tracer { return nil })
+}
+
+// BenchmarkATPGTopUpTraced is the same loop with a recording tracer, to
+// keep the observability overhead (spans + backtrack metrics) visible.
+func BenchmarkATPGTopUpTraced(b *testing.B) {
+	benchATPGTopUp(b, obs.New)
+}
+
+// benchSwitchSim runs the switch-level fault-simulation inner loop (the
+// instrumented per-vector machine advance) under the given registry.
+func benchSwitchSim(b *testing.B, reg func() *obs.Registry) {
+	p := c432Pipeline(b)
+	vectors := make([]switchsim.Vector, 0, 64)
+	for _, pat := range p.TestSet.Patterns[:min(64, len(p.TestSet.Patterns))] {
+		v := make(switchsim.Vector, len(pat))
+		for j, bit := range pat {
+			v[j] = switchsim.Val(bit)
+		}
+		vectors = append(vectors, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsim.SimulateFaultsObs(p.Circuit, p.Faults, vectors, 0, switchsim.BridgeG, reg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwitchSimNoopObs is the instrumented switch-level fault
+// simulation with a nil registry — the default zero-cost path.
+func BenchmarkSwitchSimNoopObs(b *testing.B) {
+	benchSwitchSim(b, func() *obs.Registry { return nil })
+}
+
+// BenchmarkSwitchSimTraced is the same campaign with metrics recording.
+func BenchmarkSwitchSimTraced(b *testing.B) {
+	benchSwitchSim(b, func() *obs.Registry { return obs.NewRegistry() })
+}
+
+// TestNoopInstrumentationZeroAllocs pins down the contract the no-op
+// benchmarks rely on: the exact calls the hot loops add (counter
+// increments, histogram observations, span start/end) allocate nothing
+// when observability is off (nil tracer/registry handles).
+func TestNoopInstrumentationZeroAllocs(t *testing.T) {
+	var tr *obs.Tracer
+	reg := tr.Metrics()
+	c := reg.Counter("hot_counter")
+	h := reg.Histogram("hot_hist", nil)
+	g := reg.Gauge("hot_gauge")
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan("stage")
+		c.Add(7)
+		c.Inc()
+		h.Observe(3)
+		g.Set(0.5)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op instrumentation allocates %v per op, want 0", allocs)
 	}
 }

@@ -33,10 +33,12 @@
 //	wafer    ASCII wafer maps (flat vs edge-degraded line)
 //	svg      write the chip layout to <circuit>.svg
 //	report   pipeline summary for the selected circuit
+//	profile  per-stage wall-time/alloc/metric breakdown of the pipeline
 //	all      everything above in order
 //
 // Flags select the circuit (default: the c432-class benchmark), the seed,
-// the yield scaling and the random-vector budget.
+// the yield scaling and the random-vector budget; -trace=<path> writes a
+// machine-readable JSON run report for any pipeline command.
 package main
 
 import (
@@ -50,8 +52,61 @@ import (
 	"defectsim/internal/extract"
 	"defectsim/internal/layout"
 	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
 	"defectsim/internal/wafer"
 )
+
+// commands is the single source of truth for the command list: the usage
+// message is derived from it, and dispatch validates against it.
+var commands = []struct{ name, desc string }{
+	{"fig1", "analytic coverage-growth curves T(k), Θ(k) (paper fig. 1)"},
+	{"fig2", "DL(T): Williams–Brown vs proposed model (paper fig. 2)"},
+	{"fig3", "histogram of extracted fault weights (paper fig. 3)"},
+	{"fig4", "simulated coverage curves T, Θ, Γ vs k (paper fig. 4)"},
+	{"fig5", "DL vs stuck-at coverage + model fit (paper fig. 5)"},
+	{"fig6", "DL vs unweighted coverage (paper fig. 6)"},
+	{"ex1", "required coverage for 100 ppm (paper ex. 1)"},
+	{"ex2", "residual defect level at 100% coverage (paper ex. 2)"},
+	{"agrawal", "Agrawal-model comparison (TAB-A)"},
+	{"iddq", "voltage vs voltage+IDDQ coverage ceiling (ABL-2)"},
+	{"opens", "rerun with an opens-dominant defect mix (ABL-3)"},
+	{"delay", "transition (delay) testing vs stuck-at testing (ABL-4)"},
+	{"topup", "bridge-targeting ATPG top-up of the test set (ABL-5)"},
+	{"paths", "path-delay coverage of the K longest paths (ABL-6)"},
+	{"maxwell", "equal-coverage test sets, different quality (ABL-7)"},
+	{"resist", "resistive-bridge conductance sweep (ABL-8)"},
+	{"dft", "observation points at SCOAP-hard nets (DFT-1)"},
+	{"lot", "empirical DL from a simulated production lot (VAL-1)"},
+	{"inject", "geometric defect-injection extraction check (VAL-2)"},
+	{"diag", "bridge diagnosis via stuck-at surrogates (VAL-3)"},
+	{"kinds", "per-fault-kind detection breakdown"},
+	{"suite", "run the pipeline over the whole benchmark suite"},
+	{"yieldrep", "Stapper per-defect-class yield decomposition"},
+	{"wafer", "ASCII wafer maps (flat vs edge-degraded line)"},
+	{"svg", "write the chip layout to <circuit>.svg"},
+	{"report", "pipeline summary for the selected circuit"},
+	{"profile", "per-stage wall-time/alloc/metric breakdown of the pipeline"},
+	{"all", "everything above in order"},
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dlproj [flags] <command>")
+	fmt.Fprintln(os.Stderr, "\ncommands:")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-9s %s\n", c.name, c.desc)
+	}
+	fmt.Fprintln(os.Stderr, "\nflags:")
+	flag.PrintDefaults()
+}
+
+func knownCommand(cmd string) bool {
+	for _, c := range commands {
+		if c.name == cmd {
+			return true
+		}
+	}
+	return false
+}
 
 func main() {
 	var (
@@ -61,14 +116,18 @@ func main() {
 		vectors = flag.Int("vectors", 64, "random vector prefix before deterministic top-up")
 		stats   = flag.String("stats", "typical", "defect statistics: typical|opens")
 		cache   = flag.String("cache", "", "path to a pipeline result cache (created on miss, reused on hit)")
+		trace   = flag.String("trace", "", "write a JSON run report (stage tree + metrics) to this path")
 	)
+	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dlproj [flags] <fig1|fig2|fig3|fig4|fig5|fig6|ex1|ex2|agrawal|iddq|opens|report|all>")
-		flag.PrintDefaults()
+		usage()
 		os.Exit(2)
 	}
 	cmd := strings.ToLower(flag.Arg(0))
+	if !knownCommand(cmd) {
+		fatal(fmt.Errorf("unknown command %q (run dlproj -h for the list)", cmd))
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
@@ -86,6 +145,24 @@ func main() {
 	nl, err := pickCircuit(*circuit, *seed)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Tracing: opted in via -trace or implied by the profile command.
+	if *trace != "" || cmd == "profile" {
+		cfg.Obs = obs.New()
+	}
+	writeTrace := func(p *experiments.Pipeline) {
+		if *trace == "" || p == nil || p.Report == nil {
+			return
+		}
+		data, err := p.Report.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*trace, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote run report to %s\n", *trace)
 	}
 
 	// Analytic commands need no simulation.
@@ -115,10 +192,11 @@ func main() {
 				fatal(err)
 			}
 			if hit {
-				fmt.Fprintf(os.Stderr, "reusing cached pipeline results from %s\n", *cache)
+				fmt.Fprintf(os.Stderr, "cache hit: reusing pipeline results from %s\n", *cache)
 			} else {
-				fmt.Fprintf(os.Stderr, "pipeline simulated and cached to %s\n", *cache)
+				fmt.Fprintf(os.Stderr, "cache miss: pipeline simulated and cached to %s\n", *cache)
 			}
+			writeTrace(p)
 			return p
 		}
 		fmt.Fprintf(os.Stderr, "running pipeline on %s (layout, extraction, ATPG, fault simulation)...\n", nl.Name)
@@ -126,6 +204,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		writeTrace(p)
 		return p
 	}
 
@@ -162,7 +241,7 @@ func main() {
 	case "opens":
 		cfg.Stats = defect.OpensDominant()
 		p := run(cfg)
-		fmt.Print(p.Report())
+		fmt.Print(p.Summary())
 		fmt.Print(experiments.Figure4(p).Render())
 	case "topup":
 		tu, err := experiments.RunBridgeTopUp(run(cfg), 500)
@@ -242,7 +321,10 @@ func main() {
 		fmt.Println("--- edge-degraded (×3 at the rim) ---")
 		fmt.Print(wafer.Simulate(g, p.Faults, p.SwitchRes.DetectedAt, k, wafer.EdgeDegraded(3), *seed).Render())
 	case "report":
-		fmt.Print(run(cfg).Report())
+		fmt.Print(run(cfg).Summary())
+	case "profile":
+		p := run(cfg)
+		fmt.Print(p.Report.Render())
 	case "all":
 		fmt.Print(experiments.Figure1().Render(), "\n")
 		fmt.Print(experiments.Figure2().Render(), "\n")
@@ -253,7 +335,7 @@ func main() {
 		fmt.Print(e1.Render(), "\n")
 		fmt.Print(experiments.RunExample2().Render(), "\n")
 		p := run(cfg)
-		fmt.Print(p.Report(), "\n")
+		fmt.Print(p.Summary(), "\n")
 		fmt.Print(experiments.Figure3(p).Render(), "\n")
 		fmt.Print(experiments.Figure4(p).Render(), "\n")
 		fmt.Print(experiments.Figure5(p).Render(), "\n")

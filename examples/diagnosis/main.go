@@ -25,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(p.Report())
+	fmt.Print(p.Summary())
 
 	// Pick the heaviest voltage-detected bridge between netlist-visible
 	// nets: the "defect" the fab shipped.

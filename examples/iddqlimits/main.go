@@ -24,7 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(p.Report())
+	fmt.Print(p.Summary())
 
 	vectors := make([]switchsim.Vector, len(p.TestSet.Patterns))
 	for i, pat := range p.TestSet.Patterns {

@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(p.Report())
+	fmt.Print(p.Summary())
 
 	const dies = 200000
 	fmt.Printf("\nmanufacturing %d dies per test length...\n\n", dies)

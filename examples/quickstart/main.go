@@ -22,7 +22,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(p.Report())
+	fmt.Print(p.Summary())
 
 	// The five most likely defects of this physical design.
 	fmt.Println("\nmost likely faults (w = A·D, p = 1 - e^-w):")

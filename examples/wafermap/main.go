@@ -23,7 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(p.Report())
+	fmt.Print(p.Summary())
 
 	g := wafer.Geometry{Radius: 150, DieW: 7, DieH: 7, EdgeExclusion: 4}
 	k := len(p.TestSet.Patterns)

@@ -17,6 +17,7 @@ import (
 	"defectsim/internal/fault"
 	"defectsim/internal/gatesim"
 	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
 )
 
 // V3 is three-valued logic for test generation.
@@ -145,6 +146,25 @@ type Generator struct {
 
 	// Per-attempt state.
 	good, bad []V3
+
+	// Metric handles (nil unless Instrument was called; nil handles are
+	// allocation-free no-ops, so Generate stays free by default).
+	mBacktracks    *obs.Counter
+	mBacktracksPer *obs.Histogram
+	mDetected      *obs.Counter
+	mUntestable    *obs.Counter
+	mAborted       *obs.Counter
+}
+
+// Instrument routes per-fault generation metrics to reg: total backtracks,
+// a per-fault backtrack histogram, and the detected/untestable/aborted
+// outcome counts. A nil registry leaves the generator un-instrumented.
+func (g *Generator) Instrument(reg *obs.Registry) {
+	g.mBacktracks = reg.Counter("atpg_backtracks_total")
+	g.mBacktracksPer = reg.Histogram("atpg_backtracks_per_fault", obs.ExpBuckets(1, 4, 7))
+	g.mDetected = reg.Counter("atpg_faults_detected")
+	g.mUntestable = reg.Counter("atpg_faults_untestable")
+	g.mAborted = reg.Counter("atpg_faults_aborted")
 }
 
 // NewGenerator prepares a generator (levelization + SCOAP measures).
@@ -387,6 +407,21 @@ func (g *Generator) backtrace(net int, val V3) (pi int, v V3, ok bool) {
 // Generate attempts to build a test pattern for f within the backtrack
 // limit. On success the returned pattern has X positions filled with 0.
 func (g *Generator) Generate(f fault.StuckAt, backtrackLimit int) (gatesim.Pattern, Status) {
+	pat, status, backtracks := g.generate(f, backtrackLimit)
+	g.mBacktracks.Add(int64(backtracks))
+	g.mBacktracksPer.Observe(float64(backtracks))
+	switch status {
+	case StatusDetected:
+		g.mDetected.Inc()
+	case StatusUntestable:
+		g.mUntestable.Inc()
+	case StatusAborted:
+		g.mAborted.Inc()
+	}
+	return pat, status
+}
+
+func (g *Generator) generate(f fault.StuckAt, backtrackLimit int) (gatesim.Pattern, Status, int) {
 	nPI := len(g.nl.PIs)
 	assign := make([]V3, nPI)
 	type decision struct {
@@ -409,7 +444,7 @@ func (g *Generator) Generate(f fault.StuckAt, backtrackLimit int) (gatesim.Patte
 					pat[i] = 1
 				}
 			}
-			return pat, StatusDetected
+			return pat, StatusDetected, backtracks
 		}
 		// Possible? Activation: good value at the site must be able to be
 		// ¬fv; then a D-frontier with an X-path must remain.
@@ -478,7 +513,7 @@ func (g *Generator) Generate(f fault.StuckAt, backtrackLimit int) (gatesim.Patte
 		// Backtrack.
 		for {
 			if len(stack) == 0 {
-				return nil, StatusUntestable
+				return nil, StatusUntestable, backtracks
 			}
 			d := &stack[len(stack)-1]
 			if !d.flipped {
@@ -486,7 +521,7 @@ func (g *Generator) Generate(f fault.StuckAt, backtrackLimit int) (gatesim.Patte
 				assign[d.pi] = not3(assign[d.pi])
 				backtracks++
 				if backtracks > backtrackLimit {
-					return nil, StatusAborted
+					return nil, StatusAborted, backtracks
 				}
 				break
 			}
@@ -531,23 +566,40 @@ func (ts *TestSet) Coverage(excludeUntestable bool) float64 {
 // patterns for each remaining undetected fault (each new pattern is fault
 // simulated so later targets can be dropped early).
 func BuildTestSet(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed uint64, backtrackLimit int) (*TestSet, error) {
+	return BuildTestSetObs(nl, faults, nRandom, seed, backtrackLimit, nil)
+}
+
+// BuildTestSetObs is BuildTestSet with observability: stage spans for the
+// random prefix, its gate-level fault simulation and the deterministic
+// top-up, plus generation and detection metrics in tr's registry. A nil
+// tracer makes it identical (and equally cheap) to BuildTestSet.
+func BuildTestSetObs(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed uint64, backtrackLimit int, tr *obs.Tracer) (*TestSet, error) {
+	reg := tr.Metrics()
 	gen, err := NewGenerator(nl)
 	if err != nil {
 		return nil, err
 	}
+	gen.Instrument(reg)
 	ts := &TestSet{
 		RandomCount: nRandom,
 		DetectedAt:  make([]int, len(faults)),
 		Untestable:  make([]bool, len(faults)),
 		Aborted:     make([]bool, len(faults)),
 	}
+	sp := tr.StartSpan("random-prefix")
 	ts.Patterns = gatesim.RandomPatterns(nl, nRandom, seed)
-	res, err := gatesim.Simulate(nl, faults, ts.Patterns)
+	sp.End()
+	sp = tr.StartSpan("gate-sim")
+	res, err := gatesim.SimulateObs(nl, faults, ts.Patterns, reg)
 	if err != nil {
 		return nil, err
 	}
 	copy(ts.DetectedAt, res.DetectedAt)
+	sp.End()
 
+	sp = tr.StartSpan("deterministic-topup")
+	defer sp.End()
+	mDetPatterns := reg.Counter("atpg_deterministic_patterns")
 	for i := range faults {
 		if ts.DetectedAt[i] > 0 {
 			continue
@@ -560,6 +612,7 @@ func BuildTestSet(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed
 			ts.Aborted[i] = true
 		case StatusDetected:
 			ts.Patterns = append(ts.Patterns, pat)
+			mDetPatterns.Inc()
 			k := len(ts.Patterns)
 			// Fault-simulate the new pattern against every remaining fault.
 			var rem []fault.StuckAt
@@ -570,7 +623,7 @@ func BuildTestSet(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed
 					remIdx = append(remIdx, j)
 				}
 			}
-			r, err := gatesim.Simulate(nl, rem, []gatesim.Pattern{pat})
+			r, err := gatesim.SimulateObs(nl, rem, []gatesim.Pattern{pat}, reg)
 			if err != nil {
 				return nil, err
 			}
@@ -581,6 +634,14 @@ func BuildTestSet(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed
 			}
 			if ts.DetectedAt[i] == 0 {
 				return nil, fmt.Errorf("atpg: generated pattern for %v does not detect it", faults[i])
+			}
+		}
+	}
+	if reg != nil {
+		hist := reg.Histogram("atpg_vectors_to_detect", obs.ExpBuckets(1, 2, 10))
+		for _, d := range ts.DetectedAt {
+			if d > 0 {
+				hist.Observe(float64(d))
 			}
 		}
 	}

@@ -88,7 +88,9 @@ func (p *Pipeline) Save(path string) error {
 // RunCached behaves like Run but reuses the simulation results stored at
 // path when they match the circuit and configuration, rebuilding only the
 // cheap deterministic artifacts. On a cache miss it runs the full pipeline
-// and refreshes the file.
+// and refreshes the file. With cfg.Obs set, a cache hit still produces a
+// run report (spanning the rebuild stages, flagged CacheHit) so a traced
+// run always explains where its results came from.
 func RunCached(nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool, error) {
 	if p, ok := loadCached(nl, cfg, path); ok {
 		return p, true, nil
@@ -116,20 +118,34 @@ func loadCached(nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool) 
 		return nil, false
 	}
 
+	tr := cfg.Obs
+	reg := tr.Metrics()
+	load := tr.StartSpan("cache-load")
 	p := &Pipeline{Config: cfg, Netlist: nl}
+	sp := tr.StartSpan("layout")
 	p.Layout, err = layout.Build(nl, nil)
+	sp.End()
 	if err != nil {
+		load.End()
 		return nil, false
 	}
-	p.Faults = extract.Faults(p.Layout, cfg.Stats)
+	sp = tr.StartSpan("extract")
+	p.Faults = extract.FaultsObs(p.Layout, cfg.Stats, reg)
+	sp.End()
 	if cfg.TargetYield > 0 && len(p.Faults.Faults) > 0 {
 		p.Faults.ScaleToYield(cfg.TargetYield)
 	}
 	p.Yield = p.Faults.Yield()
+	reg.Gauge("pipeline_yield").Set(p.Yield)
+	sp = tr.StartSpan("transistor-map")
 	p.Circuit = transistor.FromLayout(p.Layout)
+	sp.End()
+	sp = tr.StartSpan("stuckat-collapse")
 	p.StuckAt = fault.StuckAtUniverse(nl)
+	sp.End()
 	if len(p.Faults.Faults) != cf.NumFaults || len(p.StuckAt) != cf.NumStuckAt ||
 		len(cf.SwDetectedAt) != cf.NumFaults || len(cf.SADetectedAt) != cf.NumStuckAt {
+		load.End()
 		return nil, false // stale cache from an older code version
 	}
 	p.TestSet = &atpg.TestSet{
@@ -147,5 +163,12 @@ func loadCached(nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool) 
 		Oscillations: cf.Oscillations,
 	}
 	p.Ks = coverage.SampleKs(len(p.TestSet.Patterns), 8)
+	if tr != nil {
+		reg.Counter("pipeline_cache_hits").Inc()
+		reg.Counter("pipeline_vectors").Add(int64(len(p.TestSet.Patterns)))
+		load.End()
+		p.Report = tr.Report(nl.Name)
+		p.Report.CacheHit = true
+	}
 	return p, true
 }

@@ -114,7 +114,7 @@ func TestPipelineSmallCircuit(t *testing.T) {
 		t.Fatalf("Θ (%.3f) must exceed Γ (%.3f) under bridging-dominant stats",
 			th.Final(), ga.Final())
 	}
-	if !strings.Contains(p.Report(), "test set") {
+	if !strings.Contains(p.Summary(), "test set") {
 		t.Fatal("report")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"defectsim/internal/fault"
 	"defectsim/internal/layout"
 	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
 	"defectsim/internal/switchsim"
 	"defectsim/internal/transistor"
 )
@@ -35,6 +36,10 @@ type Config struct {
 	BacktrackLimit int
 	// Stats is the spot-defect characterization (default defect.Typical()).
 	Stats defect.Statistics
+	// Obs, when non-nil, receives a span per pipeline stage and the
+	// subsystem metrics; the resulting run report lands in
+	// Pipeline.Report. The default nil tracer costs nothing.
+	Obs *obs.Tracer
 }
 
 // DefaultConfig returns the configuration of the paper's c432 experiment.
@@ -70,41 +75,77 @@ type Pipeline struct {
 
 	// Ks is the log-spaced vector-count grid shared by all curves.
 	Ks []int
+
+	// Report is the observability run report (stage tree + metrics
+	// snapshot); nil unless Config.Obs was set.
+	Report *obs.Report
 }
 
-// Run executes the full pipeline for nl.
+// Run executes the full pipeline for nl. With cfg.Obs set, every stage is
+// wrapped in a span (wall clock + allocation delta), the subsystems record
+// their metrics, and the combined run report lands in Pipeline.Report.
 func Run(nl *netlist.Netlist, cfg Config) (*Pipeline, error) {
 	p := &Pipeline{Config: cfg, Netlist: nl}
+	tr := cfg.Obs
+	reg := tr.Metrics()
+	run := tr.StartSpan("pipeline")
+	defer func() {
+		run.End()
+		if tr != nil {
+			p.Report = tr.Report(nl.Name)
+		}
+	}()
 
 	var err error
+	sp := tr.StartSpan("layout")
 	p.Layout, err = layout.Build(nl, nil)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: layout: %w", err)
 	}
-	if err := extract.VerifyLVS(p.Layout); err != nil {
+
+	sp = tr.StartSpan("lvs")
+	err = extract.VerifyLVS(p.Layout)
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 
-	p.Faults = extract.Faults(p.Layout, cfg.Stats)
+	sp = tr.StartSpan("extract")
+	p.Faults = extract.FaultsObs(p.Layout, cfg.Stats, reg)
+	sp.End()
 	if len(p.Faults.Faults) == 0 {
 		return nil, fmt.Errorf("experiments: no faults extracted from %s", nl.Name)
 	}
+
+	sp = tr.StartSpan("scale-weights")
 	if cfg.TargetYield > 0 {
 		p.Faults.ScaleToYield(cfg.TargetYield)
 	}
 	p.Yield = p.Faults.Yield()
+	reg.Gauge("pipeline_yield").Set(p.Yield)
+	sp.End()
 
+	sp = tr.StartSpan("transistor-map")
 	p.Circuit = transistor.FromLayout(p.Layout)
-	if err := p.Circuit.Validate(); err != nil {
+	err = p.Circuit.Validate()
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 
+	sp = tr.StartSpan("stuckat-collapse")
 	p.StuckAt = fault.StuckAtUniverse(nl)
-	p.TestSet, err = atpg.BuildTestSet(nl, p.StuckAt, cfg.RandomVectors, uint64(cfg.Seed), cfg.BacktrackLimit)
+	sp.End()
+
+	sp = tr.StartSpan("atpg")
+	p.TestSet, err = atpg.BuildTestSetObs(nl, p.StuckAt, cfg.RandomVectors, uint64(cfg.Seed), cfg.BacktrackLimit, tr)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: atpg: %w", err)
 	}
 
+	sp = tr.StartSpan("switch-sim")
 	vectors := make([]switchsim.Vector, len(p.TestSet.Patterns))
 	for i, pat := range p.TestSet.Patterns {
 		v := make(switchsim.Vector, len(pat))
@@ -113,12 +154,21 @@ func Run(nl *netlist.Netlist, cfg Config) (*Pipeline, error) {
 		}
 		vectors[i] = v
 	}
-	p.SwitchRes, err = switchsim.SimulateFaults(p.Circuit, p.Faults, vectors)
+	p.SwitchRes, err = switchsim.SimulateFaultsObs(p.Circuit, p.Faults, vectors, 0, switchsim.BridgeG, reg)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: switchsim: %w", err)
 	}
 
+	sp = tr.StartSpan("curves")
 	p.Ks = coverage.SampleKs(len(p.TestSet.Patterns), 8)
+	if reg != nil {
+		reg.Gauge("pipeline_coverage_stuckat").Set(p.TestSet.Coverage(true))
+		reg.Gauge("pipeline_theta_final").Set(p.ThetaCurve(false).Final())
+		reg.Gauge("pipeline_gamma_final").Set(p.GammaCurve().Final())
+		reg.Counter("pipeline_vectors").Add(int64(len(p.TestSet.Patterns)))
+	}
+	sp.End()
 	return p, nil
 }
 
@@ -175,8 +225,9 @@ func (p *Pipeline) detections(iddq bool) []int {
 	return det
 }
 
-// Report summarizes the pipeline in a human-readable block.
-func (p *Pipeline) Report() string {
+// Summary summarizes the pipeline in a human-readable block. (The
+// machine-readable run report lives in the Report field.)
+func (p *Pipeline) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "circuit    : %s\n", p.Netlist.ComputeStats())
 	fmt.Fprintf(&b, "layout     : %s\n", p.Layout.ComputeStats())

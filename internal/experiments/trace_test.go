@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+
+	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
+)
+
+func TestRunTraced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RandomVectors = 16
+	cfg.Obs = obs.New()
+	p, err := Run(netlist.C17(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Report == nil {
+		t.Fatal("traced run must populate Pipeline.Report")
+	}
+	if len(p.Report.Stages) != 1 || p.Report.Stages[0].Name != "pipeline" {
+		t.Fatalf("want a single pipeline root stage, got %+v", p.Report.Stages)
+	}
+	root := p.Report.Stages[0]
+	wantStages := []string{"layout", "lvs", "extract", "scale-weights", "transistor-map", "stuckat-collapse", "atpg", "switch-sim", "curves"}
+	if len(root.Children) != len(wantStages) {
+		t.Fatalf("stage count = %d, want %d: %+v", len(root.Children), len(wantStages), root.Children)
+	}
+	var sum int64
+	for i, c := range root.Children {
+		if c.Name != wantStages[i] {
+			t.Fatalf("stage %d = %q, want %q", i, c.Name, wantStages[i])
+		}
+		sum += c.DurationNS
+	}
+	// The stages cover the whole run: their durations must account for
+	// (almost) all of the root's wall time, and never exceed it.
+	if sum > root.DurationNS {
+		t.Fatalf("stage sum %d exceeds pipeline total %d", sum, root.DurationNS)
+	}
+	if float64(sum) < 0.5*float64(root.DurationNS) {
+		t.Fatalf("stage sum %d covers under half the pipeline total %d", sum, root.DurationNS)
+	}
+	// Metrics that any successful run must have produced.
+	counters := map[string]int64{}
+	for _, c := range p.Report.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["extract_bridge_faults"] == 0 {
+		t.Fatal("extraction recorded no bridge faults")
+	}
+	if counters["pipeline_vectors"] != int64(len(p.TestSet.Patterns)) {
+		t.Fatalf("pipeline_vectors = %d, want %d", counters["pipeline_vectors"], len(p.TestSet.Patterns))
+	}
+	if counters["swsim_vectors_applied"] == 0 {
+		t.Fatal("switch-sim recorded no vectors")
+	}
+	gauges := map[string]float64{}
+	for _, g := range p.Report.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["pipeline_yield"] != p.Yield {
+		t.Fatalf("pipeline_yield gauge = %g, want %g", gauges["pipeline_yield"], p.Yield)
+	}
+}
+
+func TestRunUntracedHasNoReport(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RandomVectors = 16
+	p, err := Run(netlist.C17(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Report != nil {
+		t.Fatal("untraced run must leave Pipeline.Report nil")
+	}
+}
+
+func TestRunCachedTracedHit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	cfg := DefaultConfig()
+	cfg.RandomVectors = 16
+
+	// Prime the cache untraced.
+	if _, hit, err := RunCached(netlist.C17(), cfg, path); err != nil || hit {
+		t.Fatalf("prime: hit=%v err=%v", hit, err)
+	}
+
+	// A traced rerun must hit and still deliver a report flagged as such.
+	cfg.Obs = obs.New()
+	p, hit, err := RunCached(netlist.C17(), cfg, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second run should hit the cache")
+	}
+	if p.Report == nil || !p.Report.CacheHit {
+		t.Fatalf("cache hit must produce a CacheHit-flagged report, got %+v", p.Report)
+	}
+	if len(p.Report.Stages) != 1 || p.Report.Stages[0].Name != "cache-load" {
+		t.Fatalf("hit report should have a cache-load root, got %+v", p.Report.Stages)
+	}
+	counters := map[string]int64{}
+	for _, c := range p.Report.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["pipeline_cache_hits"] != 1 {
+		t.Fatalf("pipeline_cache_hits = %d, want 1", counters["pipeline_cache_hits"])
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"defectsim/internal/fault"
 	"defectsim/internal/geom"
 	"defectsim/internal/layout"
+	"defectsim/internal/obs"
 )
 
 // densityScale converts defect densities (per 10⁶ λ²) times critical areas
@@ -52,10 +53,29 @@ var openLayers = []struct {
 // to a rail is a classic stuck-like defect) but not opens (rails are wide
 // and redundant).
 func Faults(L *layout.Layout, stats defect.Statistics) *fault.List {
+	return FaultsObs(L, stats, nil)
+}
+
+// FaultsObs is Faults with metrics: per-kind fault counts and a weight
+// histogram land in reg (nil registry: no recording, no cost).
+func FaultsObs(L *layout.Layout, stats defect.Statistics, reg *obs.Registry) *fault.List {
 	list := &fault.List{}
 	extractBridges(L, stats, list)
 	extractOpens(L, stats, list)
 	list.SortByWeight()
+	if reg != nil {
+		var kinds [3]*obs.Counter
+		kinds[fault.KindBridge] = reg.Counter("extract_bridge_faults")
+		kinds[fault.KindOpenInput] = reg.Counter("extract_open_input_faults")
+		kinds[fault.KindOpenDriver] = reg.Counter("extract_open_driver_faults")
+		hist := reg.Histogram("extract_fault_weight", obs.ExpBuckets(1e-6, 10, 6))
+		for _, f := range list.Faults {
+			if int(f.Kind) < len(kinds) {
+				kinds[f.Kind].Inc()
+			}
+			hist.Observe(f.Weight)
+		}
+	}
 	return list
 }
 

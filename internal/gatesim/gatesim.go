@@ -9,6 +9,7 @@ import (
 
 	"defectsim/internal/fault"
 	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
 )
 
 // Pattern is one input vector: a 0/1 value per primary input in PI order.
@@ -103,6 +104,14 @@ func (s *simulator) eval(piWords []uint64, f *fault.StuckAt) []uint64 {
 // Simulate runs the stuck-at fault list against the pattern sequence with
 // fault dropping and returns first-detection indices.
 func Simulate(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern) (*Result, error) {
+	return SimulateObs(nl, faults, patterns, nil)
+}
+
+// SimulateObs is Simulate with metrics: per-run counts of 64-pattern
+// blocks, faulty-machine evaluations, activation-filter skips and fault
+// drops land in reg. Counters are accumulated locally and flushed once
+// per run, so a nil registry costs nothing on the hot path.
+func SimulateObs(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern, reg *obs.Registry) (*Result, error) {
 	sim, err := newSimulator(nl)
 	if err != nil {
 		return nil, err
@@ -121,7 +130,9 @@ func Simulate(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern) (
 	goodAll := make([]uint64, nl.NumNets())
 	piWords := make([]uint64, len(nl.PIs))
 
+	var nBlocks, nFaultEvals, nActSkips, nDropped int64
 	for base := 0; base < len(patterns) && len(live) > 0; base += 64 {
+		nBlocks++
 		block := patterns[base:]
 		if len(block) > 64 {
 			block = block[:64]
@@ -158,9 +169,11 @@ func Simulate(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern) (
 				want = ^uint64(0)
 			}
 			if (site^want)&mask == 0 {
+				nActSkips++
 				keep = append(keep, fi)
 				continue
 			}
+			nFaultEvals++
 			fv := sim.eval(piWords, f)
 			var diff uint64
 			for i, po := range nl.POs {
@@ -171,6 +184,7 @@ func Simulate(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern) (
 				continue
 			}
 			// First set bit = earliest detecting pattern in the block.
+			nDropped++
 			for b := 0; b < len(block); b++ {
 				if diff&(1<<uint(b)) != 0 {
 					res.DetectedAt[fi] = base + b + 1
@@ -179,6 +193,12 @@ func Simulate(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern) (
 			}
 		}
 		live = keep
+	}
+	if reg != nil {
+		reg.Counter("gatesim_blocks").Add(nBlocks)
+		reg.Counter("gatesim_fault_evals").Add(nFaultEvals)
+		reg.Counter("gatesim_activation_skips").Add(nActSkips)
+		reg.Counter("gatesim_faults_dropped").Add(nDropped)
 	}
 	return res, nil
 }

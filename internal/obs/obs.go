@@ -1,0 +1,127 @@
+// Package obs is the pipeline's observability substrate: a span tracer
+// for per-stage wall-clock and allocation accounting, a metrics registry
+// (atomic counters, gauges and fixed-bucket histograms) cheap enough to
+// touch from fault-simulation inner loops, and a machine-readable run
+// report combining both (JSON for tooling, ASCII tables for terminals).
+//
+// Everything is nil-safe: a nil *Tracer, *Registry, *Counter, *Gauge,
+// *Histogram or *Span is a no-op that performs no allocation, so library
+// code instruments unconditionally and users pay nothing unless they opt
+// in with obs.New().
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Tracer records a tree of named spans. The zero value for *Tracer (nil)
+// is a valid no-op tracer; obs.New() returns a recording one.
+type Tracer struct {
+	mu      sync.Mutex
+	reg     *Registry
+	started time.Time
+	spans   []*Span // top-level spans in start order
+	cur     *Span   // innermost un-ended span, or nil
+}
+
+// New returns a recording tracer with a fresh metrics registry.
+func New() *Tracer {
+	return &Tracer{reg: NewRegistry(), started: time.Now()}
+}
+
+// Metrics returns the tracer's registry (nil for a nil tracer, which makes
+// every metric handle derived from it a no-op too).
+func (t *Tracer) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Span is one timed region. Spans nest: a span started while another is
+// open becomes its child. End is idempotent and nil-safe.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	// AllocBytes is the heap allocated between StartSpan and End across
+	// all goroutines (runtime.MemStats.TotalAlloc delta). Children's
+	// allocations are included; Report subtracts them for "self" figures.
+	AllocBytes uint64
+	Children   []*Span
+
+	alloc0 uint64
+	ended  bool
+}
+
+// StartSpan opens a span nested under the innermost open span. On a nil
+// tracer it returns nil (a no-op span) without allocating.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	s := &Span{tracer: t, parent: t.cur, Name: name}
+	if t.cur == nil {
+		t.spans = append(t.spans, s)
+	} else {
+		t.cur.Children = append(t.cur.Children, s)
+	}
+	t.cur = s
+	t.mu.Unlock()
+	// Read memstats outside the lock, start the clock last so the span
+	// does not charge itself for the (stop-the-world) memstats read.
+	s.alloc0 = totalAlloc()
+	s.Start = time.Now()
+	return s
+}
+
+// End closes the span, recording its wall time and allocation delta. A
+// second End, or End on a nil span, does nothing. Out-of-order ends are
+// tolerated: ending a span implicitly ends any still-open descendants.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	alloc := totalAlloc()
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	// Implicitly end open descendants (leaked spans) first.
+	for c := t.cur; c != nil && c != s; c = c.parent {
+		if !c.ended {
+			c.ended = true
+			c.Duration = now.Sub(c.Start)
+			c.AllocBytes = alloc - c.alloc0
+		}
+	}
+	s.ended = true
+	s.Duration = now.Sub(s.Start)
+	s.AllocBytes = alloc - s.alloc0
+	// Pop to the nearest un-ended ancestor.
+	for c := t.cur; ; c = c.parent {
+		if c == nil {
+			t.cur = nil
+			return
+		}
+		if !c.ended {
+			t.cur = c
+			return
+		}
+	}
+}
+
+func totalAlloc() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}

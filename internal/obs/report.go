@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"defectsim/internal/textplot"
+)
+
+// Report is a machine-readable snapshot of one pipeline run: the stage
+// tree with wall-clock and allocation figures plus every metric the run
+// recorded. It round-trips through JSON unchanged.
+type Report struct {
+	Circuit  string `json:"circuit,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	// TotalNS is the wall time of the top-level stages combined.
+	TotalNS    int64           `json:"total_ns"`
+	Stages     []*StageReport  `json:"stages,omitempty"`
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// StageReport is one node of the span tree.
+type StageReport struct {
+	Name       string         `json:"name"`
+	DurationNS int64          `json:"duration_ns"`
+	AllocBytes uint64         `json:"alloc_bytes"`
+	Children   []*StageReport `json:"children,omitempty"`
+}
+
+// CounterSnap is a counter's value at snapshot time.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is a gauge's last value at snapshot time.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramSnap is a histogram's full state at snapshot time. Counts has
+// one more entry than Bounds (the overflow bucket).
+type HistogramSnap struct {
+	Name   string    `json:"name"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Report snapshots the tracer's spans and metrics. Unfinished spans are
+// reported with their duration so far. Returns nil on a nil tracer.
+func (t *Tracer) Report(circuit string) *Report {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	r := &Report{Circuit: circuit}
+	now := time.Now()
+	alloc := totalAlloc()
+	var walk func(s *Span) *StageReport
+	walk = func(s *Span) *StageReport {
+		sr := &StageReport{Name: s.Name, DurationNS: int64(s.Duration), AllocBytes: s.AllocBytes}
+		if !s.ended {
+			sr.DurationNS = int64(now.Sub(s.Start))
+			sr.AllocBytes = alloc - s.alloc0
+		}
+		for _, c := range s.Children {
+			sr.Children = append(sr.Children, walk(c))
+		}
+		return sr
+	}
+	for _, s := range t.spans {
+		sr := walk(s)
+		r.Stages = append(r.Stages, sr)
+		r.TotalNS += sr.DurationNS
+	}
+	t.mu.Unlock()
+	t.reg.snapshotInto(r)
+	return r
+}
+
+func (r *Registry) snapshotInto(rep *Report) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		rep.Counters = append(rep.Counters, CounterSnap{name, c.Value()})
+	}
+	for name, g := range r.gauges {
+		rep.Gauges = append(rep.Gauges, GaugeSnap{name, g.Value()})
+	}
+	for name, h := range r.hists {
+		bounds, counts := h.Buckets()
+		rep.Histograms = append(rep.Histograms, HistogramSnap{
+			Name: name, Count: h.Count(), Sum: h.Sum(), Bounds: bounds, Counts: counts,
+		})
+	}
+	sort.Slice(rep.Counters, func(i, j int) bool { return rep.Counters[i].Name < rep.Counters[j].Name })
+	sort.Slice(rep.Gauges, func(i, j int) bool { return rep.Gauges[i].Name < rep.Gauges[j].Name })
+	sort.Slice(rep.Histograms, func(i, j int) bool { return rep.Histograms[i].Name < rep.Histograms[j].Name })
+}
+
+// JSON returns the indented JSON encoding of the report.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Render draws the report as ASCII tables: the stage tree (wall time,
+// share of total, allocations) followed by the metrics catalog.
+func (r *Report) Render() string {
+	if r == nil {
+		return "(no run report: tracing was not enabled)\n"
+	}
+	var b strings.Builder
+	if r.Circuit != "" {
+		fmt.Fprintf(&b, "run report: %s", r.Circuit)
+		if r.CacheHit {
+			b.WriteString(" (cache hit)")
+		}
+		b.WriteByte('\n')
+	}
+	st := &textplot.Table{Headers: []string{"stage", "wall", "% of run", "alloc"}}
+	total := float64(r.TotalNS)
+	var add func(s *StageReport, depth int)
+	add = func(s *StageReport, depth int) {
+		pct := "-"
+		if total > 0 {
+			pct = fmt.Sprintf("%.1f%%", 100*float64(s.DurationNS)/total)
+		}
+		st.AddRow(strings.Repeat("  ", depth)+s.Name,
+			formatDuration(s.DurationNS), pct, formatBytes(s.AllocBytes))
+		for _, c := range s.Children {
+			add(c, depth+1)
+		}
+	}
+	for _, s := range r.Stages {
+		add(s, 0)
+	}
+	st.AddRow("total", formatDuration(r.TotalNS), "100.0%", "")
+	b.WriteString(st.Render())
+
+	if len(r.Counters) > 0 || len(r.Gauges) > 0 {
+		b.WriteByte('\n')
+		mt := &textplot.Table{Headers: []string{"metric", "value"}}
+		for _, c := range r.Counters {
+			mt.AddRow(c.Name, fmt.Sprintf("%d", c.Value))
+		}
+		for _, g := range r.Gauges {
+			mt.AddRow(g.Name, fmt.Sprintf("%.6g", g.Value))
+		}
+		b.WriteString(mt.Render())
+	}
+	if len(r.Histograms) > 0 {
+		b.WriteByte('\n')
+		ht := &textplot.Table{Headers: []string{"histogram", "count", "mean", "buckets"}}
+		for _, h := range r.Histograms {
+			mean := "-"
+			if h.Count > 0 {
+				mean = fmt.Sprintf("%.4g", h.Sum/float64(h.Count))
+			}
+			var bb []string
+			for i, c := range h.Counts {
+				if c == 0 {
+					continue
+				}
+				switch {
+				case i < len(h.Bounds):
+					bb = append(bb, fmt.Sprintf("≤%.4g:%d", h.Bounds[i], c))
+				case len(h.Bounds) > 0:
+					bb = append(bb, fmt.Sprintf(">%.4g:%d", h.Bounds[len(h.Bounds)-1], c))
+				default:
+					bb = append(bb, fmt.Sprintf("all:%d", c))
+				}
+			}
+			ht.AddRow(h.Name, fmt.Sprintf("%d", h.Count), mean, strings.Join(bb, " "))
+		}
+		b.WriteString(ht.Render())
+	}
+	return b.String()
+}
+
+func formatDuration(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

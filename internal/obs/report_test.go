@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTracer produces a tracer with a realistic little span tree and a
+// few metrics of each kind.
+func buildTracer() *Tracer {
+	tr := New()
+	run := tr.StartSpan("pipeline")
+	a := tr.StartSpan("layout")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := tr.StartSpan("atpg")
+	c := tr.StartSpan("gate-sim")
+	c.End()
+	b.End()
+	run.End()
+	reg := tr.Metrics()
+	reg.Counter("faults").Add(136)
+	reg.Gauge("yield").Set(0.75)
+	h := reg.Histogram("backtracks", []float64{1, 10, 100})
+	h.Observe(0)
+	h.Observe(7)
+	h.Observe(2000)
+	return tr
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := buildTracer().Report("c432")
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, &back) {
+		t.Fatalf("JSON round-trip changed the report:\nbefore: %+v\nafter:  %+v", rep, &back)
+	}
+}
+
+func TestReportStructure(t *testing.T) {
+	rep := buildTracer().Report("c432")
+	if rep.Circuit != "c432" {
+		t.Fatalf("circuit = %q", rep.Circuit)
+	}
+	if len(rep.Stages) != 1 || rep.Stages[0].Name != "pipeline" {
+		t.Fatalf("want one top-level pipeline stage, got %+v", rep.Stages)
+	}
+	root := rep.Stages[0]
+	if len(root.Children) != 2 || root.Children[0].Name != "layout" || root.Children[1].Name != "atpg" {
+		t.Fatalf("stage children wrong: %+v", root.Children)
+	}
+	if rep.TotalNS != root.DurationNS {
+		t.Fatalf("total %d != root duration %d", rep.TotalNS, root.DurationNS)
+	}
+	var sum int64
+	for _, c := range root.Children {
+		sum += c.DurationNS
+	}
+	if sum > root.DurationNS {
+		t.Fatalf("children sum %d exceeds root %d", sum, root.DurationNS)
+	}
+	if len(rep.Counters) != 1 || rep.Counters[0].Value != 136 {
+		t.Fatalf("counters wrong: %+v", rep.Counters)
+	}
+	if len(rep.Gauges) != 1 || rep.Gauges[0].Value != 0.75 {
+		t.Fatalf("gauges wrong: %+v", rep.Gauges)
+	}
+	if len(rep.Histograms) != 1 || rep.Histograms[0].Count != 3 {
+		t.Fatalf("histograms wrong: %+v", rep.Histograms)
+	}
+	hs := rep.Histograms[0]
+	if len(hs.Counts) != len(hs.Bounds)+1 {
+		t.Fatalf("histogram counts %d vs bounds %d", len(hs.Counts), len(hs.Bounds))
+	}
+	if hs.Counts[len(hs.Counts)-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1 (the 2000 sample)", hs.Counts[len(hs.Counts)-1])
+	}
+}
+
+func TestReportUnfinishedSpans(t *testing.T) {
+	tr := New()
+	tr.StartSpan("open")
+	rep := tr.Report("x")
+	if len(rep.Stages) != 1 || rep.Stages[0].DurationNS <= 0 {
+		t.Fatalf("unfinished span should report its duration so far: %+v", rep.Stages)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := buildTracer().Report("c432")
+	rep.CacheHit = true
+	out := rep.Render()
+	for _, want := range []string{"run report: c432", "cache hit", "pipeline", "layout", "atpg", "gate-sim", "faults", "yield", "backtracks", "% of run"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+	var nilRep *Report
+	if !strings.Contains(nilRep.Render(), "tracing was not enabled") {
+		t.Fatal("nil report should render a placeholder")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"defectsim/internal/fault"
 	"defectsim/internal/layout"
+	"defectsim/internal/obs"
 	"defectsim/internal/transistor"
 )
 
@@ -191,9 +192,28 @@ func SimulateFaultsN(c *transistor.Circuit, list *fault.List, vectors []Vector, 
 // SimulateFaultsR is SimulateFaultsN with an explicit bridge conductance
 // for resistive-bridge studies.
 func SimulateFaultsR(c *transistor.Circuit, list *fault.List, vectors []Vector, workers int, bridgeG float64) (*Result, error) {
+	return SimulateFaultsObs(c, list, vectors, workers, bridgeG, nil)
+}
+
+// SimulateFaultsObs is SimulateFaultsR with metrics: machine advances,
+// shared-state fast-path hits, oscillation aborts and detection indices
+// land in reg. Workers accumulate privately and flush once per vector, so
+// the nil-registry path adds no work or allocation to the inner loop.
+func SimulateFaultsObs(c *transistor.Circuit, list *fault.List, vectors []Vector, workers int, bridgeG float64, reg *obs.Registry) (*Result, error) {
 	res := &Result{
 		DetectedAt: make([]int, len(list.Faults)),
 		IDDQAt:     make([]int, len(list.Faults)),
+	}
+	var (
+		mSteps    = reg.Counter("swsim_machine_steps")
+		mFastPath = reg.Counter("swsim_fastpath_steps")
+		mDetected = reg.Counter("swsim_faults_detected")
+		mTrivial  = reg.Counter("swsim_trivial_verdicts")
+		mVectors  = reg.Counter("swsim_vectors_applied")
+		hDetectAt *obs.Histogram
+	)
+	if reg != nil {
+		hDetectAt = reg.Histogram("swsim_vectors_to_detect", obs.ExpBuckets(1, 2, 10))
 	}
 	type live struct {
 		idx   int
@@ -206,6 +226,7 @@ func SimulateFaultsR(c *transistor.Circuit, list *fault.List, vectors []Vector, 
 		switch v {
 		case VerdictDetected:
 			res.DetectedAt[i] = 1
+			mTrivial.Inc()
 			if f.Kind == fault.KindBridge {
 				res.IDDQAt[i] = 1
 			}
@@ -246,16 +267,20 @@ func SimulateFaultsR(c *transistor.Circuit, list *fault.List, vectors []Vector, 
 
 		// Advance every live machine; each machine touches only its own
 		// state, so the work shards freely.
+		mVectors.Inc()
 		drop := make([]bool, len(lives))
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				var steps, fast int64
 				for li := w; li < len(lives); li += workers {
 					lv := lives[li]
 					var ok bool
+					steps++
 					if lv.clean {
+						fast++
 						ok = lv.m.ApplyFromGood(goodVal, goodPrev)
 					} else {
 						ok = lv.m.Apply(vec)
@@ -280,6 +305,8 @@ func SimulateFaultsR(c *transistor.Circuit, list *fault.List, vectors []Vector, 
 					}
 					lv.clean = equalVals(lv.m.val, goodVal)
 				}
+				mSteps.Add(steps)
+				mFastPath.Add(fast)
 			}(w)
 		}
 		wg.Wait()
@@ -287,12 +314,18 @@ func SimulateFaultsR(c *transistor.Circuit, list *fault.List, vectors []Vector, 
 		for li, lv := range lives {
 			if !drop[li] {
 				keep = append(keep, lv)
+			} else {
+				mDetected.Inc()
+				hDetectAt.Observe(float64(k + 1))
 			}
 		}
 		lives = keep
 	}
 	for _, o := range oscillations {
 		res.Oscillations += int(o)
+	}
+	if reg != nil {
+		reg.Counter("swsim_oscillations").Add(int64(res.Oscillations))
 	}
 	return res, nil
 }
