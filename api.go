@@ -10,6 +10,8 @@ package defectsim
 //   - fit the model parameters (R, Θmax) to fallout data.
 
 import (
+	"context"
+
 	"defectsim/internal/coverage"
 	"defectsim/internal/defect"
 	"defectsim/internal/dlmodel"
@@ -87,6 +89,15 @@ type (
 	Pipeline = experiments.Pipeline
 	// DefectStatistics characterizes a process line's spot defects.
 	DefectStatistics = defect.Statistics
+	// PipelineError is the failure of one pipeline stage: it names the
+	// stage and wraps the cause (context.Canceled on cancellation,
+	// context.DeadlineExceeded on timeout, the panic value on a stage
+	// panic).
+	PipelineError = experiments.PipelineError
+	// Degradation is one graceful-degradation event of a run (stage
+	// budget exhausted with a usable partial result, cache fallback);
+	// see Pipeline.Degradations.
+	Degradation = experiments.Degradation
 )
 
 // DefaultPipelineConfig returns the configuration of the paper's c432
@@ -103,10 +114,25 @@ func RunPipeline(nl *Netlist, cfg PipelineConfig) (*Pipeline, error) {
 	return experiments.Run(nl, cfg)
 }
 
+// RunPipelineCtx is RunPipeline under a context: cancelling ctx stops the
+// run promptly with a *PipelineError naming the interrupted stage, and
+// cfg.Deadline / cfg.StageBudgets bound the run and its stages (stage
+// budgets degrade gracefully where a partial result is usable).
+func RunPipelineCtx(ctx context.Context, nl *Netlist, cfg PipelineConfig) (*Pipeline, error) {
+	return experiments.RunCtx(ctx, nl, cfg)
+}
+
 // RunPipelineCached is RunPipeline with a JSON result cache at path: reruns
 // are skipped when the circuit and configuration match.
 func RunPipelineCached(nl *Netlist, cfg PipelineConfig, path string) (p *Pipeline, cacheHit bool, err error) {
 	return experiments.RunCached(nl, cfg, path)
+}
+
+// RunPipelineCachedCtx is RunPipelineCached under a context. A corrupt
+// cache file never fails the call: the pipeline runs fresh and the
+// fallback is recorded in Pipeline.Degradations.
+func RunPipelineCachedCtx(ctx context.Context, nl *Netlist, cfg PipelineConfig, path string) (p *Pipeline, cacheHit bool, err error) {
+	return experiments.RunCachedCtx(ctx, nl, cfg, path)
 }
 
 // FitPipeline extracts the fallout points (T(k), DL(Θ(k))) from a pipeline

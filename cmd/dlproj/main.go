@@ -38,14 +38,28 @@
 //
 // Flags select the circuit (default: the c432-class benchmark), the seed,
 // the yield scaling and the random-vector budget; -trace=<path> writes a
-// machine-readable JSON run report for any pipeline command.
+// machine-readable JSON run report for any pipeline command, and
+// -timeout bounds the run's wall time. SIGINT/SIGTERM cancel a running
+// pipeline cleanly.
+//
+// Exit codes:
+//
+//	0  success
+//	1  pipeline or I/O failure
+//	2  usage error
+//	3  run cancelled (signal) or timed out (-timeout)
+//	4  success, but the run degraded (partial results; see stderr)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"defectsim/internal/defect"
 	"defectsim/internal/experiments"
@@ -117,6 +131,7 @@ func main() {
 		stats   = flag.String("stats", "typical", "defect statistics: typical|opens")
 		cache   = flag.String("cache", "", "path to a pipeline result cache (created on miss, reused on hit)")
 		trace   = flag.String("trace", "", "write a JSON run report (stage tree + metrics) to this path")
+		timeout = flag.Duration("timeout", 0, "bound the pipeline's wall time (0 = unlimited); expiry exits with code 3")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -126,13 +141,21 @@ func main() {
 	}
 	cmd := strings.ToLower(flag.Arg(0))
 	if !knownCommand(cmd) {
-		fatal(fmt.Errorf("unknown command %q (run dlproj -h for the list)", cmd))
+		fmt.Fprintf(os.Stderr, "dlproj: unknown command %q (run dlproj -h for the list)\n", cmd)
+		os.Exit(2)
 	}
+
+	// Cancel the run cleanly on SIGINT/SIGTERM; -timeout bounds wall time.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.TargetYield = *yield
 	cfg.RandomVectors = *vectors
+	if *timeout > 0 {
+		cfg.Deadline = *timeout
+	}
 	switch *stats {
 	case "typical":
 		cfg.Stats = defect.Typical()
@@ -185,9 +208,20 @@ func main() {
 		return
 	}
 
+	// degraded flips when any pipeline run finished on a graceful-
+	// degradation path; the process then exits 4 instead of 0.
+	degraded := false
+	noteDegradations := func(p *experiments.Pipeline) {
+		if p.Degraded() {
+			degraded = true
+			for _, d := range p.Degradations {
+				fmt.Fprintf(os.Stderr, "dlproj: %s\n", d)
+			}
+		}
+	}
 	run := func(c experiments.Config) *experiments.Pipeline {
 		if *cache != "" {
-			p, hit, err := experiments.RunCached(nl, c, *cache)
+			p, hit, err := experiments.RunCachedCtx(ctx, nl, c, *cache)
 			if err != nil {
 				fatal(err)
 			}
@@ -196,21 +230,23 @@ func main() {
 			} else {
 				fmt.Fprintf(os.Stderr, "cache miss: pipeline simulated and cached to %s\n", *cache)
 			}
+			noteDegradations(p)
 			writeTrace(p)
 			return p
 		}
 		fmt.Fprintf(os.Stderr, "running pipeline on %s (layout, extraction, ATPG, fault simulation)...\n", nl.Name)
-		p, err := experiments.Run(nl, c)
+		p, err := experiments.RunCtx(ctx, nl, c)
 		if err != nil {
 			fatal(err)
 		}
+		noteDegradations(p)
 		writeTrace(p)
 		return p
 	}
 
 	switch cmd {
 	case "svg":
-		L, err := layout.Build(nl, nil)
+		L, err := layout.BuildCtx(ctx, nl, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -307,7 +343,7 @@ func main() {
 		}
 		fmt.Print(st.Render())
 	case "yieldrep":
-		L, err := layout.Build(nl, nil)
+		L, err := layout.BuildCtx(ctx, nl, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -353,6 +389,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown command %q", cmd))
 	}
+	if degraded {
+		fmt.Fprintln(os.Stderr, "dlproj: run degraded — results are partial (exit 4)")
+		os.Exit(4)
+	}
 }
 
 func pickCircuit(name string, seed int64) (*netlist.Netlist, error) {
@@ -379,5 +419,8 @@ func pickCircuit(name string, seed int64) (*netlist.Netlist, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dlproj:", err)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		os.Exit(3)
+	}
 	os.Exit(1)
 }

@@ -12,9 +12,11 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 
 	"defectsim/internal/fault"
+	"defectsim/internal/faultinject"
 	"defectsim/internal/gatesim"
 	"defectsim/internal/netlist"
 	"defectsim/internal/obs"
@@ -407,7 +409,16 @@ func (g *Generator) backtrace(net int, val V3) (pi int, v V3, ok bool) {
 // Generate attempts to build a test pattern for f within the backtrack
 // limit. On success the returned pattern has X positions filled with 0.
 func (g *Generator) Generate(f fault.StuckAt, backtrackLimit int) (gatesim.Pattern, Status) {
-	pat, status, backtracks := g.generate(f, backtrackLimit)
+	return g.GenerateCtx(context.Background(), f, backtrackLimit)
+}
+
+// GenerateCtx is Generate with cancellation: the backtrack loop checks the
+// context every ctxCheckStride backtracks, so a cancelled or expired
+// context aborts the search promptly. A fault cut short by cancellation
+// reports StatusAborted — its decision tree was not exhausted, so it is
+// neither detected nor proven untestable.
+func (g *Generator) GenerateCtx(ctx context.Context, f fault.StuckAt, backtrackLimit int) (gatesim.Pattern, Status) {
+	pat, status, backtracks := g.generate(ctx, f, backtrackLimit)
 	g.mBacktracks.Add(int64(backtracks))
 	g.mBacktracksPer.Observe(float64(backtracks))
 	switch status {
@@ -421,7 +432,12 @@ func (g *Generator) Generate(f fault.StuckAt, backtrackLimit int) (gatesim.Patte
 	return pat, status
 }
 
-func (g *Generator) generate(f fault.StuckAt, backtrackLimit int) (gatesim.Pattern, Status, int) {
+// ctxCheckStride is how many backtracks pass between context checks in
+// the deterministic search: frequent enough for sub-millisecond
+// cancellation latency, rare enough to keep the check off the profile.
+const ctxCheckStride = 256
+
+func (g *Generator) generate(ctx context.Context, f fault.StuckAt, backtrackLimit int) (gatesim.Pattern, Status, int) {
 	nPI := len(g.nl.PIs)
 	assign := make([]V3, nPI)
 	type decision struct {
@@ -523,6 +539,9 @@ func (g *Generator) generate(f fault.StuckAt, backtrackLimit int) (gatesim.Patte
 				if backtracks > backtrackLimit {
 					return nil, StatusAborted, backtracks
 				}
+				if backtracks%ctxCheckStride == 0 && ctx.Err() != nil {
+					return nil, StatusAborted, backtracks
+				}
 				break
 			}
 			assign[d.pi] = X3
@@ -540,10 +559,17 @@ type TestSet struct {
 	DetectedAt []int
 	Untestable []bool
 	Aborted    []bool
+	// Incomplete marks a set whose deterministic top-up stopped early
+	// (cancellation or an exhausted time budget): every fault not yet
+	// detected or proven untestable at that point is reported Aborted.
+	Incomplete bool
 }
 
 // Coverage returns the final stuck-at coverage over testable faults if
-// excludeUntestable, else over all faults.
+// excludeUntestable, else over all faults. Aborted faults are never
+// excluded: their testability is unknown, so they stay in the denominator
+// (the paper's eq. 6 weights every fault that could reach a customer) and
+// out of the numerator.
 func (ts *TestSet) Coverage(excludeUntestable bool) float64 {
 	det, tot := 0, 0
 	for i := range ts.DetectedAt {
@@ -561,6 +587,23 @@ func (ts *TestSet) Coverage(excludeUntestable bool) float64 {
 	return float64(det) / float64(tot)
 }
 
+// Counts returns the per-outcome fault totals of the set: detected by some
+// vector, proven untestable (redundant), and aborted (backtrack limit,
+// budget exhaustion or cancellation).
+func (ts *TestSet) Counts() (detected, untestable, aborted int) {
+	for i := range ts.DetectedAt {
+		switch {
+		case ts.DetectedAt[i] > 0:
+			detected++
+		case ts.Untestable[i]:
+			untestable++
+		case ts.Aborted[i]:
+			aborted++
+		}
+	}
+	return detected, untestable, aborted
+}
+
 // BuildTestSet produces the paper's vector recipe: nRandom seeded random
 // patterns, fault-simulated with dropping, followed by deterministic
 // patterns for each remaining undetected fault (each new pattern is fault
@@ -574,6 +617,19 @@ func BuildTestSet(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed
 // top-up, plus generation and detection metrics in tr's registry. A nil
 // tracer makes it identical (and equally cheap) to BuildTestSet.
 func BuildTestSetObs(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed uint64, backtrackLimit int, tr *obs.Tracer) (*TestSet, error) {
+	return BuildTestSetCtx(context.Background(), nl, faults, nRandom, seed, backtrackLimit, tr)
+}
+
+// BuildTestSetCtx is BuildTestSetObs with cancellation: the context is
+// checked between faults in the top-up loop, every ctxCheckStride
+// backtracks inside the deterministic search, and once per 64-pattern
+// block in the gate-level fault simulations. When the context ends
+// mid-build the partial test set is still returned — marked Incomplete,
+// with every fault not yet detected or proven untestable reported
+// Aborted — together with the context's error, so callers can either
+// discard it (run cancelled) or keep it as a degraded result (stage
+// budget exhausted).
+func BuildTestSetCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed uint64, backtrackLimit int, tr *obs.Tracer) (*TestSet, error) {
 	reg := tr.Metrics()
 	gen, err := NewGenerator(nl)
 	if err != nil {
@@ -586,13 +642,30 @@ func BuildTestSetObs(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, s
 		Untestable:  make([]bool, len(faults)),
 		Aborted:     make([]bool, len(faults)),
 	}
+	// abortRest marks every undecided fault Aborted and flags the set
+	// Incomplete — the early-stop path shared by cancellation and budget
+	// expiry.
+	abortRest := func() {
+		ts.Incomplete = true
+		n := int64(0)
+		for i := range faults {
+			if ts.DetectedAt[i] == 0 && !ts.Untestable[i] && !ts.Aborted[i] {
+				ts.Aborted[i] = true
+				n++
+			}
+		}
+		reg.Counter("atpg_faults_aborted_on_stop").Add(n)
+	}
 	sp := tr.StartSpan("random-prefix")
 	ts.Patterns = gatesim.RandomPatterns(nl, nRandom, seed)
 	sp.End()
 	sp = tr.StartSpan("gate-sim")
-	res, err := gatesim.SimulateObs(nl, faults, ts.Patterns, reg)
+	res, err := gatesim.SimulateCtx(ctx, nl, faults, ts.Patterns, reg)
 	if err != nil {
-		return nil, err
+		sp.End()
+		copy(ts.DetectedAt, res.DetectedAt)
+		abortRest()
+		return ts, err
 	}
 	copy(ts.DetectedAt, res.DetectedAt)
 	sp.End()
@@ -604,7 +677,15 @@ func BuildTestSetObs(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, s
 		if ts.DetectedAt[i] > 0 {
 			continue
 		}
-		pat, status := gen.Generate(faults[i], backtrackLimit)
+		if err := faultinject.Fire(ctx, faultinject.HookATPGFault); err != nil {
+			abortRest()
+			return ts, err
+		}
+		if err := ctx.Err(); err != nil {
+			abortRest()
+			return ts, err
+		}
+		pat, status := gen.GenerateCtx(ctx, faults[i], backtrackLimit)
 		switch status {
 		case StatusUntestable:
 			ts.Untestable[i] = true
@@ -623,13 +704,18 @@ func BuildTestSetObs(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, s
 					remIdx = append(remIdx, j)
 				}
 			}
-			r, err := gatesim.SimulateObs(nl, rem, []gatesim.Pattern{pat}, reg)
+			r, err := gatesim.SimulateCtx(ctx, nl, rem, []gatesim.Pattern{pat}, reg)
 			if err != nil {
-				return nil, err
+				abortRest()
+				return ts, err
 			}
 			for jj, d := range r.DetectedAt {
 				if d > 0 {
 					ts.DetectedAt[remIdx[jj]] = k
+					// A fault aborted earlier may be detected by a later
+					// pattern generated for another target; its final
+					// status is then detected, not aborted.
+					ts.Aborted[remIdx[jj]] = false
 				}
 			}
 			if ts.DetectedAt[i] == 0 {

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"defectsim/internal/atpg"
 	"defectsim/internal/coverage"
@@ -16,12 +20,22 @@ import (
 	"defectsim/internal/transistor"
 )
 
+// cacheEnvelope wraps the serialized payload with an integrity checksum.
+// A cache file that fails to parse, fails the checksum or carries the
+// wrong version is treated as corrupt: the caller falls back to a fresh
+// run and the event is recorded (never an error — the cache is an
+// optimization, not a source of truth).
+type cacheEnvelope struct {
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"` // sha256 of Payload, hex
+	Payload  json.RawMessage `json:"payload"`
+}
+
 // cacheFile is the serialized form of a pipeline's expensive simulation
 // results. Everything else (layout, extraction, transistor netlist, the
 // fault universes) is deterministic and cheap to rebuild, so only the
 // vectors and detection data are stored.
 type cacheFile struct {
-	Version      int         `json:"version"`
 	Circuit      string      `json:"circuit"`
 	Config       cacheConfig `json:"config"`
 	NumFaults    int         `json:"num_faults"`
@@ -44,7 +58,8 @@ type cacheConfig struct {
 	StatsDigest    string  `json:"stats_digest"`
 }
 
-const cacheVersion = 1
+// cacheVersion 2 introduced the checksummed envelope.
+const cacheVersion = 2
 
 func digestConfig(cfg Config) cacheConfig {
 	d := ""
@@ -59,10 +74,11 @@ func digestConfig(cfg Config) cacheConfig {
 	}
 }
 
-// Save writes the pipeline's simulation results to path.
+// Save writes the pipeline's simulation results to path: a checksummed
+// envelope written atomically (temp file + rename) so that a crash or a
+// concurrent reader never observes a truncated cache.
 func (p *Pipeline) Save(path string) error {
 	cf := cacheFile{
-		Version:      cacheVersion,
 		Circuit:      p.Netlist.Name,
 		Config:       digestConfig(p.Config),
 		NumFaults:    len(p.Faults.Faults),
@@ -78,11 +94,49 @@ func (p *Pipeline) Save(path string) error {
 	for _, pat := range p.TestSet.Patterns {
 		cf.Patterns = append(cf.Patterns, []uint8(pat))
 	}
-	data, err := json.Marshal(&cf)
+	payload, err := json.Marshal(&cf)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	sum := sha256.Sum256(payload)
+	env := cacheEnvelope{
+		Version:  cacheVersion,
+		Checksum: hex.EncodeToString(sum[:]),
+		Payload:  payload,
+	}
+	data, err := json.Marshal(&env)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(path, data)
+}
+
+// atomicWrite writes data to path via a temp file in the same directory
+// and a rename, so path either keeps its old content or holds the
+// complete new content — never a partial write.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmpName, 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return werr
+	}
+	return nil
 }
 
 // RunCached behaves like Run but reuses the simulation results stored at
@@ -92,46 +146,97 @@ func (p *Pipeline) Save(path string) error {
 // run report (spanning the rebuild stages, flagged CacheHit) so a traced
 // run always explains where its results came from.
 func RunCached(nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool, error) {
-	if p, ok := loadCached(nl, cfg, path); ok {
+	return RunCachedCtx(context.Background(), nl, cfg, path)
+}
+
+// RunCachedCtx is RunCached under a context (see RunCtx for cancellation
+// and budget semantics). Cache corruption — an unreadable, truncated,
+// checksum-mismatched or version-skewed file — never fails the call: the
+// pipeline runs fresh, the file is rewritten, and the fallback is
+// recorded as a pipeline_cache_corrupt metric and a "cache" Degradation.
+// A failed cache write degrades the same way instead of erroring.
+func RunCachedCtx(ctx context.Context, nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, false, err
+	}
+	reg := cfg.Obs.Metrics()
+	p, ok, corrupt := loadCached(ctx, nl, cfg, path)
+	if ok {
 		return p, true, nil
 	}
-	p, err := Run(nl, cfg)
+	if corrupt != "" {
+		// Count before the run so the fallback shows up in the run report.
+		reg.Counter("pipeline_cache_corrupt").Inc()
+	}
+	p, err := RunCtx(ctx, nl, cfg)
 	if err != nil {
 		return nil, false, err
 	}
+	degradeCache := func(reason string) {
+		p.Degradations = append(p.Degradations, Degradation{Stage: "cache", Reason: reason})
+		if p.Report != nil {
+			p.Report.Events = append(p.Report.Events, Degradation{Stage: "cache", Reason: reason}.String())
+		}
+	}
+	if corrupt != "" {
+		degradeCache("fell back to fresh run: " + corrupt)
+	}
 	if err := p.Save(path); err != nil {
-		return nil, false, fmt.Errorf("experiments: saving cache: %w", err)
+		reg.Counter("pipeline_cache_save_failures").Inc()
+		degradeCache("cache write failed: " + err.Error())
 	}
 	return p, false, nil
 }
 
-func loadCached(nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool) {
+// loadCached attempts a cache hit. The corrupt return is non-empty when
+// the file exists but is unusable (parse failure, checksum mismatch,
+// version skew); an absent file or a clean config/circuit mismatch is an
+// ordinary miss with corrupt == "".
+func loadCached(ctx context.Context, nl *netlist.Netlist, cfg Config, path string) (p *Pipeline, ok bool, corrupt string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, false, ""
+		}
+		return nil, false, fmt.Sprintf("unreadable cache file %s: %v", path, err)
+	}
+	var env cacheEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, false, fmt.Sprintf("cache file %s does not parse: %v", path, err)
+	}
+	if env.Version != cacheVersion {
+		return nil, false, fmt.Sprintf("cache file %s has version %d, want %d", path, env.Version, cacheVersion)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.Checksum {
+		return nil, false, fmt.Sprintf("cache file %s fails its checksum (truncated or corrupted)", path)
 	}
 	var cf cacheFile
-	if err := json.Unmarshal(data, &cf); err != nil {
-		return nil, false
+	if err := json.Unmarshal(env.Payload, &cf); err != nil {
+		return nil, false, fmt.Sprintf("cache payload in %s does not parse: %v", path, err)
 	}
-	if cf.Version != cacheVersion || cf.Circuit != nl.Name || cf.Config != digestConfig(cfg) {
-		return nil, false
+	if cf.Circuit != nl.Name || cf.Config != digestConfig(cfg) {
+		return nil, false, "" // ordinary miss: different circuit or config
 	}
 
 	tr := cfg.Obs
 	reg := tr.Metrics()
 	load := tr.StartSpan("cache-load")
-	p := &Pipeline{Config: cfg, Netlist: nl}
+	p = &Pipeline{Config: cfg, Netlist: nl}
 	sp := tr.StartSpan("layout")
-	p.Layout, err = layout.Build(nl, nil)
+	p.Layout, err = layout.BuildCtx(ctx, nl, nil)
 	sp.End()
 	if err != nil {
 		load.End()
-		return nil, false
+		return nil, false, ""
 	}
 	sp = tr.StartSpan("extract")
-	p.Faults = extract.FaultsObs(p.Layout, cfg.Stats, reg)
+	p.Faults, err = extract.FaultsCtx(ctx, p.Layout, cfg.Stats, reg)
 	sp.End()
+	if err != nil {
+		load.End()
+		return nil, false, ""
+	}
 	if cfg.TargetYield > 0 && len(p.Faults.Faults) > 0 {
 		p.Faults.ScaleToYield(cfg.TargetYield)
 	}
@@ -146,7 +251,7 @@ func loadCached(nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool) 
 	if len(p.Faults.Faults) != cf.NumFaults || len(p.StuckAt) != cf.NumStuckAt ||
 		len(cf.SwDetectedAt) != cf.NumFaults || len(cf.SADetectedAt) != cf.NumStuckAt {
 		load.End()
-		return nil, false // stale cache from an older code version
+		return nil, false, "" // stale cache from an older code version
 	}
 	p.TestSet = &atpg.TestSet{
 		RandomCount: cf.RandomCount,
@@ -170,5 +275,5 @@ func loadCached(nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool) 
 		p.Report = tr.Report(nl.Name)
 		p.Report.CacheHit = true
 	}
-	return p, true
+	return p, true, ""
 }

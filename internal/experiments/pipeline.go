@@ -4,11 +4,28 @@
 // driver per figure/example, each returning its data along with an ASCII
 // rendering. See DESIGN.md for the per-experiment index and EXPERIMENTS.md
 // for recorded paper-vs-measured results.
+//
+// # Hardened execution
+//
+// RunCtx is the hardened entry point: the context cancels the run between
+// and inside stages (the ATPG, gate-sim and switch-sim hot loops poll it),
+// Config.Deadline bounds the whole run, and Config.StageBudgets bounds
+// individual stages. A stage that exhausts its own budget degrades
+// gracefully where a partial result is usable (ATPG keeps the partial test
+// set with the remaining faults aborted; switch-sim keeps the vectors
+// applied so far with undetected-but-unfinished faults marked undecided)
+// and the event is recorded in Pipeline.Degradations and the run report.
+// Cancellation, global deadline expiry and stage panics instead fail the
+// run with a *PipelineError naming the stage and wrapping the cause.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
+	"time"
 
 	"defectsim/internal/atpg"
 	"defectsim/internal/coverage"
@@ -21,6 +38,14 @@ import (
 	"defectsim/internal/switchsim"
 	"defectsim/internal/transistor"
 )
+
+// StageNames lists the pipeline stages in execution order — the valid
+// keys of Config.StageBudgets and the stage labels of spans, PipelineError
+// and Degradation records.
+var StageNames = []string{
+	"layout", "lvs", "extract", "scale-weights", "transistor-map",
+	"stuckat-collapse", "atpg", "switch-sim", "curves",
+}
 
 // Config parameterizes a pipeline run.
 type Config struct {
@@ -40,6 +65,14 @@ type Config struct {
 	// subsystem metrics; the resulting run report lands in
 	// Pipeline.Report. The default nil tracer costs nothing.
 	Obs *obs.Tracer
+	// Deadline, when positive, bounds the whole run's wall time. Expiry
+	// fails the run with a *PipelineError wrapping
+	// context.DeadlineExceeded.
+	Deadline time.Duration
+	// StageBudgets, keyed by StageNames entries, bound individual stages.
+	// Exhausting a stage budget degrades the run where a partial result is
+	// usable (atpg, switch-sim) and fails it otherwise.
+	StageBudgets map[string]time.Duration
 }
 
 // DefaultConfig returns the configuration of the paper's c432 experiment.
@@ -51,6 +84,49 @@ func DefaultConfig() Config {
 		BacktrackLimit: 2000,
 		Stats:          defect.Typical(),
 	}
+}
+
+// Validate rejects configurations that cannot run: negative vector or
+// backtrack counts, a target yield outside (0, 1] (zero is allowed and
+// disables scaling), uninitialized defect statistics, negative budgets and
+// budgets for stages that do not exist.
+func (c *Config) Validate() error {
+	if c.RandomVectors < 0 {
+		return fmt.Errorf("experiments: config: RandomVectors is %d, must be >= 0", c.RandomVectors)
+	}
+	if c.BacktrackLimit < 0 {
+		return fmt.Errorf("experiments: config: BacktrackLimit is %d, must be >= 0", c.BacktrackLimit)
+	}
+	if c.TargetYield < 0 || c.TargetYield > 1 {
+		return fmt.Errorf("experiments: config: TargetYield is %g, must be in (0, 1] (or 0 to disable scaling)", c.TargetYield)
+	}
+	if c.Stats.MaxSize <= 0 {
+		return fmt.Errorf("experiments: config: Stats.MaxSize is %d; Stats looks uninitialized, use defect.Typical()", c.Stats.MaxSize)
+	}
+	for _, cl := range c.Stats.Classes {
+		if cl.Density < 0 {
+			return fmt.Errorf("experiments: config: defect class %v has negative density %g", cl.Type, cl.Density)
+		}
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("experiments: config: Deadline is %v, must be >= 0", c.Deadline)
+	}
+	for name, b := range c.StageBudgets {
+		if b <= 0 {
+			return fmt.Errorf("experiments: config: stage budget for %q is %v, must be > 0", name, b)
+		}
+		known := false
+		for _, s := range StageNames {
+			if s == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("experiments: config: stage budget for unknown stage %q (stages: %s)", name, strings.Join(StageNames, ", "))
+		}
+	}
+	return nil
 }
 
 // Pipeline is a fully simulated design: every artifact the figures need.
@@ -76,100 +152,235 @@ type Pipeline struct {
 	// Ks is the log-spaced vector-count grid shared by all curves.
 	Ks []int
 
+	// Degradations lists the graceful-degradation events of the run: stage
+	// budgets that expired with a usable partial result, switch-sim
+	// settle failures, cache-corruption fallbacks. Empty on a clean run.
+	Degradations []Degradation
+
 	// Report is the observability run report (stage tree + metrics
 	// snapshot); nil unless Config.Obs was set.
 	Report *obs.Report
 }
 
+// Degraded reports whether the run hit any graceful-degradation path.
+// Degraded results are usable but cover less than the full workload.
+func (p *Pipeline) Degraded() bool { return len(p.Degradations) > 0 }
+
+// runner executes pipeline stages under the hardening policy: one span
+// per stage, per-stage budget contexts, and panic isolation.
+type runner struct {
+	ctx context.Context // run context (global deadline applied)
+	cfg Config
+	tr  *obs.Tracer
+	reg *obs.Registry
+	p   *Pipeline
+}
+
+// stage runs fn under the stage's span and budget context and converts
+// failures — errors and panics alike — into a *PipelineError naming the
+// stage. fn decides itself whether a budget expiry degrades (return nil
+// after recording the partial result) or fails (return the error).
+func (r *runner) stage(name string, fn func(ctx context.Context) error) (err error) {
+	ctx := r.ctx
+	if b, ok := r.cfg.StageBudgets[name]; ok && b > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b)
+		defer cancel()
+	}
+	sp := r.tr.StartSpan(name)
+	defer sp.End()
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &PipelineError{
+				Stage:    name,
+				Err:      fmt.Errorf("panic: %v\n%s", rec, debug.Stack()),
+				Progress: r.reg.CounterSnapshot(),
+			}
+		}
+	}()
+	if err := fn(ctx); err != nil {
+		return &PipelineError{Stage: name, Err: err, Progress: r.reg.CounterSnapshot()}
+	}
+	return nil
+}
+
+// budgetExhausted reports whether err is a stage-budget expiry rather
+// than run-level cancellation: the stage context hit its deadline while
+// the run context is still live.
+func (r *runner) budgetExhausted(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) && r.ctx.Err() == nil
+}
+
+// degrade records one graceful-degradation event on the pipeline and as a
+// metric counter.
+func (r *runner) degrade(stage, reason string) {
+	r.p.Degradations = append(r.p.Degradations, Degradation{Stage: stage, Reason: reason})
+	r.reg.Counter("pipeline_degraded_" + strings.ReplaceAll(stage, "-", "_")).Inc()
+}
+
 // Run executes the full pipeline for nl. With cfg.Obs set, every stage is
 // wrapped in a span (wall clock + allocation delta), the subsystems record
 // their metrics, and the combined run report lands in Pipeline.Report.
+// Run is RunCtx without cancellation.
 func Run(nl *netlist.Netlist, cfg Config) (*Pipeline, error) {
+	return RunCtx(context.Background(), nl, cfg)
+}
+
+// RunCtx is Run under a context: cancelling ctx stops the run promptly
+// (the simulation hot loops poll it) with a *PipelineError naming the
+// interrupted stage and wrapping ctx's error. cfg.Deadline bounds the
+// whole run; cfg.StageBudgets bound single stages, degrading gracefully
+// where the stage's partial result is usable. See the package comment for
+// the full hardening policy.
+func RunCtx(ctx context.Context, nl *netlist.Netlist, cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
 	p := &Pipeline{Config: cfg, Netlist: nl}
 	tr := cfg.Obs
 	reg := tr.Metrics()
+	r := &runner{ctx: ctx, cfg: cfg, tr: tr, reg: reg, p: p}
 	run := tr.StartSpan("pipeline")
 	defer func() {
 		run.End()
 		if tr != nil {
 			p.Report = tr.Report(nl.Name)
+			for _, d := range p.Degradations {
+				p.Report.Events = append(p.Report.Events, d.String())
+			}
 		}
 	}()
 
-	var err error
-	sp := tr.StartSpan("layout")
-	p.Layout, err = layout.Build(nl, nil)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: layout: %w", err)
+	if err := r.stage("layout", func(ctx context.Context) error {
+		var err error
+		p.Layout, err = layout.BuildCtx(ctx, nl, nil)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 
-	sp = tr.StartSpan("lvs")
-	err = extract.VerifyLVS(p.Layout)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
+	if err := r.stage("lvs", func(ctx context.Context) error {
+		return extract.VerifyLVS(p.Layout)
+	}); err != nil {
+		return nil, err
 	}
 
-	sp = tr.StartSpan("extract")
-	p.Faults = extract.FaultsObs(p.Layout, cfg.Stats, reg)
-	sp.End()
-	if len(p.Faults.Faults) == 0 {
-		return nil, fmt.Errorf("experiments: no faults extracted from %s", nl.Name)
-	}
-
-	sp = tr.StartSpan("scale-weights")
-	if cfg.TargetYield > 0 {
-		p.Faults.ScaleToYield(cfg.TargetYield)
-	}
-	p.Yield = p.Faults.Yield()
-	reg.Gauge("pipeline_yield").Set(p.Yield)
-	sp.End()
-
-	sp = tr.StartSpan("transistor-map")
-	p.Circuit = transistor.FromLayout(p.Layout)
-	err = p.Circuit.Validate()
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
-	}
-
-	sp = tr.StartSpan("stuckat-collapse")
-	p.StuckAt = fault.StuckAtUniverse(nl)
-	sp.End()
-
-	sp = tr.StartSpan("atpg")
-	p.TestSet, err = atpg.BuildTestSetObs(nl, p.StuckAt, cfg.RandomVectors, uint64(cfg.Seed), cfg.BacktrackLimit, tr)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: atpg: %w", err)
-	}
-
-	sp = tr.StartSpan("switch-sim")
-	vectors := make([]switchsim.Vector, len(p.TestSet.Patterns))
-	for i, pat := range p.TestSet.Patterns {
-		v := make(switchsim.Vector, len(pat))
-		for j, b := range pat {
-			v[j] = switchsim.Val(b)
+	if err := r.stage("extract", func(ctx context.Context) error {
+		var err error
+		p.Faults, err = extract.FaultsCtx(ctx, p.Layout, cfg.Stats, reg)
+		if err != nil {
+			return err
 		}
-		vectors[i] = v
-	}
-	p.SwitchRes, err = switchsim.SimulateFaultsObs(p.Circuit, p.Faults, vectors, 0, switchsim.BridgeG, reg)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: switchsim: %w", err)
+		if len(p.Faults.Faults) == 0 {
+			return fmt.Errorf("no faults extracted from %s", nl.Name)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	sp = tr.StartSpan("curves")
-	p.Ks = coverage.SampleKs(len(p.TestSet.Patterns), 8)
-	if reg != nil {
-		reg.Gauge("pipeline_coverage_stuckat").Set(p.TestSet.Coverage(true))
-		reg.Gauge("pipeline_theta_final").Set(p.ThetaCurve(false).Final())
-		reg.Gauge("pipeline_gamma_final").Set(p.GammaCurve().Final())
-		reg.Counter("pipeline_vectors").Add(int64(len(p.TestSet.Patterns)))
+	if err := r.stage("scale-weights", func(ctx context.Context) error {
+		if cfg.TargetYield > 0 {
+			p.Faults.ScaleToYield(cfg.TargetYield)
+		}
+		p.Yield = p.Faults.Yield()
+		reg.Gauge("pipeline_yield").Set(p.Yield)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	sp.End()
+
+	if err := r.stage("transistor-map", func(ctx context.Context) error {
+		p.Circuit = transistor.FromLayout(p.Layout)
+		return p.Circuit.Validate()
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := r.stage("stuckat-collapse", func(ctx context.Context) error {
+		p.StuckAt = fault.StuckAtUniverse(nl)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := r.stage("atpg", func(ctx context.Context) error {
+		ts, err := atpg.BuildTestSetCtx(ctx, nl, p.StuckAt, cfg.RandomVectors, uint64(cfg.Seed), cfg.BacktrackLimit, tr)
+		p.TestSet = ts
+		if err != nil && ts != nil && r.budgetExhausted(err) {
+			det, unt, ab := ts.Counts()
+			r.degrade("atpg", fmt.Sprintf(
+				"stage budget exhausted: partial test set with %d vectors (%d detected, %d untestable, %d aborted faults)",
+				len(ts.Patterns), det, unt, ab))
+			return nil
+		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := r.stage("switch-sim", func(ctx context.Context) error {
+		vectors := make([]switchsim.Vector, len(p.TestSet.Patterns))
+		for i, pat := range p.TestSet.Patterns {
+			v := make(switchsim.Vector, len(pat))
+			for j, b := range pat {
+				v[j] = switchsim.Val(b)
+			}
+			vectors[i] = v
+		}
+		res, err := switchsim.SimulateFaultsCtx(ctx, p.Circuit, p.Faults, vectors, 0, switchsim.BridgeG, reg)
+		p.SwitchRes = res
+		if err != nil && res != nil && r.budgetExhausted(err) {
+			r.degrade("switch-sim", fmt.Sprintf(
+				"stage budget exhausted after %d/%d vectors; %d faults undecided",
+				res.VectorsApplied, len(vectors), countTrue(res.Undecided)))
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if res.GoodUnsettledAt > 0 {
+			r.degrade("switch-sim", fmt.Sprintf(
+				"fault-free machine failed to settle at vector %d; %d/%d vectors applied, %d faults undecided",
+				res.GoodUnsettledAt, res.VectorsApplied, len(vectors), countTrue(res.Undecided)))
+		}
+		// Faults dropped as undecided by the oscillation-strike policy on a
+		// completed run are a circuit property, not a resource event: they
+		// surface through Result.Undecided and the swsim_faults_undecided
+		// counter (mirroring ATPG backtrack-limit aborts).
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := r.stage("curves", func(ctx context.Context) error {
+		p.Ks = coverage.SampleKs(len(p.TestSet.Patterns), 8)
+		if reg != nil {
+			reg.Gauge("pipeline_coverage_stuckat").Set(p.TestSet.Coverage(true))
+			reg.Gauge("pipeline_theta_final").Set(p.ThetaCurve(false).Final())
+			reg.Gauge("pipeline_gamma_final").Set(p.GammaCurve().Final())
+			reg.Counter("pipeline_vectors").Add(int64(len(p.TestSet.Patterns)))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return p, nil
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
 }
 
 // StuckAtDetections returns the stuck-at first-detection indices with
@@ -241,5 +452,8 @@ func (p *Pipeline) Summary() string {
 	thetaEnd := p.ThetaCurve(false).Final()
 	gammaEnd := p.GammaCurve().Final()
 	fmt.Fprintf(&b, "realistic  : Θ(final) = %.4f, Γ(final) = %.4f\n", thetaEnd, gammaEnd)
+	for _, d := range p.Degradations {
+		fmt.Fprintf(&b, "degraded   : %s: %s\n", d.Stage, d.Reason)
+	}
 	return b.String()
 }

@@ -1,11 +1,13 @@
 package extract
 
 import (
+	"context"
 	"sort"
 
 	"defectsim/internal/critarea"
 	"defectsim/internal/defect"
 	"defectsim/internal/fault"
+	"defectsim/internal/faultinject"
 	"defectsim/internal/geom"
 	"defectsim/internal/layout"
 	"defectsim/internal/obs"
@@ -54,6 +56,19 @@ var openLayers = []struct {
 // and redundant).
 func Faults(L *layout.Layout, stats defect.Statistics) *fault.List {
 	return FaultsObs(L, stats, nil)
+}
+
+// FaultsCtx is FaultsObs with cancellation: the context is consulted on
+// entry (extraction of one layout is a single bounded unit of work) and
+// the extract.faults fault-injection hook fires before any analysis.
+func FaultsCtx(ctx context.Context, L *layout.Layout, stats defect.Statistics, reg *obs.Registry) (*fault.List, error) {
+	if err := faultinject.Fire(ctx, faultinject.HookExtractFaults); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return FaultsObs(L, stats, reg), nil
 }
 
 // FaultsObs is Faults with metrics: per-kind fault counts and a weight

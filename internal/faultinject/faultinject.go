@@ -1,0 +1,133 @@
+// Package faultinject provides named fault-injection hook points for the
+// pipeline's robustness tests. Production code fires hooks at well-known
+// points (one per long-running subsystem); tests install behaviors — an
+// error, a panic, a stall, an artificial slowdown — to exercise the
+// hardened execution layer: cancellation latency, stage-budget
+// enforcement, panic isolation and partial-result correctness.
+//
+// The harness is disarmed by default: Fire is a single atomic load when no
+// hook is installed, so the hook points cost (almost) nothing in
+// production. Hooks are global, guarded by a mutex, and restored by the
+// function Set returns, so tests compose without coordination as long as
+// they do not run in parallel against the same hook point.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hook point names fired by the pipeline subsystems.
+const (
+	// HookLayoutBuild fires on entry to layout construction.
+	HookLayoutBuild = "layout.build"
+	// HookExtractFaults fires on entry to inductive fault extraction.
+	HookExtractFaults = "extract.faults"
+	// HookATPGFault fires once per fault targeted by deterministic
+	// generation (the ATPG top-up loop).
+	HookATPGFault = "atpg.fault"
+	// HookGateSimBlock fires once per 64-pattern block of the gate-level
+	// fault simulator.
+	HookGateSimBlock = "gatesim.block"
+	// HookSwitchSimVector fires once per vector applied by the
+	// switch-level fault simulator.
+	HookSwitchSimVector = "switchsim.vector"
+)
+
+// Hook is a behavior injected at a hook point. A non-nil returned error
+// aborts the surrounding stage with that error; a panic exercises the
+// stage's panic isolation.
+type Hook func(ctx context.Context) error
+
+var (
+	armed atomic.Bool
+	mu    sync.Mutex
+	hooks = map[string]Hook{}
+)
+
+// Set installs fn at the named hook point and returns a function restoring
+// the previous state. Tests must call the restore function (usually via
+// defer) so later tests see a disarmed harness.
+func Set(name string, fn Hook) (restore func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	prev, had := hooks[name]
+	hooks[name] = fn
+	armed.Store(true)
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		if had {
+			hooks[name] = prev
+		} else {
+			delete(hooks, name)
+		}
+		if len(hooks) == 0 {
+			armed.Store(false)
+		}
+	}
+}
+
+// Fire invokes the hook installed at name, if any. With no hooks installed
+// anywhere it is a single atomic load.
+func Fire(ctx context.Context, name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.Lock()
+	fn := hooks[name]
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(ctx)
+}
+
+// Stall is a Hook that blocks until the context is cancelled and returns
+// its error: the canonical "stuck stage" used to measure cancellation
+// latency.
+func Stall(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// Sleep returns a Hook that delays each firing by d (a uniformly slow
+// stage), respecting cancellation mid-sleep.
+func Sleep(d time.Duration) Hook {
+	return func(ctx context.Context) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Fail returns a Hook that fails every firing with err.
+func Fail(err error) Hook {
+	return func(context.Context) error { return err }
+}
+
+// Panic returns a Hook that panics with the given message, for exercising
+// stage panic isolation.
+func Panic(msg string) Hook {
+	return func(context.Context) error { panic(fmt.Sprintf("faultinject: %s", msg)) }
+}
+
+// After returns a Hook that passes n-1 firings and then behaves like fn
+// forever after, for failing mid-way through a stage.
+func After(n int, fn Hook) Hook {
+	var calls atomic.Int64
+	return func(ctx context.Context) error {
+		if calls.Add(1) < int64(n) {
+			return nil
+		}
+		return fn(ctx)
+	}
+}

@@ -1,0 +1,127 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFireWithoutHooksIsNil(t *testing.T) {
+	if err := Fire(context.Background(), HookATPGFault); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+func TestSetAndRestore(t *testing.T) {
+	boom := errors.New("boom")
+	restore := Set(HookLayoutBuild, Fail(boom))
+	if err := Fire(context.Background(), HookLayoutBuild); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	// Other hook points stay disarmed.
+	if err := Fire(context.Background(), HookATPGFault); err != nil {
+		t.Fatalf("unrelated hook fired: %v", err)
+	}
+	restore()
+	if err := Fire(context.Background(), HookLayoutBuild); err != nil {
+		t.Fatalf("restored hook still firing: %v", err)
+	}
+}
+
+func TestRestoreReinstatesPreviousHook(t *testing.T) {
+	first := errors.New("first")
+	second := errors.New("second")
+	r1 := Set(HookExtractFaults, Fail(first))
+	r2 := Set(HookExtractFaults, Fail(second))
+	if err := Fire(context.Background(), HookExtractFaults); !errors.Is(err, second) {
+		t.Fatalf("got %v, want second", err)
+	}
+	r2()
+	if err := Fire(context.Background(), HookExtractFaults); !errors.Is(err, first) {
+		t.Fatalf("got %v, want first after nested restore", err)
+	}
+	r1()
+	if err := Fire(context.Background(), HookExtractFaults); err != nil {
+		t.Fatalf("got %v after full restore", err)
+	}
+}
+
+func TestStallReturnsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- Stall(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Stall did not return after cancel")
+	}
+}
+
+func TestSleepRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(time.Minute)(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	boom := errors.New("boom")
+	h := After(3, Fail(boom))
+	for i := 0; i < 2; i++ {
+		if err := h(context.Background()); err != nil {
+			t.Fatalf("call %d failed early: %v", i+1, err)
+		}
+	}
+	if err := h(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("third call: got %v, want boom", err)
+	}
+	if err := h(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("later calls must keep failing, got %v", err)
+	}
+}
+
+func TestPanicHookPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Panic hook did not panic")
+		}
+	}()
+	_ = Panic("test")(context.Background())
+}
+
+// TestConcurrentFireAndSet exercises the harness under the race detector:
+// concurrent Fire calls while hooks are installed and removed.
+func TestConcurrentFireAndSet(t *testing.T) {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = Fire(context.Background(), HookSwitchSimVector)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		restore := Set(HookSwitchSimVector, func(context.Context) error { return nil })
+		restore()
+	}
+	close(stop)
+	wg.Wait()
+	if err := Fire(context.Background(), HookSwitchSimVector); err != nil {
+		t.Fatalf("harness not disarmed after test: %v", err)
+	}
+}

@@ -5,9 +5,11 @@
 package gatesim
 
 import (
+	"context"
 	"fmt"
 
 	"defectsim/internal/fault"
+	"defectsim/internal/faultinject"
 	"defectsim/internal/netlist"
 	"defectsim/internal/obs"
 )
@@ -112,6 +114,14 @@ func Simulate(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern) (
 // drops land in reg. Counters are accumulated locally and flushed once
 // per run, so a nil registry costs nothing on the hot path.
 func SimulateObs(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern, reg *obs.Registry) (*Result, error) {
+	return SimulateCtx(context.Background(), nl, faults, patterns, reg)
+}
+
+// SimulateCtx is SimulateObs with cancellation: the context is checked
+// once per 64-pattern block, so a cancelled or expired context stops the
+// campaign promptly. On early stop it returns the partial result (first
+// detections recorded so far) together with the context's error.
+func SimulateCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern, reg *obs.Registry) (*Result, error) {
 	sim, err := newSimulator(nl)
 	if err != nil {
 		return nil, err
@@ -131,7 +141,21 @@ func SimulateObs(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern
 	piWords := make([]uint64, len(nl.PIs))
 
 	var nBlocks, nFaultEvals, nActSkips, nDropped int64
+	defer func() {
+		if reg != nil {
+			reg.Counter("gatesim_blocks").Add(nBlocks)
+			reg.Counter("gatesim_fault_evals").Add(nFaultEvals)
+			reg.Counter("gatesim_activation_skips").Add(nActSkips)
+			reg.Counter("gatesim_faults_dropped").Add(nDropped)
+		}
+	}()
 	for base := 0; base < len(patterns) && len(live) > 0; base += 64 {
+		if err := faultinject.Fire(ctx, faultinject.HookGateSimBlock); err != nil {
+			return res, err
+		}
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		nBlocks++
 		block := patterns[base:]
 		if len(block) > 64 {
@@ -193,12 +217,6 @@ func SimulateObs(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern
 			}
 		}
 		live = keep
-	}
-	if reg != nil {
-		reg.Counter("gatesim_blocks").Add(nBlocks)
-		reg.Counter("gatesim_fault_evals").Add(nFaultEvals)
-		reg.Counter("gatesim_activation_skips").Add(nActSkips)
-		reg.Counter("gatesim_faults_dropped").Add(nDropped)
 	}
 	return res, nil
 }

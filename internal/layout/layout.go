@@ -21,11 +21,13 @@
 package layout
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"defectsim/internal/cell"
+	"defectsim/internal/faultinject"
 	"defectsim/internal/geom"
 	"defectsim/internal/netlist"
 )
@@ -136,6 +138,19 @@ func (l *Library) Get(t netlist.GateType, fanin int) (*cell.Cell, error) {
 
 // Build places and routes nl and returns the finished layout.
 func Build(nl *netlist.Netlist, lib *Library) (*Layout, error) {
+	return BuildCtx(context.Background(), nl, lib)
+}
+
+// BuildCtx is Build with cancellation: the context is consulted on entry
+// and between the placement and routing phases, and the layout.build
+// fault-injection hook fires on entry.
+func BuildCtx(ctx context.Context, nl *netlist.Netlist, lib *Library) (*Layout, error) {
+	if err := faultinject.Fire(ctx, faultinject.HookLayoutBuild); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := nl.Validate(); err != nil {
 		return nil, err
 	}
@@ -220,6 +235,11 @@ func Build(nl *netlist.Netlist, lib *Library) (*Layout, error) {
 		}
 	}
 	L.Rows = row + 1
+
+	// Placement is done; check for cancellation before routing.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Collect pins (chip x known; y filled in after channel sizing).
 	type rawPin struct {

@@ -28,6 +28,8 @@ func ParseBench(name string, r io.Reader) (*Netlist, error) {
 		return id
 	}
 	var outputs []string
+	inputLine := make(map[string]int)  // PI name -> first declaring line
+	outputLine := make(map[string]int) // PO name -> first declaring line
 
 	sc := bufio.NewScanner(r)
 	lineNo := 0
@@ -43,6 +45,10 @@ func ParseBench(name string, r io.Reader) (*Netlist, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
 			}
+			if prev, dup := inputLine[arg]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate INPUT(%s) (first declared on line %d)", name, lineNo, arg, prev)
+			}
+			inputLine[arg] = lineNo
 			id := getNet(arg)
 			n.PIs = append(n.PIs, id)
 		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
@@ -50,6 +56,10 @@ func ParseBench(name string, r io.Reader) (*Netlist, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s:%d: %v", name, lineNo, err)
 			}
+			if prev, dup := outputLine[arg]; dup {
+				return nil, fmt.Errorf("%s:%d: duplicate OUTPUT(%s) (first declared on line %d)", name, lineNo, arg, prev)
+			}
+			outputLine[arg] = lineNo
 			outputs = append(outputs, arg)
 		default:
 			eq := strings.Index(line, "=")
@@ -57,6 +67,9 @@ func ParseBench(name string, r io.Reader) (*Netlist, error) {
 				return nil, fmt.Errorf("%s:%d: expected assignment, got %q", name, lineNo, line)
 			}
 			lhs := strings.TrimSpace(line[:eq])
+			if lhs == "" {
+				return nil, fmt.Errorf("%s:%d: assignment with empty left-hand side", name, lineNo)
+			}
 			rhs := strings.TrimSpace(line[eq+1:])
 			op := strings.Index(rhs, "(")
 			cp := strings.LastIndex(rhs, ")")
@@ -80,6 +93,9 @@ func ParseBench(name string, r io.Reader) (*Netlist, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if len(n.PIs) == 0 && len(n.Gates) == 0 {
+		return nil, fmt.Errorf("%s: empty netlist: no inputs and no gates", name)
 	}
 	for _, o := range outputs {
 		id, ok := ids[o]

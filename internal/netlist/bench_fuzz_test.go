@@ -1,0 +1,100 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseBenchMalformed feeds the parser inputs that must produce a
+// descriptive error — never a panic and never a silently-accepted broken
+// netlist.
+func TestParseBenchMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the expected error
+	}{
+		{"empty file", "", "empty netlist"},
+		{"comments only", "# nothing here\n# still nothing\n", "empty netlist"},
+		{"unterminated input", "INPUT(G1\n", "malformed declaration"},
+		{"unterminated output", "INPUT(G1)\nOUTPUT(G1\n", "malformed declaration"},
+		{"unterminated gate", "INPUT(G1)\nG2 = NAND(G1\n", "malformed gate"},
+		{"missing assignment", "INPUT(G1)\nG2 NAND(G1)\n", "expected assignment"},
+		{"empty lhs", "INPUT(G1)\n = NAND(G1)\n", "empty left-hand side"},
+		{"empty input name", "INPUT(G1)\nG2 = NAND(G1, )\n", "empty input name"},
+		{"empty pi name", "INPUT()\n", "empty name"},
+		{"unknown gate type", "INPUT(G1)\nG2 = FROB(G1)\n", "gate type"},
+		{"undefined output", "INPUT(G1)\nOUTPUT(G9)\nG2 = NOT(G1)\n", "never defined"},
+		{"duplicate outputs", "INPUT(G1)\nOUTPUT(G2)\nOUTPUT(G2)\nG2 = NOT(G1)\n", "duplicate OUTPUT"},
+		{"duplicate inputs", "INPUT(G1)\nINPUT(G1)\nOUTPUT(G2)\nG2 = NOT(G1)\n", "duplicate INPUT"},
+		{"multiply driven", "INPUT(G1)\nOUTPUT(G2)\nG2 = NOT(G1)\nG2 = BUF(G1)\n", ""},
+		{"input redefined by gate", "INPUT(G1)\nOUTPUT(G1)\nG1 = NOT(G1)\n", ""},
+		{"undriven gate input", "INPUT(G1)\nOUTPUT(G3)\nG3 = NAND(G1, G2)\n", ""},
+		{"self loop", "INPUT(G1)\nOUTPUT(G2)\nG2 = NAND(G1, G2)\n", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nl, err := ParseBench("fuzzcase", strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("ParseBench accepted malformed input, got netlist %+v", nl)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseBenchRoundTrip ensures a healthy netlist still parses after the
+// hardening, and that WriteBench output re-parses to the same stats.
+func TestParseBenchRoundTrip(t *testing.T) {
+	n := C17()
+	var b strings.Builder
+	if err := WriteBench(&b, n); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ParseBench("c17rt", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n2.PIs) != len(n.PIs) || len(n2.POs) != len(n.POs) || len(n2.Gates) != len(n.Gates) {
+		t.Fatalf("round trip changed shape: %d/%d/%d vs %d/%d/%d",
+			len(n2.PIs), len(n2.POs), len(n2.Gates), len(n.PIs), len(n.POs), len(n.Gates))
+	}
+}
+
+// FuzzParseBench asserts the parser's crash-safety contract: arbitrary
+// input either errors or yields a netlist that passes Validate and can be
+// re-serialized.
+func FuzzParseBench(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment\n",
+		"INPUT(G1)\nOUTPUT(G2)\nG2 = NOT(G1)\n",
+		"INPUT(G1)\nINPUT(G2)\nOUTPUT(G3)\nG3 = NAND(G1, G2)\n",
+		"INPUT(G1\n",
+		"OUTPUT(G9)\n",
+		"G2 = FROB(G1)\n",
+		"INPUT(G1)\nG2 = NAND(G1, )\n",
+		"INPUT(a)\noutput(b)\nb = and(a, a)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := ParseBench("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if nl == nil {
+			t.Fatal("nil netlist with nil error")
+		}
+		if verr := nl.Validate(); verr != nil {
+			t.Fatalf("accepted netlist fails Validate: %v\ninput:\n%s", verr, src)
+		}
+		var b strings.Builder
+		if len(nl.POs) > 0 {
+			_ = WriteBench(&b, nl)
+		}
+	})
+}

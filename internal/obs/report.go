@@ -16,6 +16,9 @@ import (
 type Report struct {
 	Circuit  string `json:"circuit,omitempty"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
+	// Events are notable run-level occurrences (graceful-degradation
+	// notices, cache-corruption fallbacks) recorded by the pipeline.
+	Events []string `json:"events,omitempty"`
 	// TotalNS is the wall time of the top-level stages combined.
 	TotalNS    int64           `json:"total_ns"`
 	Stages     []*StageReport  `json:"stages,omitempty"`
@@ -109,6 +112,23 @@ func (r *Registry) snapshotInto(rep *Report) {
 	sort.Slice(rep.Histograms, func(i, j int) bool { return rep.Histograms[i].Name < rep.Histograms[j].Name })
 }
 
+// CounterSnapshot returns the registry's counters sorted by name — the
+// partial-progress picture attached to stage-failure errors. A nil
+// registry returns nil.
+func (r *Registry) CounterSnapshot() []CounterSnap {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CounterSnap, 0, len(r.counters))
+	for name, c := range r.counters {
+		out = append(out, CounterSnap{name, c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // JSON returns the indented JSON encoding of the report.
 func (r *Report) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
@@ -127,6 +147,9 @@ func (r *Report) Render() string {
 			b.WriteString(" (cache hit)")
 		}
 		b.WriteByte('\n')
+	}
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "event: %s\n", e)
 	}
 	st := &textplot.Table{Headers: []string{"stage", "wall", "% of run", "alloc"}}
 	total := float64(r.TotalNS)

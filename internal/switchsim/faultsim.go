@@ -1,11 +1,12 @@
 package switchsim
 
 import (
-	"fmt"
+	"context"
 	"runtime"
 	"sync"
 
 	"defectsim/internal/fault"
+	"defectsim/internal/faultinject"
 	"defectsim/internal/layout"
 	"defectsim/internal/obs"
 	"defectsim/internal/transistor"
@@ -151,6 +152,20 @@ type Result struct {
 	// Oscillations counts vectors abandoned because a feedback bridge kept
 	// the machine from settling.
 	Oscillations int
+	// Undecided[i] marks faults the campaign gave up on before a
+	// detection: persistent oscillation (the machine repeatedly failed to
+	// settle) or an early stop (cancellation, budget expiry, unsettled
+	// good machine). Their DetectedAt stays 0; conservatively they count
+	// as undetected in every coverage figure.
+	Undecided []bool
+	// VectorsApplied is how many vectors were actually simulated; it is
+	// below len(vectors) when the campaign stopped early.
+	VectorsApplied int
+	// GoodUnsettledAt is the 1-based vector index at which the fault-free
+	// machine failed to settle (0 = never). Simulation stops there — the
+	// good trace is untrustworthy beyond it — and every still-live fault
+	// becomes Undecided.
+	GoodUnsettledAt int
 }
 
 // DetectedBy returns the detection flags after k vectors under voltage
@@ -200,9 +215,28 @@ func SimulateFaultsR(c *transistor.Circuit, list *fault.List, vectors []Vector, 
 // land in reg. Workers accumulate privately and flush once per vector, so
 // the nil-registry path adds no work or allocation to the inner loop.
 func SimulateFaultsObs(c *transistor.Circuit, list *fault.List, vectors []Vector, workers int, bridgeG float64, reg *obs.Registry) (*Result, error) {
+	return SimulateFaultsCtx(context.Background(), c, list, vectors, workers, bridgeG, reg)
+}
+
+// oscStrikeLimit is how many unsettled vectors a fault machine tolerates
+// before the fault is declared undecided and dropped: a feedback bridge
+// that oscillates this persistently will not produce a trustworthy static
+// observation, and repeatedly re-relaxing it wastes the whole budget.
+const oscStrikeLimit = 3
+
+// SimulateFaultsCtx is SimulateFaultsObs with cancellation and graceful
+// degradation: the context is checked once per vector, so a cancelled or
+// expired context stops the campaign promptly, returning the partial
+// result (detections so far, remaining live faults marked Undecided,
+// VectorsApplied recording where it stopped) together with the context's
+// error. A fault-free machine that fails to settle no longer aborts the
+// run: simulation stops at that vector, the event lands in
+// Result.GoodUnsettledAt, and live faults become Undecided.
+func SimulateFaultsCtx(ctx context.Context, c *transistor.Circuit, list *fault.List, vectors []Vector, workers int, bridgeG float64, reg *obs.Registry) (*Result, error) {
 	res := &Result{
 		DetectedAt: make([]int, len(list.Faults)),
 		IDDQAt:     make([]int, len(list.Faults)),
+		Undecided:  make([]bool, len(list.Faults)),
 	}
 	var (
 		mSteps    = reg.Counter("swsim_machine_steps")
@@ -216,9 +250,10 @@ func SimulateFaultsObs(c *transistor.Circuit, list *fault.List, vectors []Vector
 		hDetectAt = reg.Histogram("swsim_vectors_to_detect", obs.ExpBuckets(1, 2, 10))
 	}
 	type live struct {
-		idx   int
-		m     *Machine
-		clean bool
+		idx     int
+		m       *Machine
+		clean   bool
+		strikes int // unsettled vectors so far; oscStrikeLimit → undecided
 	}
 	var lives []*live
 	for i, f := range list.Faults {
@@ -245,10 +280,50 @@ func SimulateFaultsObs(c *transistor.Circuit, list *fault.List, vectors []Vector
 	good := NewMachine(c)
 	goodPrev := make([]Val, len(good.val))
 	oscillations := make([]int64, workers)
+	// finalize folds the per-worker oscillation counts and flushes the
+	// campaign-level metrics once the vector loop is done (normally or on
+	// an early stop after k vectors).
+	finalize := func(k int) {
+		res.VectorsApplied = k
+		for _, o := range oscillations {
+			res.Oscillations += int(o)
+		}
+		if reg != nil {
+			undecided := int64(0)
+			for _, u := range res.Undecided {
+				if u {
+					undecided++
+				}
+			}
+			reg.Counter("swsim_oscillations").Add(int64(res.Oscillations))
+			reg.Counter("swsim_faults_undecided").Add(undecided)
+		}
+	}
+	// stop ends the campaign early after k applied vectors: faults still
+	// alive have seen only part of the evidence, so they are undecided
+	// rather than undetected.
+	stop := func(k int) *Result {
+		for _, lv := range lives {
+			res.Undecided[lv.idx] = true
+		}
+		lives = nil
+		finalize(k)
+		return res
+	}
 	for k, vec := range vectors {
+		if err := faultinject.Fire(ctx, faultinject.HookSwitchSimVector); err != nil {
+			return stop(k), err
+		}
+		if err := ctx.Err(); err != nil {
+			return stop(k), err
+		}
 		copy(goodPrev, good.val)
 		if !good.Apply(vec) {
-			return nil, fmt.Errorf("switchsim: good machine failed to settle on vector %d", k)
+			// The fault-free machine's trace is untrustworthy from here on;
+			// degrade instead of failing the whole campaign.
+			res.GoodUnsettledAt = k + 1
+			reg.Counter("swsim_good_unsettled").Inc()
+			return stop(k), nil
 		}
 		goodVal := good.val
 
@@ -287,6 +362,7 @@ func SimulateFaultsObs(c *transistor.Circuit, list *fault.List, vectors []Vector
 					}
 					if !ok {
 						oscillations[w]++
+						lv.strikes++
 						lv.clean = false
 						continue
 					}
@@ -312,21 +388,21 @@ func SimulateFaultsObs(c *transistor.Circuit, list *fault.List, vectors []Vector
 		wg.Wait()
 		keep := lives[:0]
 		for li, lv := range lives {
-			if !drop[li] {
-				keep = append(keep, lv)
-			} else {
+			switch {
+			case drop[li]:
 				mDetected.Inc()
 				hDetectAt.Observe(float64(k + 1))
+			case lv.strikes >= oscStrikeLimit:
+				// Persistently oscillating machine: its static observations
+				// will never be trustworthy — undecided, not undetected.
+				res.Undecided[lv.idx] = true
+			default:
+				keep = append(keep, lv)
 			}
 		}
 		lives = keep
 	}
-	for _, o := range oscillations {
-		res.Oscillations += int(o)
-	}
-	if reg != nil {
-		reg.Counter("swsim_oscillations").Add(int64(res.Oscillations))
-	}
+	finalize(len(vectors))
 	return res, nil
 }
 

@@ -1,0 +1,19 @@
+#!/bin/sh
+# verify.sh — the repo's full verification recipe.
+#
+# Tier 1 (fast, the PR gate): build + vet + full test suite.
+# Tier 2 (slow): race-detector pass over the concurrency-bearing packages
+# (observability, the hardened pipeline, the fault-injection harness and
+# the worker-sharded switch-level simulator).
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test ./..."
+go test ./...
+echo "== go test -race (obs, experiments, faultinject, switchsim)"
+go test -race ./internal/obs/... ./internal/experiments/... ./internal/faultinject/... ./internal/switchsim/...
+echo "verify.sh: all checks passed"
