@@ -81,7 +81,10 @@ var ParseBench = netlist.ParseBench
 // Pipeline execution (package internal/experiments).
 type (
 	// PipelineConfig parameterizes a run: seed, yield scaling, vector
-	// budget and defect statistics.
+	// budget, defect statistics and parallelism. Config.Workers bounds
+	// the worker pools of the fault-parallel simulators and the
+	// concurrent experiment drivers (0 selects runtime.NumCPU(); results
+	// are bitwise identical for every worker count).
 	PipelineConfig = experiments.Config
 	// Pipeline is a fully simulated design: layout, weighted faults, test
 	// set, and gate-/switch-level detection data, with methods producing
@@ -140,6 +143,19 @@ func RunPipelineCachedCtx(ctx context.Context, nl *Netlist, cfg PipelineConfig, 
 // paper's figure 5 in one call.
 func FitPipeline(p *Pipeline) ModelParams {
 	return experiments.Figure5(p).Fitted
+}
+
+// SuiteStudy is the result of a benchmark-suite run: one fitted-model row
+// per circuit.
+type SuiteStudy = experiments.SuiteStudy
+
+// RunSuite executes the full pipeline for every circuit concurrently on a
+// bounded worker pool (cfg.Workers; 0 selects runtime.NumCPU()) and
+// returns the per-circuit model fits in input order. Each circuit runs
+// under the hardened-execution machinery (cancellation, deadline, stage
+// budgets with graceful degradation).
+func RunSuite(ctx context.Context, circuits []*Netlist, cfg PipelineConfig) (*SuiteStudy, error) {
+	return experiments.RunSuiteCtx(ctx, circuits, cfg)
 }
 
 // Observability (package internal/obs).

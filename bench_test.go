@@ -10,6 +10,7 @@ package defectsim
 // built lazily on first use.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -354,16 +355,39 @@ func BenchmarkFaultExtraction(b *testing.B) {
 }
 
 // BenchmarkGateLevelFaultSim times 64-way parallel-pattern stuck-at
-// simulation of the full collapsed universe over 256 random vectors.
+// simulation of the full collapsed universe over 256 random vectors,
+// pinned to one worker — the serial measurement the BENCH_seed.json
+// regression gate compares against. The fault-parallel engine is measured
+// by BenchmarkGateLevelFaultSimWorkers.
 func BenchmarkGateLevelFaultSim(b *testing.B) {
 	nl := netlist.C432Class(1994)
 	faults := fault.StuckAtUniverse(nl)
 	pats := gatesim.RandomPatterns(nl, 256, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := gatesim.Simulate(nl, faults, pats); err != nil {
+		if _, err := gatesim.SimulateFaultsCtx(context.Background(), nl, faults, pats, 1, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGateLevelFaultSimWorkers sweeps the fault-parallel engine's
+// worker count on the same campaign as BenchmarkGateLevelFaultSim: the
+// serial-vs-parallel speedup table in DESIGN.md §Performance comes from
+// this benchmark. (Results are bitwise identical at every count; only the
+// wall clock moves.)
+func BenchmarkGateLevelFaultSimWorkers(b *testing.B) {
+	nl := netlist.C432Class(1994)
+	faults := fault.StuckAtUniverse(nl)
+	pats := gatesim.RandomPatterns(nl, 256, 1)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gatesim.SimulateFaultsCtx(context.Background(), nl, faults, pats, w, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -393,15 +417,35 @@ func BenchmarkSwitchLevelGoodSim(b *testing.B) {
 }
 
 // BenchmarkATPG times the full test-set build (random prefix + SCOAP-guided
-// PODEM top-up with per-pattern fault dropping).
+// PODEM top-up with per-pattern fault dropping), pinned to one simulation
+// worker for continuity with the BENCH_seed.json baseline; the worker
+// sweep is BenchmarkATPGWorkers.
 func BenchmarkATPG(b *testing.B) {
 	nl := netlist.C432Class(1994)
 	faults := fault.StuckAtUniverse(nl)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := atpg.BuildTestSet(nl, faults, 64, 1994, 2000); err != nil {
+		if _, err := atpg.BuildTestSetWorkersCtx(context.Background(), nl, faults, 64, 1994, 2000, 1, nil); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkATPGWorkers sweeps the worker count of ATPG's embedded
+// gate-level fault-simulation phases (the PODEM search itself stays
+// serial, so gains bound well below linear — Amdahl's law on the
+// search-dominated tail).
+func BenchmarkATPGWorkers(b *testing.B) {
+	nl := netlist.C432Class(1994)
+	faults := fault.StuckAtUniverse(nl)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := atpg.BuildTestSetWorkersCtx(context.Background(), nl, faults, 64, 1994, 2000, w, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,197 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document and compares two such documents for regressions — the
+// repo's CI benchmark gate.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | benchjson -o BENCH_ci.json
+//	benchjson -compare BENCH_seed.json BENCH_ci.json -tolerance 3.0
+//
+// Conversion reads benchmark lines ("BenchmarkName-8  100  123 ns/op ...")
+// from stdin, strips the GOMAXPROCS suffix, and writes one entry per
+// benchmark together with the run's environment header (goos/goarch/cpu).
+//
+// Compare exits non-zero when a benchmark present in both documents got
+// slower than baseline × tolerance. The tolerance is deliberately generous
+// (default 3.0): CI runners vary widely in per-core speed, so the gate
+// only catches order-of-magnitude regressions — an accidental serial
+// fallback, a quadratic merge — not noise. Benchmarks present on only one
+// side are reported but never fail the gate, so adding or retiring a
+// benchmark does not need a baseline refresh in the same change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Doc is the JSON document: environment header plus sorted entries.
+type Doc struct {
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line. The -N GOMAXPROCS
+// suffix is split off so baselines compare across machines.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		e := Entry{Name: m[1]}
+		e.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		// Optional -benchmem tail: "  N B/op  M allocs/op".
+		tail := strings.Fields(m[4])
+		for i := 0; i+1 < len(tail); i++ {
+			switch tail[i+1] {
+			case "B/op":
+				e.BytesPerOp, _ = strconv.ParseInt(tail[i], 10, 64)
+			case "allocs/op":
+				e.AllocsPerOp, _ = strconv.ParseInt(tail[i], 10, 64)
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(doc.Benchmarks, func(i, j int) bool {
+		return doc.Benchmarks[i].Name < doc.Benchmarks[j].Name
+	})
+	return doc, nil
+}
+
+func load(path string) (*Doc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Doc{}
+	if err := json.Unmarshal(b, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// compare prints a per-benchmark verdict and returns the names that got
+// slower than base × tolerance.
+func compare(w io.Writer, base, cur *Doc, tolerance float64) []string {
+	baseBy := map[string]Entry{}
+	for _, e := range base.Benchmarks {
+		baseBy[e.Name] = e
+	}
+	var failed []string
+	seen := map[string]bool{}
+	for _, e := range cur.Benchmarks {
+		seen[e.Name] = true
+		b, ok := baseBy[e.Name]
+		if !ok {
+			fmt.Fprintf(w, "NEW      %-32s %14.0f ns/op (no baseline)\n", e.Name, e.NsPerOp)
+			continue
+		}
+		ratio := e.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > tolerance {
+			verdict = "REGRESSED"
+			failed = append(failed, e.Name)
+		}
+		fmt.Fprintf(w, "%-9s%-32s %14.0f ns/op  baseline %14.0f  ratio %.2fx (limit %.1fx)\n",
+			verdict, e.Name, e.NsPerOp, b.NsPerOp, ratio, tolerance)
+	}
+	for _, b := range base.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "MISSING  %-32s baseline %14.0f ns/op (not run)\n", b.Name, b.NsPerOp)
+		}
+	}
+	return failed
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file instead of stdout")
+	cmp := flag.Bool("compare", false, "compare two JSON documents: benchjson -compare BASE CURRENT")
+	tolerance := flag.Float64("tolerance", 3.0, "regression gate: fail when current > baseline × tolerance")
+	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare BASE.json CURRENT.json [-tolerance 3.0]")
+			os.Exit(2)
+		}
+		base, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		cur, err := load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		failed := compare(os.Stdout, base, cur, *tolerance)
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.1fx: %s\n",
+				len(failed), *tolerance, strings.Join(failed, ", "))
+			os.Exit(1)
+		}
+		return
+	}
+
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+	js, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	js = append(js, '\n')
+	if *out == "" {
+		os.Stdout.Write(js)
+		return
+	}
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: defectsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLayoutBuild        	     626	   1847475 ns/op	 4264359 B/op	    3196 allocs/op
+BenchmarkGateLevelFaultSim-8	     746	   1615419 ns/op	   21850 B/op	      13 allocs/op
+BenchmarkATPG               	      18	  64262993 ns/op
+PASS
+ok  	defectsim	39.410s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("env header: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	// Sorted by name; GOMAXPROCS suffix stripped.
+	if doc.Benchmarks[1].Name != "BenchmarkGateLevelFaultSim" {
+		t.Fatalf("name = %q (suffix not stripped or unsorted)", doc.Benchmarks[1].Name)
+	}
+	e := doc.Benchmarks[1]
+	if e.Iterations != 746 || e.NsPerOp != 1615419 || e.BytesPerOp != 21850 || e.AllocsPerOp != 13 {
+		t.Fatalf("entry: %+v", e)
+	}
+	// -benchmem tail optional.
+	if a := doc.Benchmarks[0]; a.Name != "BenchmarkATPG" || a.BytesPerOp != 0 {
+		t.Fatalf("entry without benchmem: %+v", a)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 100},
+		{Name: "BenchmarkRetired", NsPerOp: 100},
+	}}
+	cur := &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkA", NsPerOp: 250}, // within 3x
+		{Name: "BenchmarkB", NsPerOp: 400}, // beyond 3x
+		{Name: "BenchmarkNew", NsPerOp: 1}, // no baseline: never fails
+	}}
+	var out strings.Builder
+	failed := compare(&out, base, cur, 3.0)
+	if len(failed) != 1 || failed[0] != "BenchmarkB" {
+		t.Fatalf("failed = %v, want [BenchmarkB]", failed)
+	}
+	for _, want := range []string{"REGRESSED", "NEW", "MISSING", "BenchmarkRetired"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}

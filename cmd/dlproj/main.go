@@ -38,9 +38,11 @@
 //
 // Flags select the circuit (default: the c432-class benchmark), the seed,
 // the yield scaling and the random-vector budget; -trace=<path> writes a
-// machine-readable JSON run report for any pipeline command, and
-// -timeout bounds the run's wall time. SIGINT/SIGTERM cancel a running
-// pipeline cleanly.
+// machine-readable JSON run report for any pipeline command, -timeout
+// bounds the run's wall time, and -workers sizes the worker pool of the
+// fault-parallel simulators and the concurrent experiment suite (0 = all
+// CPUs; simulation results are identical for every worker count).
+// SIGINT/SIGTERM cancel a running pipeline cleanly.
 //
 // Exit codes:
 //
@@ -132,6 +134,7 @@ func main() {
 		cache   = flag.String("cache", "", "path to a pipeline result cache (created on miss, reused on hit)")
 		trace   = flag.String("trace", "", "write a JSON run report (stage tree + metrics) to this path")
 		timeout = flag.Duration("timeout", 0, "bound the pipeline's wall time (0 = unlimited); expiry exits with code 3")
+		workers = flag.Int("workers", 0, "worker pool size for the fault-parallel simulators and concurrent experiments (0 = all CPUs)")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -153,6 +156,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.TargetYield = *yield
 	cfg.RandomVectors = *vectors
+	cfg.Workers = *workers
 	if *timeout > 0 {
 		cfg.Deadline = *timeout
 	}
@@ -328,8 +332,8 @@ func main() {
 	case "kinds":
 		fmt.Print(experiments.FaultKindBreakdown(run(cfg)))
 	case "suite":
-		fmt.Fprintln(os.Stderr, "running the pipeline over the benchmark suite (about a minute)...")
-		st, err := experiments.RunSuite([]*netlist.Netlist{
+		fmt.Fprintln(os.Stderr, "running the pipeline over the benchmark suite (circuits in parallel)...")
+		st, err := experiments.RunSuiteCtx(ctx, []*netlist.Netlist{
 			netlist.C17(),
 			netlist.RippleAdder(8),
 			netlist.MuxTree(3),
@@ -372,20 +376,15 @@ func main() {
 		fmt.Print(experiments.RunExample2().Render(), "\n")
 		p := run(cfg)
 		fmt.Print(p.Summary(), "\n")
-		fmt.Print(experiments.Figure3(p).Render(), "\n")
-		fmt.Print(experiments.Figure4(p).Render(), "\n")
-		fmt.Print(experiments.Figure5(p).Render(), "\n")
-		fmt.Print(experiments.Figure6(p).Render(), "\n")
-		fmt.Print(experiments.RunAgrawalComparison(p).Render(), "\n")
-		fmt.Print(experiments.RunIDDQAblation(p).Render(), "\n")
-		d, err := experiments.RunDelayAblation(p)
+		// The remaining studies only read the pipeline, so they run as a
+		// concurrent suite on the -workers pool; output order is fixed.
+		rendered, err := experiments.RunStudies(ctx, p, experiments.StandardStudies(), cfg.Workers)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(d.Render(), "\n")
-		fmt.Print(experiments.RunLotValidation(p, 200000, *seed).Render(), "\n")
-		fmt.Print(experiments.RunInjectionValidation(p, 50000, *seed).Render(), "\n")
-		fmt.Print(experiments.FaultKindBreakdown(p))
+		for _, s := range rendered {
+			fmt.Print(s, "\n")
+		}
 	default:
 		fatal(fmt.Errorf("unknown command %q", cmd))
 	}

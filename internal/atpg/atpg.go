@@ -620,16 +620,31 @@ func BuildTestSetObs(nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, s
 	return BuildTestSetCtx(context.Background(), nl, faults, nRandom, seed, backtrackLimit, tr)
 }
 
-// BuildTestSetCtx is BuildTestSetObs with cancellation: the context is
-// checked between faults in the top-up loop, every ctxCheckStride
-// backtracks inside the deterministic search, and once per 64-pattern
-// block in the gate-level fault simulations. When the context ends
-// mid-build the partial test set is still returned — marked Incomplete,
-// with every fault not yet detected or proven untestable reported
-// Aborted — together with the context's error, so callers can either
-// discard it (run cancelled) or keep it as a degraded result (stage
-// budget exhausted).
+// BuildTestSetCtx is BuildTestSetObs with cancellation; it runs the
+// fault-simulation phases at the default worker count (see
+// BuildTestSetWorkersCtx).
 func BuildTestSetCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed uint64, backtrackLimit int, tr *obs.Tracer) (*TestSet, error) {
+	return BuildTestSetWorkersCtx(ctx, nl, faults, nRandom, seed, backtrackLimit, 0, tr)
+}
+
+// BuildTestSetWorkersCtx is the full entry point: cancellation plus an
+// explicit worker count for the gate-level fault-simulation phases (the
+// random-prefix campaign and the per-pattern simulations of the top-up
+// loop), normalized by the shared internal/par policy (<= 0 selects
+// runtime.NumCPU()). The deterministic PODEM search itself stays serial —
+// pattern order defines the test set — and the gate-level simulator is
+// bitwise deterministic for any worker count, so the produced TestSet is
+// identical whatever workers is.
+//
+// The context is checked between faults in the top-up loop, every
+// ctxCheckStride backtracks inside the deterministic search, and once per
+// 64-pattern block in the gate-level fault simulations. When the context
+// ends mid-build the partial test set is still returned — marked
+// Incomplete, with every fault not yet detected or proven untestable
+// reported Aborted — together with the context's error, so callers can
+// either discard it (run cancelled) or keep it as a degraded result
+// (stage budget exhausted).
+func BuildTestSetWorkersCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckAt, nRandom int, seed uint64, backtrackLimit int, workers int, tr *obs.Tracer) (*TestSet, error) {
 	reg := tr.Metrics()
 	gen, err := NewGenerator(nl)
 	if err != nil {
@@ -660,7 +675,7 @@ func BuildTestSetCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.St
 	ts.Patterns = gatesim.RandomPatterns(nl, nRandom, seed)
 	sp.End()
 	sp = tr.StartSpan("gate-sim")
-	res, err := gatesim.SimulateCtx(ctx, nl, faults, ts.Patterns, reg)
+	res, err := gatesim.SimulateFaultsCtx(ctx, nl, faults, ts.Patterns, workers, reg)
 	if err != nil {
 		sp.End()
 		copy(ts.DetectedAt, res.DetectedAt)
@@ -704,7 +719,7 @@ func BuildTestSetCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.St
 					remIdx = append(remIdx, j)
 				}
 			}
-			r, err := gatesim.SimulateCtx(ctx, nl, rem, []gatesim.Pattern{pat}, reg)
+			r, err := gatesim.SimulateFaultsCtx(ctx, nl, rem, []gatesim.Pattern{pat}, workers, reg)
 			if err != nil {
 				abortRest()
 				return ts, err

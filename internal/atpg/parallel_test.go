@@ -1,0 +1,93 @@
+package atpg
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"defectsim/internal/fault"
+	"defectsim/internal/faultinject"
+	"defectsim/internal/netlist"
+)
+
+// sameTestSet fails the test unless a and b are identical in every
+// per-fault outcome and in the produced pattern sequence.
+func sameTestSet(t *testing.T, label string, got, want *TestSet) {
+	t.Helper()
+	if len(got.Patterns) != len(want.Patterns) {
+		t.Fatalf("%s: %d patterns, want %d", label, len(got.Patterns), len(want.Patterns))
+	}
+	for i := range want.Patterns {
+		for j := range want.Patterns[i] {
+			if got.Patterns[i][j] != want.Patterns[i][j] {
+				t.Fatalf("%s: pattern %d bit %d differs", label, i, j)
+			}
+		}
+	}
+	if got.RandomCount != want.RandomCount || got.Incomplete != want.Incomplete {
+		t.Fatalf("%s: RandomCount/Incomplete = %d/%v, want %d/%v",
+			label, got.RandomCount, got.Incomplete, want.RandomCount, want.Incomplete)
+	}
+	for i := range want.DetectedAt {
+		if got.DetectedAt[i] != want.DetectedAt[i] ||
+			got.Untestable[i] != want.Untestable[i] ||
+			got.Aborted[i] != want.Aborted[i] {
+			t.Fatalf("%s: fault %d outcome (%d,%v,%v), want (%d,%v,%v)", label, i,
+				got.DetectedAt[i], got.Untestable[i], got.Aborted[i],
+				want.DetectedAt[i], want.Untestable[i], want.Aborted[i])
+		}
+	}
+}
+
+// TestBuildTestSetWorkerCountInvariance: the PODEM search is serial and
+// the gate-level simulation phases are bitwise deterministic, so the
+// produced test set must be identical for every worker count.
+func TestBuildTestSetWorkerCountInvariance(t *testing.T) {
+	nl := netlist.C432Class(1994)
+	faults := fault.StuckAtUniverse(nl)
+	serial, err := BuildTestSetWorkersCtx(context.Background(), nl, faults, 64, 1, 2000, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _, _ := serial.Counts(); d == 0 {
+		t.Fatal("serial build detected nothing")
+	}
+	for _, w := range []int{2, 4, runtime.NumCPU(), 0} {
+		ts, err := BuildTestSetWorkersCtx(context.Background(), nl, faults, 64, 1, 2000, w, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		sameTestSet(t, "workers="+strconv.Itoa(w), ts, serial)
+	}
+}
+
+// TestBuildTestSetWorkersInjectedStop stops the deterministic top-up at a
+// fixed fault via injection: the partial (Incomplete) test set returned
+// with the error must also be identical for every worker count.
+func TestBuildTestSetWorkersInjectedStop(t *testing.T) {
+	nl := netlist.C432Class(1994)
+	faults := fault.StuckAtUniverse(nl)
+	boom := errors.New("injected top-up failure")
+
+	run := func(w int) *TestSet {
+		t.Helper()
+		restore := faultinject.Set(faultinject.HookATPGFault,
+			faultinject.After(4, faultinject.Fail(boom)))
+		defer restore()
+		ts, err := BuildTestSetWorkersCtx(context.Background(), nl, faults, 16, 1, 2000, w, nil)
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want injected failure", w, err)
+		}
+		if !ts.Incomplete {
+			t.Fatalf("workers=%d: stopped set not marked Incomplete", w)
+		}
+		return ts
+	}
+
+	serial := run(1)
+	for _, w := range []int{2, 4, 0} {
+		sameTestSet(t, "workers="+strconv.Itoa(w), run(w), serial)
+	}
+}

@@ -270,6 +270,7 @@ func TestConfigValidate(t *testing.T) {
 		{"negative vectors", func(c *Config) { c.RandomVectors = -1 }, "RandomVectors"},
 		{"negative backtracks", func(c *Config) { c.BacktrackLimit = -5 }, "BacktrackLimit"},
 		{"negative yield", func(c *Config) { c.TargetYield = -0.1 }, "TargetYield"},
+		{"negative workers", func(c *Config) { c.Workers = -2 }, "Workers"},
 		{"yield above one", func(c *Config) { c.TargetYield = 1.5 }, "TargetYield"},
 		{"zero stats", func(c *Config) { c.Stats = DefaultConfig().Stats; c.Stats.MaxSize = 0 }, "Stats"},
 		{"negative deadline", func(c *Config) { c.Deadline = -time.Second }, "Deadline"},
@@ -303,6 +304,10 @@ func TestConfigValidate(t *testing.T) {
 	cfg.TargetYield = 0 // documented: disables scaling
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("zero TargetYield must validate: %v", err)
+	}
+	cfg.Workers = 4 // explicit pool size
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("positive Workers must validate: %v", err)
 	}
 	cfg.StageBudgets = map[string]time.Duration{"atpg": time.Hour, "switch-sim": time.Hour}
 	if err := cfg.Validate(); err != nil {

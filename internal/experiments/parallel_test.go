@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"defectsim/internal/netlist"
+)
+
+// TestForEachRunsEveryItemOnce: the pool visits every index exactly once
+// for any worker count.
+func TestForEachRunsEveryItemOnce(t *testing.T) {
+	const n = 40
+	for _, w := range []int{1, 3, 0, 64} {
+		var visits [n]atomic.Int64
+		err := forEach(context.Background(), w, n, func(i int) error {
+			visits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range visits {
+			if got := visits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", w, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachLowestIndexErrorWins: items are claimed in index order and
+// the failure a serial run would hit first is the one reported, for every
+// worker count.
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	err3 := errors.New("item 3")
+	err7 := errors.New("item 7")
+	for _, w := range []int{1, 2, 8, 0} {
+		err := forEach(context.Background(), w, 10, func(i int) error {
+			switch i {
+			case 3:
+				return err3
+			case 7:
+				return err7
+			}
+			return nil
+		})
+		if !errors.Is(err, err3) {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index failure", w, err)
+		}
+	}
+}
+
+// TestForEachPreCancelled: a dead context stops the pool before any item
+// runs.
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := forEach(ctx, 4, 10, func(int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d items ran on a pre-cancelled context", n)
+	}
+}
+
+// TestRunStudiesOrderAndInvariance: a concurrent study run returns the
+// same artifacts in the same (input) order as a serial one.
+func TestRunStudiesOrderAndInvariance(t *testing.T) {
+	p, err := Run(netlist.C17(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	studies := []Study{
+		{"fig3", func(_ context.Context, p *Pipeline) (string, error) { return Figure3(p).Render(), nil }},
+		{"fig5", func(_ context.Context, p *Pipeline) (string, error) { return Figure5(p).Render(), nil }},
+		{"kinds", func(_ context.Context, p *Pipeline) (string, error) { return FaultKindBreakdown(p), nil }},
+		{"lot", func(_ context.Context, p *Pipeline) (string, error) {
+			return RunLotValidation(p, 2000, 7).Render(), nil
+		}},
+	}
+	serial, err := RunStudies(context.Background(), p, studies, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(studies) {
+		t.Fatalf("%d artifacts, want %d", len(serial), len(studies))
+	}
+	for i, s := range serial {
+		if s == "" {
+			t.Fatalf("study %s rendered empty", studies[i].Name)
+		}
+	}
+	for _, w := range []int{2, 4, 0} {
+		got, err := RunStudies(context.Background(), p, studies, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: study %s differs from serial run", w, studies[i].Name)
+			}
+		}
+	}
+}
+
+// TestRunStudiesFailureNamesStudy: a failing study surfaces its name.
+func TestRunStudiesFailureNamesStudy(t *testing.T) {
+	p, err := Run(netlist.C17(), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	studies := []Study{
+		{"ok", func(context.Context, *Pipeline) (string, error) { return "fine", nil }},
+		{"bad", func(context.Context, *Pipeline) (string, error) { return "", boom }},
+	}
+	_, err = RunStudies(context.Background(), p, studies, 2)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the study failure", err)
+	}
+	if !strings.Contains(err.Error(), "study bad") {
+		t.Fatalf("error %q does not name the study", err)
+	}
+}
+
+// TestRunSuiteConcurrentMatchesSerial: the suite study produces identical
+// rows for serial and concurrent circuit execution.
+func TestRunSuiteConcurrentMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-circuit pipeline suite")
+	}
+	circuits := []*netlist.Netlist{
+		netlist.C17(),
+		netlist.RippleAdder(3),
+	}
+	cfg := smallConfig()
+	cfg.Workers = 1
+	serial, err := RunSuiteCtx(context.Background(), circuits, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	conc, err := RunSuiteCtx(context.Background(), circuits, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conc.Rows) != len(serial.Rows) {
+		t.Fatalf("%d rows, want %d", len(conc.Rows), len(serial.Rows))
+	}
+	for i := range serial.Rows {
+		if conc.Rows[i] != serial.Rows[i] {
+			t.Fatalf("row %d: concurrent %+v, serial %+v", i, conc.Rows[i], serial.Rows[i])
+		}
+	}
+	if serial.Rows[0].Name != "c17" {
+		t.Fatalf("rows out of input order: %q first", serial.Rows[0].Name)
+	}
+}

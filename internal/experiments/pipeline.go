@@ -73,6 +73,13 @@ type Config struct {
 	// Exhausting a stage budget degrades the run where a partial result is
 	// usable (atpg, switch-sim) and fails it otherwise.
 	StageBudgets map[string]time.Duration
+	// Workers bounds the worker pools of the run: the fault-parallel
+	// gate- and switch-level simulators inside the pipeline stages, and
+	// the concurrent experiment drivers built on top (RunSuiteCtx,
+	// RunStudies). Zero selects runtime.NumCPU() (the shared internal/par
+	// policy); negative counts are rejected by Validate. Simulation
+	// results are bitwise identical for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the configuration of the paper's c432 experiment.
@@ -110,6 +117,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Deadline < 0 {
 		return fmt.Errorf("experiments: config: Deadline is %v, must be >= 0", c.Deadline)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: config: Workers is %d, must be >= 0 (0 selects NumCPU)", c.Workers)
 	}
 	for name, b := range c.StageBudgets {
 		if b <= 0 {
@@ -310,7 +320,7 @@ func RunCtx(ctx context.Context, nl *netlist.Netlist, cfg Config) (*Pipeline, er
 	}
 
 	if err := r.stage("atpg", func(ctx context.Context) error {
-		ts, err := atpg.BuildTestSetCtx(ctx, nl, p.StuckAt, cfg.RandomVectors, uint64(cfg.Seed), cfg.BacktrackLimit, tr)
+		ts, err := atpg.BuildTestSetWorkersCtx(ctx, nl, p.StuckAt, cfg.RandomVectors, uint64(cfg.Seed), cfg.BacktrackLimit, cfg.Workers, tr)
 		p.TestSet = ts
 		if err != nil && ts != nil && r.budgetExhausted(err) {
 			det, unt, ab := ts.Counts()
@@ -333,7 +343,7 @@ func RunCtx(ctx context.Context, nl *netlist.Netlist, cfg Config) (*Pipeline, er
 			}
 			vectors[i] = v
 		}
-		res, err := switchsim.SimulateFaultsCtx(ctx, p.Circuit, p.Faults, vectors, 0, switchsim.BridgeG, reg)
+		res, err := switchsim.SimulateFaultsCtx(ctx, p.Circuit, p.Faults, vectors, cfg.Workers, switchsim.BridgeG, reg)
 		p.SwitchRes = res
 		if err != nil && res != nil && r.budgetExhausted(err) {
 			r.degrade("switch-sim", fmt.Sprintf(

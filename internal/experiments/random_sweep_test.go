@@ -24,6 +24,7 @@ func TestRandomCircuitSweep(t *testing.T) {
 	for seed := int64(100); seed < 106; seed++ {
 		seed := seed
 		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			t.Parallel() // the seeds are independent end-to-end pipelines
 			nl := netlist.RandomCircuit(fmt.Sprintf("rnd%d", seed), seed, 10, 4, 30)
 
 			// (a) layout + LVS.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -47,15 +48,27 @@ func RunResistiveBridgeStudy(p *Pipeline, gs []float64) (*ResistiveBridgeStudy, 
 		}
 		vectors[i] = v
 	}
-	st := &ResistiveBridgeStudy{Gs: gs}
-	for _, g := range gs {
-		res, err := switchsim.SimulateFaultsR(p.Circuit, bridges, vectors, 0, g)
+	st := &ResistiveBridgeStudy{
+		Gs:           gs,
+		ThetaVoltage: make([]float64, len(gs)),
+		ThetaIDDQ:    make([]float64, len(gs)),
+	}
+	// The per-conductance campaigns are independent, so the sweep spends
+	// the pipeline's worker budget across conductances; each inner
+	// switch-level campaign then runs single-worker to avoid nesting
+	// pools. Results are identical to a serial sweep.
+	err := forEach(context.Background(), p.Config.Workers, len(gs), func(i int) error {
+		res, err := switchsim.SimulateFaultsR(p.Circuit, bridges, vectors, 1, gs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		k := len(vectors)
-		st.ThetaVoltage = append(st.ThetaVoltage, bridges.WeightedCoverage(res.DetectedBy(k, false)))
-		st.ThetaIDDQ = append(st.ThetaIDDQ, bridges.WeightedCoverage(res.DetectedBy(k, true)))
+		st.ThetaVoltage[i] = bridges.WeightedCoverage(res.DetectedBy(k, false))
+		st.ThetaIDDQ[i] = bridges.WeightedCoverage(res.DetectedBy(k, true))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return st, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,11 +32,29 @@ type SuiteStudy struct {
 
 // RunSuite executes the pipeline for each circuit with the shared config.
 func RunSuite(circuits []*netlist.Netlist, cfg Config) (*SuiteStudy, error) {
-	st := &SuiteStudy{}
-	for _, nl := range circuits {
-		p, err := Run(nl, cfg)
+	return RunSuiteCtx(context.Background(), circuits, cfg)
+}
+
+// RunSuiteCtx is RunSuite under a context, with the independent circuit
+// pipelines running concurrently on a bounded worker pool (cfg.Workers;
+// <= 0 selects runtime.NumCPU()). Every circuit runs the full hardened
+// pipeline — deadline, stage budgets and graceful degradation apply per
+// circuit — and the rows come back in input order, identical to a serial
+// run. The per-circuit simulators run single-worker here: the suite's
+// parallelism budget is spent across circuits, not nested inside them.
+func RunSuiteCtx(ctx context.Context, circuits []*netlist.Netlist, cfg Config) (*SuiteStudy, error) {
+	inner := cfg
+	inner.Workers = 1
+	// A tracer records one pipeline's span tree; sharing it across
+	// concurrent circuits would interleave them, so the suite runs
+	// untraced per circuit.
+	inner.Obs = nil
+	rows := make([]SuiteRow, len(circuits))
+	err := forEach(ctx, cfg.Workers, len(circuits), func(i int) error {
+		nl := circuits[i]
+		p, err := RunCtx(ctx, nl, inner)
 		if err != nil {
-			return nil, fmt.Errorf("suite: %s: %w", nl.Name, err)
+			return fmt.Errorf("suite: %s: %w", nl.Name, err)
 		}
 		f5 := Figure5(p)
 		row := SuiteRow{
@@ -47,9 +66,13 @@ func RunSuite(circuits []*netlist.Netlist, cfg Config) (*SuiteStudy, error) {
 			Fitted:     f5.Fitted,
 		}
 		row.ResidualPPM = 1e6 * dlmodel.Params{R: 1, ThetaMax: row.ThetaFinal}.ResidualDL(p.Yield)
-		st.Rows = append(st.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return st, nil
+	return &SuiteStudy{Rows: rows}, nil
 }
 
 // Render prints the suite table.

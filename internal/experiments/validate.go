@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -34,23 +35,37 @@ type LotValidationRow struct {
 }
 
 // RunLotValidation simulates dies per test length on the pipeline's fault
-// statistics and detection data.
+// statistics and detection data. The Monte Carlo campaigns of the test
+// lengths are independent and seeded per length, so they run concurrently
+// on the pipeline's worker budget (p.Config.Workers) with results
+// identical to a serial sweep.
 func RunLotValidation(p *Pipeline, dies int, seed int64) *LotValidation {
 	v := &LotValidation{Dies: dies}
 	ths := p.ThetaCurve(false)
+	var sel []int
 	for i, k := range p.Ks {
 		if k < 2 && len(p.Ks) > 4 && i > 0 {
 			continue
 		}
+		sel = append(sel, i)
+	}
+	v.Rows = make([]LotValidationRow, len(sel))
+	// forEach with a background context: the campaign has no failure or
+	// cancellation path of its own, it inherits bounds from the caller.
+	_ = forEach(context.Background(), p.Config.Workers, len(sel), func(j int) error {
+		i := sel[j]
+		k := p.Ks[i]
 		res := montecarlo.SimulateLot(p.Faults, p.SwitchRes.DetectedAt, k, dies, seed+int64(k))
 		model := dlmodel.Weighted(p.Yield, ths[i].C)
-		row := LotValidationRow{
+		v.Rows[j] = LotValidationRow{
 			K: k, Theta: ths[i].C, ModelDL: model,
 			EmpiricalDL: res.DefectLevel(), Escapes: res.Escapes,
 		}
-		v.Rows = append(v.Rows, row)
-		if model > 1e-6 {
-			if e := math.Abs(row.EmpiricalDL-model) / model; e > v.MaxErr {
+		return nil
+	})
+	for _, row := range v.Rows {
+		if row.ModelDL > 1e-6 {
+			if e := math.Abs(row.EmpiricalDL-row.ModelDL) / row.ModelDL; e > v.MaxErr {
 				v.MaxErr = e
 			}
 		}

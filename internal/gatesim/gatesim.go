@@ -2,16 +2,33 @@
 // 64-way parallel-pattern single stuck-at simulator with fault dropping.
 // It produces the stuck-at coverage curves T(k) of the paper's figures 4
 // and 5.
+//
+// # Parallel execution
+//
+// The simulator is pattern-parallel (64 patterns per machine word) and,
+// since this PR, fault-parallel: within each 64-pattern block the good
+// machine is evaluated once, then the live-fault list is sharded across a
+// worker pool (SimulateFaultsCtx's workers parameter; <= 0 selects
+// runtime.NumCPU() via the shared internal/par policy). Every worker owns
+// a private simulator scratch buffer and private counters that are
+// flushed once per block, detection indices land at disjoint fault
+// positions, and the live list is re-merged in deterministic order after
+// each block — so the result is bitwise identical to a serial run for any
+// worker count, and fault dropping propagates across all workers between
+// blocks.
 package gatesim
 
 import (
 	"context"
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"defectsim/internal/fault"
 	"defectsim/internal/faultinject"
 	"defectsim/internal/netlist"
 	"defectsim/internal/obs"
+	"defectsim/internal/par"
 )
 
 // Pattern is one input vector: a 0/1 value per primary input in PI order.
@@ -65,6 +82,12 @@ func newSimulator(nl *netlist.Netlist) (*simulator, error) {
 	return &simulator{nl: nl, order: order, vals: make([]uint64, nl.NumNets())}, nil
 }
 
+// clone returns a simulator sharing the read-only levelized structure but
+// owning a private scratch buffer — one per worker.
+func (s *simulator) clone() *simulator {
+	return &simulator{nl: s.nl, order: s.order, vals: make([]uint64, len(s.vals))}
+}
+
 // eval computes all net values for the packed PI words, with an optional
 // stuck-at fault injected (f == nil means fault-free). The result aliases
 // the scratch buffer.
@@ -114,7 +137,7 @@ func Simulate(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern) (
 // drops land in reg. Counters are accumulated locally and flushed once
 // per run, so a nil registry costs nothing on the hot path.
 func SimulateObs(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern, reg *obs.Registry) (*Result, error) {
-	return SimulateCtx(context.Background(), nl, faults, patterns, reg)
+	return SimulateFaultsCtx(context.Background(), nl, faults, patterns, 0, reg)
 }
 
 // SimulateCtx is SimulateObs with cancellation: the context is checked
@@ -122,6 +145,78 @@ func SimulateObs(nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern
 // campaign promptly. On early stop it returns the partial result (first
 // detections recorded so far) together with the context's error.
 func SimulateCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern, reg *obs.Registry) (*Result, error) {
+	return SimulateFaultsCtx(ctx, nl, faults, patterns, 0, reg)
+}
+
+// minFaultsPerWorker is the smallest live-fault shard worth a goroutine:
+// below it the block runs on fewer workers (down to the serial in-line
+// path), keeping tiny campaigns — like the one-pattern top-up simulations
+// inside ATPG — free of scheduling overhead. The value does not affect
+// results, only how a block's work is split.
+const minFaultsPerWorker = 32
+
+// shardCounters are one worker's private per-block tallies, merged into
+// the campaign totals after every block. Padded to a cache line so
+// neighboring workers don't false-share.
+type shardCounters struct {
+	faultEvals, actSkips, dropped int64
+	_                             [5]int64
+}
+
+// blockState is the read-only view of one 64-pattern block that every
+// worker shards over: the packed PI words, the pattern mask, and the
+// fault-free machine's values.
+type blockState struct {
+	piWords []uint64
+	mask    uint64
+	nBlock  int // patterns in this block
+	base    int // index of the block's first pattern
+	goodPO  []uint64
+	goodAll []uint64
+}
+
+// simShard runs one worker's strided share of the live list against the
+// current block: the activation filter, the faulty-machine evaluation and
+// first-detection extraction. Detections land at disjoint positions of
+// detectedAt/drop (live indices are unique), counters stay worker-private.
+func (s *simulator) simShard(bs *blockState, faults []fault.StuckAt, live []int, offset, stride int, detectedAt []int, drop []bool, c *shardCounters) {
+	for li := offset; li < len(live); li += stride {
+		fi := live[li]
+		f := &faults[fi]
+		// Activation filter: a fault whose site already carries the
+		// stuck value in every pattern cannot change anything.
+		site := bs.goodAll[f.Net]
+		want := uint64(0)
+		if f.Value == 1 {
+			want = ^uint64(0)
+		}
+		if (site^want)&bs.mask == 0 {
+			c.actSkips++
+			continue
+		}
+		c.faultEvals++
+		fv := s.eval(bs.piWords, f)
+		var diff uint64
+		for i, po := range s.nl.POs {
+			diff |= (fv[po] ^ bs.goodPO[i]) & bs.mask
+		}
+		if diff == 0 {
+			continue
+		}
+		// First set bit = earliest detecting pattern in the block.
+		c.dropped++
+		drop[li] = true
+		detectedAt[fi] = bs.base + bits.TrailingZeros64(diff) + 1
+	}
+}
+
+// SimulateFaultsCtx is the full engine: SimulateCtx with an explicit
+// worker count (<= 0 selects runtime.NumCPU(), mirroring
+// switchsim.SimulateFaultsCtx). Within each 64-pattern block the good
+// machine is evaluated once and the live-fault list is sharded across the
+// workers; results are bitwise identical to a serial run for every worker
+// count. See the package comment for the execution model.
+func SimulateFaultsCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern, workers int, reg *obs.Registry) (*Result, error) {
 	sim, err := newSimulator(nl)
 	if err != nil {
 		return nil, err
@@ -136,17 +231,32 @@ func SimulateCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckA
 	for i := range faults {
 		live = append(live, i)
 	}
+	maxWorkers := par.WorkersFor(workers, len(faults))
+	if nl.NumNets() > 0 {
+		// Prime the netlist's lazily built driver index before any worker
+		// can race to initialize it from eval.
+		nl.Driver(0)
+	}
+	// sims[0] doubles as the good-machine evaluator; further workers get
+	// lazily cloned private scratch buffers the first block that needs them.
+	sims := make([]*simulator, 1, maxWorkers)
+	sims[0] = sim
+
 	goodPO := make([]uint64, len(nl.POs))
 	goodAll := make([]uint64, nl.NumNets())
 	piWords := make([]uint64, len(nl.PIs))
+	drop := make([]bool, len(faults))
+	counters := make([]shardCounters, maxWorkers)
 
-	var nBlocks, nFaultEvals, nActSkips, nDropped int64
+	var nBlocks, nParBlocks, nFaultEvals, nActSkips, nDropped int64
 	defer func() {
 		if reg != nil {
 			reg.Counter("gatesim_blocks").Add(nBlocks)
+			reg.Counter("gatesim_parallel_blocks").Add(nParBlocks)
 			reg.Counter("gatesim_fault_evals").Add(nFaultEvals)
 			reg.Counter("gatesim_activation_skips").Add(nActSkips)
 			reg.Counter("gatesim_faults_dropped").Add(nDropped)
+			reg.Gauge("gatesim_workers").Set(float64(maxWorkers))
 		}
 	}()
 	for base := 0; base < len(patterns) && len(live) > 0; base += 64 {
@@ -181,40 +291,48 @@ func SimulateCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckA
 		for i, po := range nl.POs {
 			goodPO[i] = vals[po]
 		}
+		bs := &blockState{
+			piWords: piWords, mask: mask, nBlock: len(block), base: base,
+			goodPO: goodPO, goodAll: goodAll,
+		}
 
+		// Shard the live list; small blocks collapse to fewer workers (and
+		// to the in-line serial path at one) without changing results.
+		w := par.WorkersFor(maxWorkers, (len(live)+minFaultsPerWorker-1)/minFaultsPerWorker)
+		if w == 1 {
+			sim.simShard(bs, faults, live, 0, 1, res.DetectedAt, drop, &counters[0])
+		} else {
+			nParBlocks++
+			for len(sims) < w {
+				sims = append(sims, sim.clone())
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < w; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sims[i].simShard(bs, faults, live, i, w, res.DetectedAt, drop, &counters[i])
+				}(i)
+			}
+			wg.Wait()
+		}
+
+		// Deterministic merge: fold the worker-private counters into the
+		// campaign totals and rebuild the live list in its original order,
+		// dropping this block's detections for every worker alike.
+		for i := 0; i < w; i++ {
+			nFaultEvals += counters[i].faultEvals
+			nActSkips += counters[i].actSkips
+			nDropped += counters[i].dropped
+			counters[i] = shardCounters{}
+		}
 		keep := live[:0]
-		for _, fi := range live {
-			f := &faults[fi]
-			// Activation filter: a fault whose site already carries the
-			// stuck value in every pattern cannot change anything.
-			site := goodAll[f.Net]
-			want := uint64(0)
-			if f.Value == 1 {
-				want = ^uint64(0)
-			}
-			if (site^want)&mask == 0 {
-				nActSkips++
-				keep = append(keep, fi)
+		for li, fi := range live {
+			if drop[li] {
+				drop[li] = false
 				continue
 			}
-			nFaultEvals++
-			fv := sim.eval(piWords, f)
-			var diff uint64
-			for i, po := range nl.POs {
-				diff |= (fv[po] ^ goodPO[i]) & mask
-			}
-			if diff == 0 {
-				keep = append(keep, fi)
-				continue
-			}
-			// First set bit = earliest detecting pattern in the block.
-			nDropped++
-			for b := 0; b < len(block); b++ {
-				if diff&(1<<uint(b)) != 0 {
-					res.DetectedAt[fi] = base + b + 1
-					break
-				}
-			}
+			keep = append(keep, fi)
 		}
 		live = keep
 	}

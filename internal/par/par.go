@@ -1,0 +1,32 @@
+// Package par holds the repo-wide worker-count policy shared by every
+// parallel entry point (gate-level and switch-level fault simulation,
+// ATPG's fault-simulation phase, the experiment suite): a requested
+// count <= 0 selects runtime.NumCPU(), any positive count is taken as
+// given. Centralizing the rule keeps the subsystems from drifting apart
+// on what "default parallelism" means.
+package par
+
+import "runtime"
+
+// Workers normalizes a requested worker count: n if positive, else
+// runtime.NumCPU().
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// WorkersFor is Workers additionally bounded by the number of
+// independent work items (never below 1): goroutines beyond one per
+// item only add scheduling overhead.
+func WorkersFor(n, items int) int {
+	w := Workers(n)
+	if items < 1 {
+		return 1
+	}
+	if w > items {
+		w = items
+	}
+	return w
+}

@@ -1,0 +1,41 @@
+package par
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestWorkersNormalization pins the repo-wide rule every parallel entry
+// point shares: workers <= 0 means runtime.NumCPU(), positive counts are
+// honored verbatim.
+func TestWorkersNormalization(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	cases := []struct{ in, want int }{
+		{-7, ncpu},
+		{-1, ncpu},
+		{0, ncpu},
+		{1, 1},
+		{2, 2},
+		{64, 64},
+	}
+	for _, c := range cases {
+		if got := Workers(c.in); got != c.want {
+			t.Errorf("Workers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWorkersForBoundedByItems(t *testing.T) {
+	if got := WorkersFor(8, 3); got != 3 {
+		t.Errorf("WorkersFor(8, 3) = %d, want 3", got)
+	}
+	if got := WorkersFor(2, 100); got != 2 {
+		t.Errorf("WorkersFor(2, 100) = %d, want 2", got)
+	}
+	if got := WorkersFor(4, 0); got != 1 {
+		t.Errorf("WorkersFor(4, 0) = %d, want 1", got)
+	}
+	if got := WorkersFor(0, 1); got != 1 {
+		t.Errorf("WorkersFor(0, 1) = %d, want 1", got)
+	}
+}

@@ -2,13 +2,13 @@ package switchsim
 
 import (
 	"context"
-	"runtime"
 	"sync"
 
 	"defectsim/internal/fault"
 	"defectsim/internal/faultinject"
 	"defectsim/internal/layout"
 	"defectsim/internal/obs"
+	"defectsim/internal/par"
 	"defectsim/internal/transistor"
 )
 
@@ -198,8 +198,9 @@ func SimulateFaults(c *transistor.Circuit, list *fault.List, vectors []Vector) (
 // keeps undetected faults cheap while they shadow the good machine.
 //
 // workers sets the number of goroutines advancing fault machines (≤ 0
-// chooses GOMAXPROCS). Fault machines are independent given the good
-// trace, so the result is identical for any worker count.
+// selects runtime.NumCPU() via the shared internal/par policy). Fault
+// machines are independent given the good trace, so the result is
+// identical for any worker count.
 func SimulateFaultsN(c *transistor.Circuit, list *fault.List, vectors []Vector, workers int) (*Result, error) {
 	return SimulateFaultsR(c, list, vectors, workers, BridgeG)
 }
@@ -273,8 +274,9 @@ func SimulateFaultsCtx(ctx context.Context, c *transistor.Circuit, list *fault.L
 		}
 	}
 
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	workers = par.Workers(workers)
+	if reg != nil {
+		reg.Gauge("swsim_workers").Set(float64(workers))
 	}
 
 	good := NewMachine(c)

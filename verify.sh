@@ -4,7 +4,7 @@
 # Tier 1 (fast, the PR gate): build + vet + full test suite.
 # Tier 2 (slow): race-detector pass over the concurrency-bearing packages
 # (observability, the hardened pipeline, the fault-injection harness and
-# the worker-sharded switch-level simulator).
+# the worker-sharded gate-, switch-level simulators and ATPG).
 set -eu
 cd "$(dirname "$0")"
 
@@ -14,6 +14,6 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race (obs, experiments, faultinject, switchsim)"
-go test -race ./internal/obs/... ./internal/experiments/... ./internal/faultinject/... ./internal/switchsim/...
+echo "== go test -race (obs, experiments, faultinject, switchsim, gatesim, atpg)"
+go test -race ./internal/obs/... ./internal/experiments/... ./internal/faultinject/... ./internal/switchsim/... ./internal/gatesim/... ./internal/atpg/...
 echo "verify.sh: all checks passed"
