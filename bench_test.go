@@ -281,6 +281,23 @@ func BenchmarkResistiveBridges(b *testing.B) {
 	printFigure("ABL-8", st.Render())
 }
 
+// BenchmarkResistiveSweepGoodTrace measures the ABL-8 sweep with a warm
+// shared good-machine trace: every conductance point replays the recorded
+// fault-free states (swsim_goodtrace hits) instead of re-simulating the
+// good machine — the regression gate records the trace-cache win.
+func BenchmarkResistiveSweepGoodTrace(b *testing.B) {
+	p := c432Pipeline(b)
+	if _, err := p.GoodTrace(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunResistiveBridgeStudy(p, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMaxwellAitken regenerates ABL-7: equal stuck-at coverage, a
 // compacted test set, and the quality gap between them (the paper's
 // reference [4] phenomenon).

@@ -5,18 +5,18 @@
 // Usage:
 //
 //	go test -bench=. -benchmem . | benchjson -o BENCH_ci.json
-//	benchjson -compare BENCH_seed.json BENCH_ci.json -tolerance 3.0
+//	benchjson -compare BENCH_seed.json BENCH_ci.json -tolerance 1.5
 //
 // Conversion reads benchmark lines ("BenchmarkName-8  100  123 ns/op ...")
 // from stdin, strips the GOMAXPROCS suffix, and writes one entry per
 // benchmark together with the run's environment header (goos/goarch/cpu).
 //
 // Compare exits non-zero when a benchmark present in both documents got
-// slower than baseline × tolerance. The tolerance is deliberately generous
-// (default 3.0): CI runners vary widely in per-core speed, so the gate
-// only catches order-of-magnitude regressions — an accidental serial
-// fallback, a quadratic merge — not noise. Benchmarks present on only one
-// side are reported but never fail the gate, so adding or retiring a
+// slower than baseline × tolerance. The default tolerance of 1.5 catches
+// lost optimizations (a dropped cache, an accidental serial fallback, a
+// quadratic merge) while absorbing ordinary runner-speed variance; pass a
+// larger -tolerance on unusually slow runners. Benchmarks present on only
+// one side are reported but never fail the gate, so adding or retiring a
 // benchmark does not need a baseline refresh in the same change.
 package main
 
@@ -144,12 +144,12 @@ func compare(w io.Writer, base, cur *Doc, tolerance float64) []string {
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	cmp := flag.Bool("compare", false, "compare two JSON documents: benchjson -compare BASE CURRENT")
-	tolerance := flag.Float64("tolerance", 3.0, "regression gate: fail when current > baseline × tolerance")
+	tolerance := flag.Float64("tolerance", 1.5, "regression gate: fail when current > baseline × tolerance")
 	flag.Parse()
 
 	if *cmp {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare BASE.json CURRENT.json [-tolerance 3.0]")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare BASE.json CURRENT.json [-tolerance 1.5]")
 			os.Exit(2)
 		}
 		base, err := load(flag.Arg(0))

@@ -47,7 +47,20 @@ type cacheFile struct {
 	Aborted      []bool      `json:"aborted"`
 	SwDetectedAt []int       `json:"sw_detected_at"`
 	IDDQAt       []int       `json:"iddq_at"`
+	Undecided    []bool      `json:"undecided"`
 	Oscillations int         `json:"oscillations"`
+	// VectorsApplied and GoodUnsettledAt complete the Result record so a
+	// cache-restored campaign keeps the early-stop accounting contract
+	// (Result.DetectedBy clamps to VectorsApplied).
+	VectorsApplied  int `json:"vectors_applied"`
+	GoodUnsettledAt int `json:"good_unsettled_at"`
+	// GoodTrace persists the fault-free machine's settled states (one row
+	// per recorded state, one byte per net) so downstream studies on a
+	// cache-hit pipeline skip the good-machine pass too. The enclosing
+	// envelope checksum is the invalidation key: the trace is only reused
+	// when circuit and config digest match.
+	GoodTrace          [][]byte `json:"good_trace,omitempty"`
+	GoodTraceUnsettled int      `json:"good_trace_unsettled,omitempty"`
 }
 
 type cacheConfig struct {
@@ -58,8 +71,10 @@ type cacheConfig struct {
 	StatsDigest    string  `json:"stats_digest"`
 }
 
-// cacheVersion 2 introduced the checksummed envelope.
-const cacheVersion = 2
+// cacheVersion 2 introduced the checksummed envelope; 3 added the full
+// switch-level Result record (vectors applied, undecided flags, unsettled
+// cutoff) and the persisted good-machine trace.
+const cacheVersion = 3
 
 func digestConfig(cfg Config) cacheConfig {
 	d := ""
@@ -79,21 +94,36 @@ func digestConfig(cfg Config) cacheConfig {
 // concurrent reader never observes a truncated cache.
 func (p *Pipeline) Save(path string) error {
 	cf := cacheFile{
-		Circuit:      p.Netlist.Name,
-		Config:       digestConfig(p.Config),
-		NumFaults:    len(p.Faults.Faults),
-		NumStuckAt:   len(p.StuckAt),
-		RandomCount:  p.TestSet.RandomCount,
-		SADetectedAt: p.TestSet.DetectedAt,
-		Untestable:   p.TestSet.Untestable,
-		Aborted:      p.TestSet.Aborted,
-		SwDetectedAt: p.SwitchRes.DetectedAt,
-		IDDQAt:       p.SwitchRes.IDDQAt,
-		Oscillations: p.SwitchRes.Oscillations,
+		Circuit:         p.Netlist.Name,
+		Config:          digestConfig(p.Config),
+		NumFaults:       len(p.Faults.Faults),
+		NumStuckAt:      len(p.StuckAt),
+		RandomCount:     p.TestSet.RandomCount,
+		SADetectedAt:    p.TestSet.DetectedAt,
+		Untestable:      p.TestSet.Untestable,
+		Aborted:         p.TestSet.Aborted,
+		SwDetectedAt:    p.SwitchRes.DetectedAt,
+		IDDQAt:          p.SwitchRes.IDDQAt,
+		Undecided:       p.SwitchRes.Undecided,
+		Oscillations:    p.SwitchRes.Oscillations,
+		VectorsApplied:  p.SwitchRes.VectorsApplied,
+		GoodUnsettledAt: p.SwitchRes.GoodUnsettledAt,
 	}
 	for _, pat := range p.TestSet.Patterns {
 		cf.Patterns = append(cf.Patterns, []uint8(pat))
 	}
+	p.traceMu.Lock()
+	if tr := p.goodTrace; tr.Complete() {
+		for _, st := range tr.States {
+			row := make([]byte, len(st))
+			for i, v := range st {
+				row[i] = byte(v)
+			}
+			cf.GoodTrace = append(cf.GoodTrace, row)
+		}
+		cf.GoodTraceUnsettled = tr.UnsettledAt
+	}
+	p.traceMu.Unlock()
 	payload, err := json.Marshal(&cf)
 	if err != nil {
 		return err
@@ -249,7 +279,8 @@ func loadCached(ctx context.Context, nl *netlist.Netlist, cfg Config, path strin
 	p.StuckAt = fault.StuckAtUniverse(nl)
 	sp.End()
 	if len(p.Faults.Faults) != cf.NumFaults || len(p.StuckAt) != cf.NumStuckAt ||
-		len(cf.SwDetectedAt) != cf.NumFaults || len(cf.SADetectedAt) != cf.NumStuckAt {
+		len(cf.SwDetectedAt) != cf.NumFaults || len(cf.SADetectedAt) != cf.NumStuckAt ||
+		len(cf.Undecided) != cf.NumFaults {
 		load.End()
 		return nil, false, "" // stale cache from an older code version
 	}
@@ -263,9 +294,35 @@ func loadCached(ctx context.Context, nl *netlist.Netlist, cfg Config, path strin
 		p.TestSet.Patterns = append(p.TestSet.Patterns, gatesim.Pattern(pat))
 	}
 	p.SwitchRes = &switchsim.Result{
-		DetectedAt:   cf.SwDetectedAt,
-		IDDQAt:       cf.IDDQAt,
-		Oscillations: cf.Oscillations,
+		DetectedAt:      cf.SwDetectedAt,
+		IDDQAt:          cf.IDDQAt,
+		Undecided:       cf.Undecided,
+		Oscillations:    cf.Oscillations,
+		VectorsApplied:  cf.VectorsApplied,
+		GoodUnsettledAt: cf.GoodUnsettledAt,
+	}
+	// Restore the persisted good trace so downstream studies on this
+	// cache-hit pipeline reuse it instead of recapturing. A trace that does
+	// not match the rebuilt circuit (or is incomplete) is dropped silently —
+	// it is an optimization, and GoodTrace recaptures lazily.
+	if len(cf.GoodTrace) > 0 {
+		tr := &switchsim.GoodTrace{Vectors: p.Vectors(), UnsettledAt: cf.GoodTraceUnsettled}
+		valid := true
+		for _, row := range cf.GoodTrace {
+			if len(row) != p.Circuit.NumNets {
+				valid = false
+				break
+			}
+			st := make([]switchsim.Val, len(row))
+			for i, b := range row {
+				st[i] = switchsim.Val(b)
+			}
+			tr.States = append(tr.States, st)
+		}
+		if valid && tr.Complete() {
+			p.goodTrace = tr
+			reg.Gauge("swsim_goodtrace_bytes").Set(float64(tr.Bytes()))
+		}
 	}
 	p.Ks = coverage.SampleKs(len(p.TestSet.Patterns), 8)
 	if tr != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"defectsim/internal/diagnose"
@@ -32,13 +33,17 @@ func RunDiagnosisStudy(p *Pipeline, maxBridges, topK int) (*DiagnosisStudy, erro
 	if err != nil {
 		return nil, err
 	}
-	vectors := make([]switchsim.Vector, len(p.TestSet.Patterns))
-	for i, pat := range p.TestSet.Patterns {
-		v := make(switchsim.Vector, len(pat))
-		for j, b := range pat {
-			v[j] = switchsim.Val(b)
-		}
-		vectors[i] = v
+	vectors := p.Vectors()
+	// One shared good trace replaces the per-bridge fault-free replay (up
+	// to maxBridges full re-simulations). Only a trace that settled through
+	// the whole sequence preserves observeBridge's exact skip semantics; a
+	// truncated one falls back to live stepping.
+	trace, err := p.GoodTrace(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if trace.UnsettledAt != 0 || trace.Applied() < len(vectors) {
+		trace = nil
 	}
 
 	st := &DiagnosisStudy{TopK: topK}
@@ -54,7 +59,7 @@ func RunDiagnosisStudy(p *Pipeline, maxBridges, topK int) (*DiagnosisStudy, erro
 		if a.Kind != layout.KindSignal || b.Kind != layout.KindSignal {
 			continue
 		}
-		obs, err := observeBridge(p, f, vectors)
+		obs, err := observeBridge(p, f, vectors, trace)
 		if err != nil {
 			return nil, err
 		}
@@ -84,20 +89,34 @@ func RunDiagnosisStudy(p *Pipeline, maxBridges, topK int) (*DiagnosisStudy, erro
 
 // observeBridge replays the test set on the bridged machine and collects
 // the definite primary-output mismatches — what a tester's datalog holds.
-func observeBridge(p *Pipeline, f fault.Realistic, vectors []switchsim.Vector) ([]gatesim.Fail, error) {
+// A non-nil trace must settle through all of vectors; its recorded states
+// then stand in for the fault-free replay.
+func observeBridge(p *Pipeline, f fault.Realistic, vectors []switchsim.Vector, trace *switchsim.GoodTrace) ([]gatesim.Fail, error) {
 	m, verdict := switchsim.NewFaultMachine(p.Circuit, f)
 	if verdict != switchsim.VerdictSimulate {
 		return nil, nil
 	}
-	good := switchsim.NewMachine(p.Circuit)
+	var good *switchsim.Machine
+	if trace == nil {
+		good = switchsim.NewMachine(p.Circuit)
+	}
 	var obs []gatesim.Fail
 	for k, vec := range vectors {
-		if !good.Apply(vec) || !m.Apply(vec) {
+		if good != nil && !good.Apply(vec) {
 			continue
+		}
+		if !m.Apply(vec) {
+			continue
+		}
+		goodVal := func(po int) switchsim.Val {
+			if good != nil {
+				return good.Val(po)
+			}
+			return trace.States[k+1][po]
 		}
 		var pm uint64
 		for oi, po := range p.Circuit.POs {
-			gv, fv := good.Val(po), m.Val(po)
+			gv, fv := goodVal(po), m.Val(po)
 			if gv != switchsim.VX && fv != switchsim.VX && gv != fv {
 				pm |= 1 << uint(oi)
 			}

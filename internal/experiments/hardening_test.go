@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -366,7 +367,7 @@ func TestRunCachedCorruptionFallback(t *testing.T) {
 			}
 		}},
 		{"version skew", func(t *testing.T) {
-			data := []byte(strings.Replace(string(healthy), `"version":2`, `"version":99`, 1))
+			data := []byte(strings.Replace(string(healthy), fmt.Sprintf(`"version":%d`, cacheVersion), `"version":99`, 1))
 			if string(data) == string(healthy) {
 				t.Fatal("version field not found for skewing")
 			}

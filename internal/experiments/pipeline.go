@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"defectsim/internal/atpg"
@@ -170,6 +171,66 @@ type Pipeline struct {
 	// Report is the observability run report (stage tree + metrics
 	// snapshot); nil unless Config.Obs was set.
 	Report *obs.Report
+
+	// traceMu guards the lazily shared artifacts below. The switch-sim
+	// stage seeds them as a byproduct of the main campaign; downstream
+	// studies (resistive sweep, top-up, diagnosis) and the result cache
+	// read them through Vectors and GoodTrace.
+	traceMu   sync.Mutex
+	vectors   []switchsim.Vector
+	goodTrace *switchsim.GoodTrace
+}
+
+// Vectors returns the pipeline test set converted to switch-level vectors,
+// memoized: every downstream study shares one slice (read-only by
+// convention) instead of re-converting the patterns.
+func (p *Pipeline) Vectors() []switchsim.Vector {
+	p.traceMu.Lock()
+	defer p.traceMu.Unlock()
+	return p.vectorsLocked()
+}
+
+func (p *Pipeline) vectorsLocked() []switchsim.Vector {
+	if p.vectors == nil {
+		p.vectors = make([]switchsim.Vector, len(p.TestSet.Patterns))
+		for i, pat := range p.TestSet.Patterns {
+			v := make(switchsim.Vector, len(pat))
+			for j, b := range pat {
+				v[j] = switchsim.Val(b)
+			}
+			p.vectors[i] = v
+		}
+	}
+	return p.vectors
+}
+
+// GoodTrace returns the fault-free machine's trace over Vectors(), shared
+// read-only by every switch-level campaign on this pipeline. The switch-sim
+// stage records it as a byproduct of the main campaign (and the result
+// cache restores it), so this normally costs nothing; a pipeline that
+// skipped both (e.g. hand-built in tests) captures it here once, lazily.
+// Counted by the swsim_goodtrace_{hits,misses} metrics.
+func (p *Pipeline) GoodTrace(ctx context.Context) (*switchsim.GoodTrace, error) {
+	p.traceMu.Lock()
+	defer p.traceMu.Unlock()
+	if p.goodTrace == nil {
+		tr, err := switchsim.CaptureGoodTraceCtx(ctx, p.Circuit, p.vectorsLocked(), p.Config.Obs.Metrics())
+		if err != nil {
+			return nil, err
+		}
+		p.goodTrace = tr
+	}
+	return p.goodTrace, nil
+}
+
+// setGoodTrace stores a captured trace for sharing if it is reusable.
+func (p *Pipeline) setGoodTrace(tr *switchsim.GoodTrace) {
+	if !tr.Complete() {
+		return
+	}
+	p.traceMu.Lock()
+	defer p.traceMu.Unlock()
+	p.goodTrace = tr
 }
 
 // Degraded reports whether the run hit any graceful-degradation path.
@@ -335,16 +396,13 @@ func RunCtx(ctx context.Context, nl *netlist.Netlist, cfg Config) (*Pipeline, er
 	}
 
 	if err := r.stage("switch-sim", func(ctx context.Context) error {
-		vectors := make([]switchsim.Vector, len(p.TestSet.Patterns))
-		for i, pat := range p.TestSet.Patterns {
-			v := make(switchsim.Vector, len(pat))
-			for j, b := range pat {
-				v[j] = switchsim.Val(b)
-			}
-			vectors[i] = v
-		}
-		res, err := switchsim.SimulateFaultsCtx(ctx, p.Circuit, p.Faults, vectors, cfg.Workers, switchsim.BridgeG, reg)
+		vectors := p.Vectors()
+		// Capture mode: the good-machine trajectory this campaign steps
+		// through anyway is recorded and shared (via Pipeline.GoodTrace)
+		// with every downstream campaign on the same circuit and vectors.
+		res, trace, err := switchsim.SimulateFaultsCapture(ctx, p.Circuit, p.Faults, vectors, cfg.Workers, switchsim.BridgeG, reg)
 		p.SwitchRes = res
+		p.setGoodTrace(trace)
 		if err != nil && res != nil && r.budgetExhausted(err) {
 			r.degrade("switch-sim", fmt.Sprintf(
 				"stage budget exhausted after %d/%d vectors; %d faults undecided",

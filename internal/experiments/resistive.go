@@ -40,14 +40,15 @@ func RunResistiveBridgeStudy(p *Pipeline, gs []float64) (*ResistiveBridgeStudy, 
 			bridges.Faults = append(bridges.Faults, f)
 		}
 	}
-	vectors := make([]switchsim.Vector, len(p.TestSet.Patterns))
-	for i, pat := range p.TestSet.Patterns {
-		v := make(switchsim.Vector, len(pat))
-		for j, b := range pat {
-			v[j] = switchsim.Val(b)
-		}
-		vectors[i] = v
+	vectors := p.Vectors()
+	// The fault-free machine does not depend on the bridge conductance, so
+	// the whole sweep shares one good trace — normally the one the pipeline
+	// switch-sim stage already captured; at worst one extra capture here.
+	trace, err := p.GoodTrace(context.Background())
+	if err != nil {
+		return nil, err
 	}
+	reg := p.Config.Obs.Metrics()
 	st := &ResistiveBridgeStudy{
 		Gs:           gs,
 		ThetaVoltage: make([]float64, len(gs)),
@@ -57,8 +58,8 @@ func RunResistiveBridgeStudy(p *Pipeline, gs []float64) (*ResistiveBridgeStudy, 
 	// the pipeline's worker budget across conductances; each inner
 	// switch-level campaign then runs single-worker to avoid nesting
 	// pools. Results are identical to a serial sweep.
-	err := forEach(context.Background(), p.Config.Workers, len(gs), func(i int) error {
-		res, err := switchsim.SimulateFaultsR(p.Circuit, bridges, vectors, 1, gs[i])
+	err = forEach(context.Background(), p.Config.Workers, len(gs), func(i int) error {
+		res, err := switchsim.SimulateFaultsTrace(context.Background(), p.Circuit, bridges, vectors, 1, gs[i], reg, trace)
 		if err != nil {
 			return err
 		}

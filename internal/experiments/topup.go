@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -113,17 +114,19 @@ func RunBridgeTopUp(p *Pipeline, maxTargets int) (*BridgeTopUp, error) {
 		return t, nil
 	}
 
-	// Re-score the full campaign with the extra vectors appended.
-	vectors := make([]switchsim.Vector, 0, len(p.TestSet.Patterns)+len(extra))
-	for _, pat := range p.TestSet.Patterns {
-		v := make(switchsim.Vector, len(pat))
-		for j, bbit := range pat {
-			v[j] = switchsim.Val(bbit)
-		}
-		vectors = append(vectors, v)
-	}
+	// Re-score the full campaign with the extra vectors appended. The
+	// pipeline's good trace covers the original prefix; the simulator
+	// continues on a live machine for the appended tail.
+	base := p.Vectors()
+	vectors := make([]switchsim.Vector, 0, len(base)+len(extra))
+	vectors = append(vectors, base...)
 	vectors = append(vectors, extra...)
-	res, err := switchsim.SimulateFaults(p.Circuit, p.Faults, vectors)
+	trace, err := p.GoodTrace(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	res, err := switchsim.SimulateFaultsTrace(context.Background(), p.Circuit, p.Faults, vectors,
+		p.Config.Workers, switchsim.BridgeG, p.Config.Obs.Metrics(), trace)
 	if err != nil {
 		return nil, err
 	}

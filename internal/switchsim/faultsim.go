@@ -168,9 +168,20 @@ type Result struct {
 	GoodUnsettledAt int
 }
 
-// DetectedBy returns the detection flags after k vectors under voltage
-// testing (optionally OR-ing in IDDQ detections).
+// DetectedBy returns the detection flags after the first k vectors under
+// voltage testing (optionally OR-ing in IDDQ detections).
+//
+// k is clamped to VectorsApplied: an early-stopped campaign simulated only
+// VectorsApplied vectors, so querying coverage at a k beyond the stop
+// point reports the flags as of the stop — vectors that were never
+// simulated can neither credit nor discredit a fault. (A Result whose
+// VectorsApplied is zero is queried unclamped: faults with trivial
+// verdicts are detected before any vector is applied, and hand-built
+// Results that never ran the vector loop keep their historical meaning.)
 func (r *Result) DetectedBy(k int, iddq bool) []bool {
+	if r.VectorsApplied > 0 && k > r.VectorsApplied {
+		k = r.VectorsApplied
+	}
 	out := make([]bool, len(r.DetectedAt))
 	for i, d := range r.DetectedAt {
 		if d > 0 && d <= k {
@@ -184,7 +195,8 @@ func (r *Result) DetectedBy(k int, iddq bool) []bool {
 }
 
 // SimulateFaults runs the fault list against the vector sequence on circuit
-// c with one worker per CPU. See SimulateFaultsN.
+// c with the default worker policy (workers = 0: runtime.NumCPU() via the
+// shared internal/par normalization). See SimulateFaultsN.
 func SimulateFaults(c *transistor.Circuit, list *fault.List, vectors []Vector) (*Result, error) {
 	return SimulateFaultsN(c, list, vectors, 0)
 }
@@ -234,6 +246,54 @@ const oscStrikeLimit = 3
 // run: simulation stops at that vector, the event lands in
 // Result.GoodUnsettledAt, and live faults become Undecided.
 func SimulateFaultsCtx(ctx context.Context, c *transistor.Circuit, list *fault.List, vectors []Vector, workers int, bridgeG float64, reg *obs.Registry) (*Result, error) {
+	res, _, err := simulateFaults(ctx, c, list, vectors, workers, bridgeG, reg, nil, false)
+	return res, err
+}
+
+// SimulateFaultsTrace is SimulateFaultsCtx reading the fault-free
+// machine's per-vector values from a precomputed GoodTrace instead of
+// stepping its own good machine — the per-vector IDDQ bridge screen and
+// the ApplyFromGood shared-state fast path read straight from the cached
+// state slices. Results are bitwise identical to the untraced variants for
+// any worker count, including partial results under cancellation: the
+// trace replays exactly the values a live good machine would produce,
+// and a recorded unsettled cutoff (GoodTrace.UnsettledAt) stops the
+// campaign at the same vector an untraced run would stop at.
+//
+// The trace must have been captured on the same circuit over a vector
+// sequence that agrees with vectors on their common prefix (a skew
+// returns a descriptive error before any simulation). Campaigns longer
+// than the trace continue on a live machine seeded from the last recorded
+// state. The trace is read shared and never written, so any number of
+// concurrent campaigns may use one trace. Each traced campaign counts one
+// swsim_goodtrace_hits event.
+func SimulateFaultsTrace(ctx context.Context, c *transistor.Circuit, list *fault.List, vectors []Vector, workers int, bridgeG float64, reg *obs.Registry, trace *GoodTrace) (*Result, error) {
+	if err := trace.validateFor(c, vectors); err != nil {
+		return nil, err
+	}
+	reg.Counter("swsim_goodtrace_hits").Inc()
+	res, _, err := simulateFaults(ctx, c, list, vectors, workers, bridgeG, reg, trace, false)
+	return res, err
+}
+
+// SimulateFaultsCapture is SimulateFaultsCtx additionally recording the
+// fault-free machine's trajectory as a GoodTrace while the campaign runs —
+// the good machine is stepped anyway, so capture costs only the state
+// copies. The returned trace is complete (reusable via
+// SimulateFaultsTrace) unless the campaign was cancelled mid-run; check
+// GoodTrace.Complete before sharing it. A capture counts one
+// swsim_goodtrace_misses event — the campaign needed a good trace and had
+// none — and records the trace footprint in swsim_goodtrace_bytes.
+func SimulateFaultsCapture(ctx context.Context, c *transistor.Circuit, list *fault.List, vectors []Vector, workers int, bridgeG float64, reg *obs.Registry) (*Result, *GoodTrace, error) {
+	return simulateFaults(ctx, c, list, vectors, workers, bridgeG, reg, nil, true)
+}
+
+// simulateFaults is the shared campaign loop behind every SimulateFaults*
+// variant. With trace set, good-machine values come from the recorded
+// states (live stepping resumes past the trace's end); with capture set
+// (mutually exclusive with trace), the stepped states are recorded into
+// the returned GoodTrace.
+func simulateFaults(ctx context.Context, c *transistor.Circuit, list *fault.List, vectors []Vector, workers int, bridgeG float64, reg *obs.Registry, trace *GoodTrace, capture bool) (*Result, *GoodTrace, error) {
 	res := &Result{
 		DetectedAt: make([]int, len(list.Faults)),
 		IDDQAt:     make([]int, len(list.Faults)),
@@ -279,8 +339,29 @@ func SimulateFaultsCtx(ctx context.Context, c *transistor.Circuit, list *fault.L
 		reg.Gauge("swsim_workers").Set(float64(workers))
 	}
 
-	good := NewMachine(c)
-	goodPrev := make([]Val, len(good.val))
+	// Fault-free reference: a live machine when no trace is given, the
+	// recorded states otherwise (a live machine is still created past the
+	// trace's end, seeded from its last state).
+	var (
+		good        *Machine
+		goodPrevBuf []Val
+		capTrace    *GoodTrace
+	)
+	startLive := func() {
+		good = NewMachine(c)
+		if trace != nil {
+			copy(good.val, trace.States[len(trace.States)-1])
+		}
+		goodPrevBuf = make([]Val, len(good.val))
+	}
+	if trace == nil {
+		startLive()
+	}
+	if capture {
+		capTrace = &GoodTrace{Vectors: vectors, States: make([][]Val, 1, len(vectors)+1)}
+		capTrace.States[0] = append([]Val(nil), good.val...)
+		reg.Counter("swsim_goodtrace_misses").Inc()
+	}
 	oscillations := make([]int64, workers)
 	// finalize folds the per-worker oscillation counts and flushes the
 	// campaign-level metrics once the vector loop is done (normally or on
@@ -314,20 +395,45 @@ func SimulateFaultsCtx(ctx context.Context, c *transistor.Circuit, list *fault.L
 	}
 	for k, vec := range vectors {
 		if err := faultinject.Fire(ctx, faultinject.HookSwitchSimVector); err != nil {
-			return stop(k), err
+			return stop(k), capTrace, err
 		}
 		if err := ctx.Err(); err != nil {
-			return stop(k), err
+			return stop(k), capTrace, err
 		}
-		copy(goodPrev, good.val)
-		if !good.Apply(vec) {
-			// The fault-free machine's trace is untrustworthy from here on;
-			// degrade instead of failing the whole campaign.
+		var goodVal, goodPrev []Val
+		switch {
+		case trace != nil && k+1 < len(trace.States):
+			goodPrev, goodVal = trace.States[k], trace.States[k+1]
+		case trace != nil && trace.UnsettledAt == k+1:
+			// The trace records that the fault-free machine failed to settle
+			// here; stop exactly where an untraced campaign would.
 			res.GoodUnsettledAt = k + 1
 			reg.Counter("swsim_good_unsettled").Inc()
-			return stop(k), nil
+			return stop(k), capTrace, nil
+		default:
+			if good == nil {
+				// First vector past the trace's end: continue live from the
+				// last recorded state (a settled fixpoint, so incremental
+				// event propagation from the changed PIs stays exact).
+				startLive()
+			}
+			copy(goodPrevBuf, good.val)
+			if !good.Apply(vec) {
+				// The fault-free machine's trace is untrustworthy from here
+				// on; degrade instead of failing the whole campaign.
+				res.GoodUnsettledAt = k + 1
+				reg.Counter("swsim_good_unsettled").Inc()
+				if capture {
+					capTrace.UnsettledAt = k + 1
+					reg.Gauge("swsim_goodtrace_bytes").Set(float64(capTrace.Bytes()))
+				}
+				return stop(k), capTrace, nil
+			}
+			goodPrev, goodVal = goodPrevBuf, good.val
 		}
-		goodVal := good.val
+		if capture {
+			capTrace.States = append(capTrace.States, append([]Val(nil), goodVal...))
+		}
 
 		// IDDQ screening of bridges (needs only good values): quiescent
 		// current flows when the bridged nodes are driven to opposite
@@ -405,10 +511,22 @@ func SimulateFaultsCtx(ctx context.Context, c *transistor.Circuit, list *fault.L
 		lives = keep
 	}
 	finalize(len(vectors))
-	return res, nil
+	if capture {
+		reg.Gauge("swsim_goodtrace_bytes").Set(float64(capTrace.Bytes()))
+	}
+	return res, capTrace, nil
 }
 
+// equalVals reports whether a and b hold identical values. Slices of
+// different lengths never compare equal: a good-trace/machine size skew
+// then merely forfeits the shared-state fast path (the machine keeps
+// advancing through the exact Apply path) instead of panicking mid-
+// campaign — and the skew itself is rejected up front by
+// GoodTrace.validateFor and the ApplyFromGood width check.
 func equalVals(a, b []Val) bool {
+	if len(a) != len(b) {
+		return false
+	}
 	for i := range a {
 		if a[i] != b[i] {
 			return false

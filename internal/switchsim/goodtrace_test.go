@@ -1,0 +1,328 @@
+package switchsim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"defectsim/internal/defect"
+	"defectsim/internal/extract"
+	"defectsim/internal/fault"
+	"defectsim/internal/faultinject"
+	"defectsim/internal/layout"
+	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
+	"defectsim/internal/transistor"
+)
+
+// buildCampaign extracts the fault list and transistor circuit for nl.
+func buildCampaign(t testing.TB, nl *netlist.Netlist) (*fault.List, *transistor.Circuit) {
+	t.Helper()
+	L, err := layout.Build(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return extract.Faults(L, defect.Typical()), transistor.FromLayout(L)
+}
+
+// sameResult fails the test unless a and b are bitwise identical.
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.VectorsApplied != b.VectorsApplied || a.Oscillations != b.Oscillations || a.GoodUnsettledAt != b.GoodUnsettledAt {
+		t.Fatalf("%s: campaign summary differs: applied %d/%d osc %d/%d unsettled %d/%d",
+			label, a.VectorsApplied, b.VectorsApplied, a.Oscillations, b.Oscillations, a.GoodUnsettledAt, b.GoodUnsettledAt)
+	}
+	for i := range a.DetectedAt {
+		if a.DetectedAt[i] != b.DetectedAt[i] || a.IDDQAt[i] != b.IDDQAt[i] || a.Undecided[i] != b.Undecided[i] {
+			t.Fatalf("%s: fault %d differs: det %d/%d iddq %d/%d und %v/%v", label, i,
+				a.DetectedAt[i], b.DetectedAt[i], a.IDDQAt[i], b.IDDQAt[i], a.Undecided[i], b.Undecided[i])
+		}
+	}
+}
+
+// TestCaptureGoodTraceMatchesRun pins the trace's contents against the
+// reference good-circuit simulation: the recorded post-vector PO values
+// must equal Run's outputs, and state bookkeeping must be complete.
+func TestCaptureGoodTraceMatchesRun(t *testing.T) {
+	nl := netlist.C17()
+	_, c := buildCampaign(t, nl)
+	vecs := randomVectors(len(nl.PIs), 24, 3)
+	tr := CaptureGoodTrace(c, vecs)
+	if !tr.Complete() || tr.UnsettledAt != 0 {
+		t.Fatalf("capture incomplete: %d/%d states, unsettled %d", len(tr.States), len(vecs)+1, tr.UnsettledAt)
+	}
+	if tr.Applied() != len(vecs) {
+		t.Fatalf("Applied() = %d, want %d", tr.Applied(), len(vecs))
+	}
+	if tr.Bytes() != (len(vecs)+1)*c.NumNets {
+		t.Fatalf("Bytes() = %d, want %d", tr.Bytes(), (len(vecs)+1)*c.NumNets)
+	}
+	outs, err := Run(c, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range vecs {
+		for oi, po := range c.POs {
+			if tr.States[k+1][po] != outs[k][oi] {
+				t.Fatalf("vector %d PO %d: trace %v, Run %v", k, oi, tr.States[k+1][po], outs[k][oi])
+			}
+		}
+	}
+}
+
+// TestTracedCampaignBitwiseEqual is the shared-trace core property: for
+// every worker count, a campaign replaying a captured trace is bitwise
+// identical to one stepping its own good machine, and the capture variant
+// produces both the identical result and a reusable trace.
+func TestTracedCampaignBitwiseEqual(t *testing.T) {
+	for _, nl := range []*netlist.Netlist{netlist.C17(), netlist.RippleAdder(4)} {
+		list, c := buildCampaign(t, nl)
+		vecs := randomVectors(len(nl.PIs), 48, 21)
+		ref, err := SimulateFaults(c, list, vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		res, tr, err := SimulateFaultsCapture(context.Background(), c, list, vecs, 0, BridgeG, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, nl.Name+"/capture", res, ref)
+		if !tr.Complete() {
+			t.Fatalf("%s: capture-mode trace incomplete", nl.Name)
+		}
+
+		for _, w := range []int{1, 4, runtime.NumCPU()} {
+			traced, err := SimulateFaultsTrace(context.Background(), c, list, vecs, w, BridgeG, nil, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, nl.Name+"/traced", traced, ref)
+		}
+
+		// Resistive conductances exercise the verdict and oscillation paths
+		// differently; the trace is bridge-model independent.
+		for _, g := range []float64{20, 1.5, 0.3} {
+			refG, err := SimulateFaultsR(c, list, vecs, 1, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tracedG, err := SimulateFaultsTrace(context.Background(), c, list, vecs, 1, g, nil, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, nl.Name+"/resistive", tracedG, refG)
+		}
+	}
+}
+
+// TestTracedCampaignPrefixExtension covers the top-up pattern: the trace
+// spans a prefix of the campaign's vectors and the simulator continues on
+// a live machine seeded from the last recorded state.
+func TestTracedCampaignPrefixExtension(t *testing.T) {
+	nl := netlist.RippleAdder(3)
+	list, c := buildCampaign(t, nl)
+	vecs := randomVectors(len(nl.PIs), 40, 8)
+	tr := CaptureGoodTrace(c, vecs[:25])
+	ref, err := SimulateFaults(c, list, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4, runtime.NumCPU()} {
+		got, err := SimulateFaultsTrace(context.Background(), c, list, vecs, w, BridgeG, nil, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "prefix", got, ref)
+	}
+}
+
+// TestTracedCampaignCancelMidRun mirrors the uncached partial-result
+// contract: a traced campaign cancelled mid-run returns the same partial
+// result the uncached campaign returns when cancelled at the same vector.
+func TestTracedCampaignCancelMidRun(t *testing.T) {
+	nl := netlist.RippleAdder(4)
+	list, c := buildCampaign(t, nl)
+	vecs := randomVectors(len(nl.PIs), 64, 5)
+	tr := CaptureGoodTrace(c, vecs)
+
+	const stopAfter = 10
+	partial := func(traced bool) *Result {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		n := 0
+		restore := faultinject.Set(faultinject.HookSwitchSimVector, func(context.Context) error {
+			n++
+			if n > stopAfter {
+				cancel()
+			}
+			return nil
+		})
+		defer restore()
+		var res *Result
+		var err error
+		if traced {
+			res, err = SimulateFaultsTrace(ctx, c, list, vecs, 0, BridgeG, nil, tr)
+		} else {
+			res, err = SimulateFaultsCtx(ctx, c, list, vecs, 0, BridgeG, nil)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("traced=%v: err = %v, want context.Canceled", traced, err)
+		}
+		return res
+	}
+	sameResult(t, "cancelled", partial(true), partial(false))
+}
+
+// TestTracedCampaignUnsettledCutoff pins the GoodUnsettledAt contract: a
+// trace recording an unsettled fault-free vector stops the campaign
+// there, matching the uncached campaign's prefix and marking every
+// still-live fault undecided.
+func TestTracedCampaignUnsettledCutoff(t *testing.T) {
+	nl := netlist.C17()
+	list, c := buildCampaign(t, nl)
+	vecs := randomVectors(len(nl.PIs), 32, 13)
+	full := CaptureGoodTrace(c, vecs)
+
+	const cut = 7 // 1-based vector index recorded as unsettled
+	trunc := &GoodTrace{Vectors: vecs, States: full.States[:cut], UnsettledAt: cut}
+	if !trunc.Complete() {
+		t.Fatal("truncated trace with a recorded cutoff must count as complete")
+	}
+	for _, w := range []int{1, 4, runtime.NumCPU()} {
+		res, err := SimulateFaultsTrace(context.Background(), c, list, vecs, w, BridgeG, nil, trunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.GoodUnsettledAt != cut || res.VectorsApplied != cut-1 {
+			t.Fatalf("workers=%d: GoodUnsettledAt=%d VectorsApplied=%d, want %d/%d",
+				w, res.GoodUnsettledAt, res.VectorsApplied, cut, cut-1)
+		}
+		ref, err := SimulateFaults(c, list, vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range list.Faults {
+			if d := res.DetectedAt[i]; d > 0 && d != ref.DetectedAt[i] {
+				t.Fatalf("fault %d: cutoff run detected at %d, full run at %d", i, d, ref.DetectedAt[i])
+			}
+			if res.DetectedAt[i] == 0 && !res.Undecided[i] {
+				t.Fatalf("fault %d neither detected nor undecided after the cutoff", i)
+			}
+		}
+	}
+}
+
+// TestTraceValidation pins the loud-failure contract for trace/machine
+// skews: a trace for another circuit, diverging vectors, or an
+// interrupted capture is rejected with a descriptive error before any
+// simulation.
+func TestTraceValidation(t *testing.T) {
+	nl := netlist.C17()
+	list, c := buildCampaign(t, nl)
+	vecs := randomVectors(len(nl.PIs), 16, 2)
+	tr := CaptureGoodTrace(c, vecs)
+
+	// Wrong circuit: state width mismatch.
+	nl2 := netlist.RippleAdder(4)
+	_, c2 := buildCampaign(t, nl2)
+	vecs2 := randomVectors(len(nl2.PIs), 16, 2)
+	if _, err := SimulateFaultsTrace(context.Background(), c2, list, vecs2, 1, BridgeG, nil, tr); err == nil || !strings.Contains(err.Error(), "nets") {
+		t.Fatalf("cross-circuit trace: err = %v, want net-count mismatch", err)
+	}
+
+	// Diverging vectors.
+	other := randomVectors(len(nl.PIs), 16, 99)
+	if _, err := SimulateFaultsTrace(context.Background(), c, list, other, 1, BridgeG, nil, tr); err == nil || !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("diverging vectors: err = %v, want divergence error", err)
+	}
+
+	// Interrupted capture: incomplete, not reusable.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	part, err := CaptureGoodTraceCtx(ctx, c, vecs, nil)
+	if !errors.Is(err, context.Canceled) || part.Complete() {
+		t.Fatalf("cancelled capture: err=%v complete=%v", err, part.Complete())
+	}
+	if _, err := SimulateFaultsTrace(context.Background(), c, list, vecs, 1, BridgeG, nil, part); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("incomplete trace: err = %v, want incomplete error", err)
+	}
+
+	// Nil trace.
+	if _, err := SimulateFaultsTrace(context.Background(), c, list, vecs, 1, BridgeG, nil, nil); err == nil {
+		t.Fatal("nil trace must be rejected")
+	}
+}
+
+// TestGoodTraceMetrics pins the reuse instrumentation: captures count as
+// misses, traced campaigns as hits, and the bytes gauge reports the
+// trace's footprint.
+func TestGoodTraceMetrics(t *testing.T) {
+	nl := netlist.C17()
+	list, c := buildCampaign(t, nl)
+	vecs := randomVectors(len(nl.PIs), 16, 4)
+	reg := obs.NewRegistry()
+
+	_, tr, err := SimulateFaultsCapture(context.Background(), c, list, vecs, 1, BridgeG, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := SimulateFaultsTrace(context.Background(), c, list, vecs, 1, BridgeG, reg, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := reg.Counter("swsim_goodtrace_misses").Value(); v != 1 {
+		t.Fatalf("misses = %d, want 1", v)
+	}
+	if v := reg.Counter("swsim_goodtrace_hits").Value(); v != 3 {
+		t.Fatalf("hits = %d, want 3", v)
+	}
+	if v := reg.Gauge("swsim_goodtrace_bytes").Value(); v != float64(tr.Bytes()) {
+		t.Fatalf("bytes gauge = %v, want %d", v, tr.Bytes())
+	}
+}
+
+// TestDetectedByClampsToVectorsApplied pins the early-stop accounting
+// contract: coverage queried beyond the stop point reports the flags as
+// of the stop, and a zero VectorsApplied (a Result that never ran the
+// vector loop) keeps trivial-verdict detections credited.
+func TestDetectedByClampsToVectorsApplied(t *testing.T) {
+	r := &Result{
+		DetectedAt:     []int{1, 5, 0},
+		IDDQAt:         []int{0, 0, 9},
+		Undecided:      []bool{false, false, true},
+		VectorsApplied: 5,
+	}
+	// Vector 9 was never simulated: the IDDQ entry beyond the stop (which
+	// a real campaign cannot produce) must not be credited at k = 20.
+	got := r.DetectedBy(20, true)
+	want := []bool{true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DetectedBy(20) = %v, want %v", got, want)
+		}
+	}
+	// Queries inside the applied range are untouched.
+	if got := r.DetectedBy(1, false); !got[0] || got[1] || got[2] {
+		t.Fatalf("DetectedBy(1) = %v, want [true false false]", got)
+	}
+	// VectorsApplied == 0: trivial verdicts stay credited.
+	triv := &Result{DetectedAt: []int{1}, IDDQAt: []int{0}}
+	if got := triv.DetectedBy(64, false); !got[0] {
+		t.Fatal("trivial verdict lost on a Result without VectorsApplied")
+	}
+}
+
+// TestEqualValsLengthGuard pins the defensive fast-path contract: skewed
+// slices never compare equal (and never panic).
+func TestEqualValsLengthGuard(t *testing.T) {
+	if equalVals([]Val{V0, V1}, []Val{V0}) {
+		t.Fatal("skewed slices must not compare equal")
+	}
+	if !equalVals([]Val{V0, V1}, []Val{V0, V1}) {
+		t.Fatal("identical slices must compare equal")
+	}
+}

@@ -389,6 +389,14 @@ func (m *Machine) applyForced() {
 // goodPrev first so that charge retention (floating nodes keeping their
 // previous value) is computed against the correct history.
 func (m *Machine) ApplyFromGood(goodPost, goodPrev []Val) bool {
+	if len(goodPost) != len(m.val) || len(goodPrev) != len(m.val) {
+		// A good state sized for a different circuit would otherwise be
+		// silently truncated by copy below; fail loudly instead. (Public
+		// entry points reject the skew up front via GoodTrace.validateFor,
+		// so this guards direct misuse only.)
+		panic(fmt.Sprintf("switchsim: ApplyFromGood: good state spans %d/%d nets, machine %s has %d",
+			len(goodPost), len(goodPrev), m.c.Name, len(m.val)))
+	}
 	copy(m.val, goodPost)
 	m.ensureQueue()
 	for _, id := range m.seedCCCs {
