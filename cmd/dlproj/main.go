@@ -42,7 +42,8 @@
 // bounds the run's wall time, and -workers sizes the worker pool of the
 // fault-parallel simulators and the concurrent experiment suite (0 = all
 // CPUs; simulation results are identical for every worker count).
-// SIGINT/SIGTERM cancel a running pipeline cleanly.
+// The first SIGINT/SIGTERM cancels a running pipeline cleanly; a second
+// forces immediate exit.
 //
 // Exit codes:
 //
@@ -59,9 +60,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"defectsim/internal/defect"
 	"defectsim/internal/experiments"
@@ -69,6 +68,7 @@ import (
 	"defectsim/internal/layout"
 	"defectsim/internal/netlist"
 	"defectsim/internal/obs"
+	"defectsim/internal/sigctx"
 	"defectsim/internal/wafer"
 )
 
@@ -148,8 +148,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Cancel the run cleanly on SIGINT/SIGTERM; -timeout bounds wall time.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Cancel the run cleanly on the first SIGINT/SIGTERM; a second signal
+	// forces immediate exit (shared policy with dlprojd, internal/sigctx).
+	ctx, stop := sigctx.Notify(context.Background())
 	defer stop()
 
 	cfg := experiments.DefaultConfig()
@@ -395,25 +396,7 @@ func main() {
 }
 
 func pickCircuit(name string, seed int64) (*netlist.Netlist, error) {
-	switch strings.ToLower(name) {
-	case "c432":
-		return netlist.C432Class(seed), nil
-	case "c17":
-		return netlist.C17(), nil
-	case "adder":
-		return netlist.RippleAdder(8), nil
-	case "mux":
-		return netlist.MuxTree(3), nil
-	case "parity":
-		return netlist.ParityTree(12), nil
-	case "cmp":
-		return netlist.Comparator(8), nil
-	case "dec":
-		return netlist.Decoder(3), nil
-	case "random":
-		return netlist.RandomCircuit("random", seed, 24, 6, 100), nil
-	}
-	return nil, fmt.Errorf("unknown circuit %q", name)
+	return netlist.ByName(name, seed)
 }
 
 func fatal(err error) {

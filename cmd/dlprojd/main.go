@@ -1,0 +1,147 @@
+// Command dlprojd serves the defect-level projection pipeline over
+// HTTP/JSON: the hardened serving layer of internal/serve behind a
+// plain net/http server.
+//
+// Endpoints:
+//
+//	POST /v1/dl                    closed-form defect-level models (eq. 1–3, 11)
+//	POST /v1/fit                   fit model parameters to fallout points
+//	POST /v1/coverage              coverage-growth curves (analytic or empirical)
+//	POST /v1/pipeline              submit an async pipeline job (202; 429 when shed)
+//	GET  /v1/pipeline/{id}         job status
+//	GET  /v1/pipeline/{id}/result  job result (202 while pending)
+//	POST /v1/pipeline/{id}/cancel  cancel a job
+//	GET  /healthz                  liveness
+//	GET  /readyz                   readiness (503 while draining)
+//	GET  /metrics                  server metrics (obs report JSON)
+//
+// Pipeline jobs run on a bounded worker pool behind a bounded admission
+// queue: a full queue sheds with 429 + Retry-After, and identical
+// concurrent submissions coalesce onto a single run. The first
+// SIGINT/SIGTERM starts a graceful drain — readiness flips off, new
+// submissions get 503, in-flight jobs get -drain-budget to finish and
+// are then cancelled; a second signal forces immediate exit
+// (internal/sigctx, shared with dlproj).
+//
+// Exit codes:
+//
+//	0  clean shutdown (every job finished on its own)
+//	1  listen/serve failure
+//	2  usage error
+//	4  drained, but jobs had to be cancelled (partial shutdown)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"defectsim/internal/serve"
+	"defectsim/internal/sigctx"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "localhost:8447", "listen address")
+		queueDepth   = flag.Int("queue", 16, "admission queue depth; a full queue sheds submissions with 429")
+		workers      = flag.Int("workers", 2, "concurrently executing pipeline jobs")
+		simWorkers   = flag.Int("sim-workers", 0, "per-job fault-simulation worker pool (0 = all CPUs)")
+		cacheDir     = flag.String("cache-dir", "", "directory for per-key pipeline result caches (empty = no cache)")
+		drainBudget  = flag.Duration("drain-budget", 10*time.Second, "how long a drain waits for jobs before cancelling them")
+		drainGrace   = flag.Duration("drain-grace", 5*time.Second, "how long a drain waits for cancelled jobs to unwind")
+		defDeadline  = flag.Duration("default-deadline", 2*time.Minute, "per-job deadline when the request sets none (0 = unlimited)")
+		maxDeadline  = flag.Duration("max-deadline", 10*time.Minute, "cap on per-request deadlines (0 = uncapped)")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on shed and draining responses")
+		maxJobs      = flag.Int("max-jobs", 1024, "finished-job records retained for status/result queries")
+		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "dlprojd: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		return 2
+	}
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "dlprojd:", err)
+			return 1
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		QueueDepth:      *queueDepth,
+		Workers:         *workers,
+		SimWorkers:      *simWorkers,
+		DefaultDeadline: *defDeadline,
+		MaxDeadline:     *maxDeadline,
+		DrainBudget:     *drainBudget,
+		DrainGrace:      *drainGrace,
+		RetryAfter:      *retryAfter,
+		CacheDir:        *cacheDir,
+		MaxJobs:         *maxJobs,
+	})
+
+	hs := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlprojd:", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "dlprojd: serving on http://%s (queue %d, %d workers)\n",
+		ln.Addr(), *queueDepth, *workers)
+
+	// First SIGINT/SIGTERM starts the graceful drain below; a second
+	// forces immediate exit.
+	ctx, stop := sigctx.Notify(context.Background())
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Listener died before any signal: that's a failure, not a drain.
+		fmt.Fprintln(os.Stderr, "dlprojd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "dlprojd: signal received, draining (second signal forces exit)")
+	// Drain the job layer first (readiness off, jobs finish or are
+	// cancelled), then shut the HTTP listener down. The HTTP shutdown
+	// budget rides on top of the drain budget so status polls keep working
+	// while jobs wind down.
+	rep := srv.Drain(context.Background())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace+5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		_ = hs.Close()
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dlprojd:", err)
+		return 1
+	}
+
+	if rep.Clean() {
+		fmt.Fprintf(os.Stderr, "dlprojd: drained cleanly in %v\n", rep.Waited.Round(time.Millisecond))
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "dlprojd: drain cancelled %d job(s) after %v (forced=%v)\n",
+		len(rep.Cancelled), rep.Waited.Round(time.Millisecond), rep.Forced)
+	return 4
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"defectsim/internal/atpg"
 	"defectsim/internal/coverage"
@@ -76,6 +77,39 @@ type cacheConfig struct {
 // cutoff) and the persisted good-machine trace.
 const cacheVersion = 3
 
+// CacheKey returns the result-cache identity of a run: a short hex digest
+// of the circuit name and the result-determining configuration fields
+// (seed, yield scaling, vector and backtrack budgets, defect statistics).
+// Two runs with equal keys produce bitwise-identical simulation results —
+// execution-only knobs (Workers, Obs, Deadline, StageBudgets) do not
+// participate. The serving layer coalesces concurrent identical
+// submissions on this key, and it makes a stable cache file name.
+func CacheKey(circuit string, cfg Config) string {
+	dc := digestConfig(cfg)
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%g|%d|%d|%s",
+		circuit, dc.Seed, dc.TargetYield, dc.RandomVectors, dc.BacktrackLimit, dc.StatsDigest)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// savePaths serializes concurrent same-path cache writes within this
+// process. The serving layer makes such writes likely (many jobs, one
+// cache file per result key); without the lock, two atomicWrite renames
+// race benignly (last writer wins) but interleaved temp-file churn and
+// rename-over-rename traffic is pointless work. Readers still never need
+// the lock: loadCached always sees either the old or the new complete
+// file, and any corruption falls back to a fresh run. The map holds one
+// mutex per distinct cleaned path for the life of the process — bounded
+// by the set of cache files, not by the request volume.
+var savePaths sync.Map // cleaned path → *sync.Mutex
+
+func savePathLock(path string) *sync.Mutex {
+	if abs, err := filepath.Abs(path); err == nil {
+		path = abs
+	}
+	mu, _ := savePaths.LoadOrStore(filepath.Clean(path), &sync.Mutex{})
+	return mu.(*sync.Mutex)
+}
+
 func digestConfig(cfg Config) cacheConfig {
 	d := ""
 	for _, c := range cfg.Stats.Classes {
@@ -91,7 +125,8 @@ func digestConfig(cfg Config) cacheConfig {
 
 // Save writes the pipeline's simulation results to path: a checksummed
 // envelope written atomically (temp file + rename) so that a crash or a
-// concurrent reader never observes a truncated cache.
+// concurrent reader never observes a truncated cache. Concurrent Saves
+// to the same path within one process are serialized (last writer wins).
 func (p *Pipeline) Save(path string) error {
 	cf := cacheFile{
 		Circuit:         p.Netlist.Name,
@@ -138,6 +173,9 @@ func (p *Pipeline) Save(path string) error {
 	if err != nil {
 		return err
 	}
+	mu := savePathLock(path)
+	mu.Lock()
+	defer mu.Unlock()
 	return atomicWrite(path, data)
 }
 

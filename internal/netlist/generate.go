@@ -3,7 +3,38 @@ package netlist
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 )
+
+// BenchmarkNames lists the named benchmark circuits ByName accepts, in
+// presentation order — the single source of truth shared by the dlproj
+// -circuit flag and the serving layer's request decoder.
+var BenchmarkNames = []string{"c432", "c17", "adder", "mux", "parity", "cmp", "dec", "random"}
+
+// ByName resolves a benchmark circuit by its short name (case-insensitive;
+// see BenchmarkNames). seed parameterizes the seeded generators (c432,
+// random) and is ignored by the fixed circuits.
+func ByName(name string, seed int64) (*Netlist, error) {
+	switch strings.ToLower(name) {
+	case "c432":
+		return C432Class(seed), nil
+	case "c17":
+		return C17(), nil
+	case "adder":
+		return RippleAdder(8), nil
+	case "mux":
+		return MuxTree(3), nil
+	case "parity":
+		return ParityTree(12), nil
+	case "cmp":
+		return Comparator(8), nil
+	case "dec":
+		return Decoder(3), nil
+	case "random":
+		return RandomCircuit("random", seed, 24, 6, 100), nil
+	}
+	return nil, fmt.Errorf("unknown circuit %q (known: %s)", name, strings.Join(BenchmarkNames, ", "))
+}
 
 // C432Class returns a deterministic synthetic benchmark with the structural
 // profile of the ISCAS-85 c432 circuit used in the paper: 36 primary inputs,

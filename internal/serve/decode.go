@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"defectsim/internal/defect"
+	"defectsim/internal/experiments"
+	"defectsim/internal/netlist"
+)
+
+// PipelineRequest is the JSON body of POST /v1/pipeline. Absent fields
+// take the paper's defaults (experiments.DefaultConfig); pointer fields
+// distinguish "absent" from an explicit zero. All decode and validation
+// failures map to 400 with the validation message in the error body.
+type PipelineRequest struct {
+	// Circuit is a benchmark name (netlist.BenchmarkNames); default c432.
+	Circuit string `json:"circuit,omitempty"`
+	// Seed drives the seeded generators and the random vector prefix.
+	Seed *int64 `json:"seed,omitempty"`
+	// TargetYield rescales extracted fault weights; 0 disables scaling.
+	TargetYield *float64 `json:"target_yield,omitempty"`
+	// RandomVectors is the random prefix length before deterministic top-up.
+	RandomVectors *int `json:"random_vectors,omitempty"`
+	// BacktrackLimit bounds the deterministic ATPG per fault.
+	BacktrackLimit *int `json:"backtrack_limit,omitempty"`
+	// Stats selects the defect statistics: "typical" (default) or "opens".
+	Stats string `json:"stats,omitempty"`
+	// Workers overrides the per-job simulator worker-pool width.
+	Workers *int `json:"workers,omitempty"`
+	// DeadlineMS bounds the job's wall time in milliseconds; absent or 0
+	// applies the server's default deadline. Values above the server's
+	// MaxDeadline are rejected.
+	DeadlineMS *int64 `json:"deadline_ms,omitempty"`
+	// StageBudgetsMS bounds individual stages (keys: experiments.StageNames)
+	// in milliseconds. Exhausting a budget degrades the job where a partial
+	// result is usable, exactly as in the CLI.
+	StageBudgetsMS map[string]int64 `json:"stage_budgets_ms,omitempty"`
+}
+
+// DecodeRequest parses and fully validates a pipeline submission against
+// the server limits: strict JSON (unknown fields rejected), circuit and
+// stats resolution, per-request deadline capping, and
+// experiments.Config.Validate on the assembled configuration. Any error
+// is a client error (HTTP 400); a nil error guarantees a runnable config.
+func DecodeRequest(data []byte, limits Config) (*PipelineRequest, experiments.Config, *netlist.Netlist, error) {
+	var req PipelineRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, experiments.Config{}, nil, err
+	}
+
+	cfg := experiments.DefaultConfig()
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	if req.TargetYield != nil {
+		cfg.TargetYield = *req.TargetYield
+	}
+	if req.RandomVectors != nil {
+		cfg.RandomVectors = *req.RandomVectors
+	}
+	if req.BacktrackLimit != nil {
+		cfg.BacktrackLimit = *req.BacktrackLimit
+	}
+	switch req.Stats {
+	case "", "typical":
+		cfg.Stats = defect.Typical()
+	case "opens":
+		cfg.Stats = defect.OpensDominant()
+	default:
+		return nil, experiments.Config{}, nil, fmt.Errorf("unknown stats %q (known: typical, opens)", req.Stats)
+	}
+	cfg.Workers = limits.SimWorkers
+	if req.Workers != nil {
+		cfg.Workers = *req.Workers
+	}
+	cfg.Deadline = limits.DefaultDeadline
+	if req.DeadlineMS != nil && *req.DeadlineMS != 0 {
+		cfg.Deadline = time.Duration(*req.DeadlineMS) * time.Millisecond
+	}
+	if limits.MaxDeadline > 0 && cfg.Deadline > limits.MaxDeadline {
+		return nil, experiments.Config{}, nil, fmt.Errorf(
+			"deadline %v exceeds the server maximum %v", cfg.Deadline, limits.MaxDeadline)
+	}
+	if len(req.StageBudgetsMS) > 0 {
+		cfg.StageBudgets = make(map[string]time.Duration, len(req.StageBudgetsMS))
+		for stage, ms := range req.StageBudgetsMS {
+			cfg.StageBudgets[stage] = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, experiments.Config{}, nil, err
+	}
+
+	circuit := req.Circuit
+	if circuit == "" {
+		circuit = "c432"
+	}
+	nl, err := netlist.ByName(circuit, cfg.Seed)
+	if err != nil {
+		return nil, experiments.Config{}, nil, err
+	}
+	return &req, cfg, nl, nil
+}
+
+// decodeStrict parses JSON with unknown fields and trailing garbage
+// rejected — a typo in a request must be a 400, not a silently ignored
+// knob.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("invalid request body: trailing data after JSON value")
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+var decodeLimits = Config{SimWorkers: 2, DefaultDeadline: 2 * time.Second, MaxDeadline: time.Minute}
+
+func TestDecodeRequestDefaults(t *testing.T) {
+	req, cfg, nl, err := DecodeRequest([]byte(`{}`), decodeLimits)
+	if err != nil {
+		t.Fatalf("empty object must decode to the defaults: %v", err)
+	}
+	if req.Circuit != "" || nl.Name == "" {
+		t.Fatalf("default circuit not resolved: req=%q nl=%q", req.Circuit, nl.Name)
+	}
+	if cfg.Workers != decodeLimits.SimWorkers {
+		t.Fatalf("Workers = %d, want the server default %d", cfg.Workers, decodeLimits.SimWorkers)
+	}
+	if cfg.Deadline != decodeLimits.DefaultDeadline {
+		t.Fatalf("Deadline = %v, want the server default %v", cfg.Deadline, decodeLimits.DefaultDeadline)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("decoded default config invalid: %v", err)
+	}
+}
+
+func TestDecodeRequestOverrides(t *testing.T) {
+	body := `{"circuit":"adder","seed":42,"target_yield":0.5,"random_vectors":16,
+		"backtrack_limit":100,"stats":"opens","workers":3,"deadline_ms":1500,
+		"stage_budgets_ms":{"atpg":250,"switch-sim":250}}`
+	_, cfg, nl, err := DecodeRequest([]byte(body), decodeLimits)
+	if err != nil {
+		t.Fatalf("full override decode failed: %v", err)
+	}
+	if nl == nil || cfg.Seed != 42 || cfg.TargetYield != 0.5 || cfg.RandomVectors != 16 ||
+		cfg.BacktrackLimit != 100 || cfg.Workers != 3 {
+		t.Fatalf("overrides lost: %+v", cfg)
+	}
+	if cfg.Deadline != 1500*time.Millisecond {
+		t.Fatalf("Deadline = %v, want 1.5s", cfg.Deadline)
+	}
+	if cfg.StageBudgets["atpg"] != 250*time.Millisecond {
+		t.Fatalf("StageBudgets = %v", cfg.StageBudgets)
+	}
+}
+
+// FuzzDecodeRequest pins the decode layer's safety contract: arbitrary
+// bytes never panic, and a nil error really does guarantee a runnable,
+// validated configuration within the server limits.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"circuit":"c17","random_vectors":48}`,
+		`{"circuit":"adder","seed":-9223372036854775808,"target_yield":1e308}`,
+		`{"stage_budgets_ms":{"atpg":9007199254740993}}`,
+		`{"deadline_ms":-1,"workers":-1}`,
+		`{"circuit":"C432","stats":"opens","deadline_ms":59999}`,
+		`[1,2,3]`,
+		`{"circuit":"c17"} trailing`,
+		`{"unknown_field":true}`,
+		"\x00\xff not json at all",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, cfg, nl, err := DecodeRequest(data, decodeLimits)
+		if err != nil {
+			return
+		}
+		if req == nil || nl == nil {
+			t.Fatalf("nil error with nil request/netlist: %s", data)
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("accepted config fails validation (%v): %s", verr, data)
+		}
+		if cfg.Deadline < 0 || (decodeLimits.MaxDeadline > 0 && cfg.Deadline > decodeLimits.MaxDeadline) {
+			t.Fatalf("accepted deadline %v outside [0, %v]: %s", cfg.Deadline, decodeLimits.MaxDeadline, data)
+		}
+	})
+}

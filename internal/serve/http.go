@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"defectsim/internal/experiments"
+	"defectsim/internal/obs"
+)
+
+// apiError is the structured error payload of every non-2xx JSON
+// response. Pipeline failures keep their stage name and the
+// progress-counter snapshot from *experiments.PipelineError, so a client
+// sees how far a failed run got instead of an opaque 500.
+type apiError struct {
+	Message string `json:"message"`
+	// Stage names the failed pipeline stage, when the failure was a
+	// *experiments.PipelineError.
+	Stage string `json:"stage,omitempty"`
+	// Progress is the metrics-counter snapshot at failure time.
+	Progress []obs.CounterSnap `json:"progress,omitempty"`
+}
+
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, e apiError) {
+	writeJSON(w, status, errorBody{Error: e})
+}
+
+// pipelineAPIError converts any job failure into the structured form,
+// unwrapping *experiments.PipelineError when present.
+func pipelineAPIError(err error) apiError {
+	var pe *experiments.PipelineError
+	if errors.As(err, &pe) {
+		return apiError{Message: err.Error(), Stage: pe.Stage, Progress: pe.Progress}
+	}
+	return apiError{Message: err.Error()}
+}
+
+// Handler returns the server's HTTP handler: the full route set wrapped
+// in per-request panic recovery (a panicking handler yields a structured
+// 500 JSON error and a serve_handler_panics count, never a torn
+// connection or a dead worker).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/dl", s.handleDL)
+	mux.HandleFunc("POST /v1/fit", s.handleFit)
+	mux.HandleFunc("POST /v1/coverage", s.handleCoverage)
+	mux.HandleFunc("POST /v1/pipeline", s.handleSubmit)
+	mux.HandleFunc("GET /v1/pipeline/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/pipeline/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/pipeline/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.recoverPanics(mux)
+}
+
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.mPanics.Inc()
+				writeError(w, http.StatusInternalServerError, apiError{
+					Message: fmt.Sprintf("internal error: %v", rec),
+				})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// readBody reads a bounded request body (1 MiB — far above any valid
+// request) so a hostile client cannot balloon the handler.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+// jobStatus is the JSON shape of a job's state.
+type jobStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Circuit   string `json:"circuit"`
+	Submitted string `json:"submitted_at,omitempty"`
+	Started   string `json:"started_at,omitempty"`
+	Finished  string `json:"finished_at,omitempty"`
+	// Coalesced counts the extra identical submissions sharing this run.
+	Coalesced int64 `json:"coalesced,omitempty"`
+	// Degraded flips when the finished run hit a graceful-degradation path
+	// (stage budget exhausted with partial results, cache fallback).
+	Degraded bool      `json:"degraded,omitempty"`
+	Error    *apiError `json:"error,omitempty"`
+}
+
+func (s *Server) status(j *job) jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := jobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Circuit:   j.circuit,
+		Coalesced: j.coalesced,
+	}
+	fmtT := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	st.Submitted = fmtT(j.submitted)
+	st.Started = fmtT(j.started)
+	st.Finished = fmtT(j.finished)
+	if j.pipe != nil && j.pipe.Degraded() {
+		st.Degraded = true
+	}
+	if j.err != nil {
+		e := pipelineAPIError(j.err)
+		st.Error = &e
+	}
+	return st
+}
+
+type submitResponse struct {
+	jobStatus
+	// CoalescedOnto is true when this submission joined an identical job
+	// already in flight instead of starting a new run.
+	CoalescedOnto bool `json:"coalesced_onto_existing,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	_, cfg, nl, err := DecodeRequest(data, s.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	j, coalesced, err := s.submit(nl.Name, nl, cfg)
+	switch {
+	case errors.Is(err, ErrShed):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, apiError{Message: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusServiceUnavailable, apiError{Message: err.Error()})
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, apiError{Message: err.Error()})
+		return
+	}
+	resp := submitResponse{jobStatus: s.status(j), CoalescedOnto: coalesced}
+	status := http.StatusAccepted
+	if coalesced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, apiError{Message: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+// jobResult is the JSON shape of a finished run: the headline projection
+// figures plus the per-job obs run report.
+type jobResult struct {
+	ID       string `json:"id"`
+	Circuit  string `json:"circuit"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+	// Degradations lists the graceful-degradation events of the run
+	// (partial ATPG under a stage budget, undecided switch-sim faults,
+	// cache fallbacks) — present exactly when Degraded.
+	Degradations []string `json:"degradations,omitempty"`
+	Yield        float64  `json:"yield"`
+	Vectors      int      `json:"vectors"`
+	// StuckAtCoverage is T(final) over testable faults; ThetaFinal and
+	// GammaFinal are the weighted/unweighted realistic coverages.
+	StuckAtCoverage float64 `json:"stuck_at_coverage"`
+	ThetaFinal      float64 `json:"theta_final"`
+	GammaFinal      float64 `json:"gamma_final"`
+	// FittedR / FittedThetaMax are the proposed model's parameters fitted
+	// to this run's fallout points (paper eq. 9–11); ResidualPPM is the
+	// corresponding residual defect level at 100% stuck-at coverage.
+	FittedR        float64 `json:"fitted_r,omitempty"`
+	FittedThetaMax float64 `json:"fitted_theta_max,omitempty"`
+	ResidualPPM    float64 `json:"residual_ppm,omitempty"`
+	// Report is this job's obs run report (stage tree + metrics).
+	Report *obs.Report `json:"report,omitempty"`
+}
+
+func buildResult(j *job) jobResult {
+	p := j.pipe
+	res := jobResult{
+		ID:       j.id,
+		Circuit:  j.circuit,
+		CacheHit: j.cacheHit,
+		Degraded: p.Degraded(),
+		Yield:    p.Yield,
+		Vectors:  len(p.TestSet.Patterns),
+		Report:   p.Report,
+	}
+	for _, d := range p.Degradations {
+		res.Degradations = append(res.Degradations, d.String())
+	}
+	res.StuckAtCoverage = p.TestSet.Coverage(true)
+	res.ThetaFinal = p.ThetaCurve(false).Final()
+	res.GammaFinal = p.GammaCurve().Final()
+	if p.Yield > 0 && p.Yield < 1 {
+		f5 := experiments.Figure5(p)
+		res.FittedR = f5.Fitted.R
+		res.FittedThetaMax = f5.Fitted.ThetaMax
+		res.ResidualPPM = 1e6 * f5.Fitted.ResidualDL(p.Yield)
+	}
+	return res
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, apiError{Message: "unknown job " + r.PathValue("id")})
+		return
+	}
+	state, err, _ := j.snapshot()
+	switch state {
+	case StateQueued, StateRunning:
+		// Not ready yet: the poll contract is 202 + current status.
+		writeJSON(w, http.StatusAccepted, s.status(j))
+	case StateDone:
+		writeJSON(w, http.StatusOK, buildResult(j))
+	case StateCancelled:
+		e := pipelineAPIError(err)
+		if e.Message == "" {
+			e.Message = "job cancelled"
+		}
+		writeError(w, http.StatusServiceUnavailable, e)
+	default: // failed — a structured degradation, never an empty 500
+		writeError(w, http.StatusServiceUnavailable, pipelineAPIError(err))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Cancel(id); !ok {
+		writeError(w, http.StatusNotFound, apiError{Message: "unknown job " + id})
+		return
+	}
+	j, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleMetrics serves the server-level obs report: every serve_* gauge
+// and counter (queue depth, in-flight, shed, coalesced, …) plus whatever
+// else was recorded on the server registry, in the same machine-readable
+// shape as the per-job run reports.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := s.tr.Report("dlprojd")
+	writeJSON(w, http.StatusOK, rep)
+}

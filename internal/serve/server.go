@@ -1,0 +1,545 @@
+// Package serve is the hardened serving layer of the defect-level
+// projection pipeline: the HTTP/JSON API behind the dlprojd daemon.
+//
+// The cheap model-equation and fitting endpoints (/v1/dl, /v1/fit,
+// /v1/coverage) answer synchronously. Pipeline runs — layout, extraction,
+// ATPG, both fault simulations — are minutes of work at the high end, so
+// they go through an asynchronous job API (/v1/pipeline submit / status /
+// result / cancel) executed on a bounded worker pool.
+//
+// Robustness is the point of this package, not a garnish:
+//
+//   - Admission control: a bounded queue between the HTTP handlers and the
+//     worker pool. A full queue sheds the submission with 429 and a
+//     Retry-After hint — the handler never blocks on the pool.
+//   - Deduplication: concurrent submissions with the same result-cache key
+//     (experiments.CacheKey: circuit + result-determining config) coalesce
+//     onto one job, sharing one pipeline run — and one good-machine trace —
+//     instead of N identical ones.
+//   - Per-request deadlines map onto experiments.Config.Deadline and
+//     StageBudgets, so a slow stage degrades the job (or fails it with a
+//     typed error) instead of hanging a connection.
+//   - Failures surface as structured JSON: a *experiments.PipelineError
+//     keeps its stage name and progress-counter snapshot; handler panics
+//     are recovered into a 500 JSON error and counted.
+//   - Graceful drain: Drain stops admission (readiness flips off), waits
+//     out in-flight jobs against a drain budget, cancels whatever remains,
+//     and leaves the pool stopped. dlprojd wires this to SIGTERM.
+//
+// Every queue/shedding/coalescing event is recorded in the obs registry
+// exposed at /metrics, and every job carries its own obs run report.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"defectsim/internal/experiments"
+	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
+	"defectsim/internal/par"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// has a serving-grade default, applied by New.
+type Config struct {
+	// QueueDepth bounds the admission queue between the HTTP handlers and
+	// the worker pool; a submission finding it full is shed with 429.
+	// Default 16.
+	QueueDepth int
+	// Workers is the number of concurrently executing pipeline jobs.
+	// Default 2 (each job is internally fault-parallel already; see
+	// SimWorkers).
+	Workers int
+	// SimWorkers is the per-job experiments.Config.Workers value applied
+	// when a request does not choose its own: the worker-pool width of the
+	// fault-parallel simulators inside one pipeline run. Default 0
+	// (runtime.NumCPU via internal/par).
+	SimWorkers int
+	// DefaultDeadline bounds a job's wall time when the request does not
+	// set deadline_ms. Zero means unlimited.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps the per-request deadline; requests asking for more
+	// are rejected with 400. Zero means uncapped.
+	MaxDeadline time.Duration
+	// DrainBudget is how long Drain waits for in-flight and queued jobs to
+	// finish before cancelling them. Default 10s.
+	DrainBudget time.Duration
+	// DrainGrace is how long Drain waits for cancelled jobs to unwind
+	// after the budget expired (the simulators poll their context at
+	// ~100ms granularity). Default 5s.
+	DrainGrace time.Duration
+	// RetryAfter is the Retry-After hint attached to shed (429) and
+	// draining (503) responses. Default 1s.
+	RetryAfter time.Duration
+	// CacheDir, when non-empty, holds one result-cache file per cache key,
+	// so repeated submissions of a finished configuration are served from
+	// cache (experiments.RunCachedCtx). Empty disables the cache.
+	CacheDir string
+	// MaxJobs bounds the finished-job records retained for status/result
+	// queries; the oldest finished jobs are evicted first. Default 1024.
+	MaxJobs int
+	// Obs is the server-level tracer/registry behind /metrics. Default
+	// obs.New(). (Each job additionally gets its own tracer for its run
+	// report.)
+	Obs *obs.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.DrainBudget <= 0 {
+		c.DrainBudget = 10 * time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 5 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
+	}
+	c.SimWorkers = par.Workers(c.SimWorkers)
+	return c
+}
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// job is one asynchronous pipeline run.
+type job struct {
+	id      string
+	key     string // coalescing / cache key
+	circuit string
+	cfg     experiments.Config
+	nl      *netlist.Netlist
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	coalesced int64 // extra submissions sharing this run
+	pipe      *experiments.Pipeline
+	cacheHit  bool
+	err       error
+}
+
+func (j *job) snapshot() (state string, err error, p *experiments.Pipeline) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.err, j.pipe
+}
+
+// Server owns the job store, the admission queue and the worker pool.
+// Create with New, expose via Handler, stop with Drain.
+type Server struct {
+	cfg Config
+	tr  *obs.Tracer
+	reg *obs.Registry
+
+	queue    chan *job
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast whenever queued/running change
+	jobs     map[string]*job
+	order    []string        // submission order, for bounded retention
+	inflight map[string]*job // cache key → live (queued/running) job
+	queued   int
+	running  int
+	draining bool
+
+	nextID atomic.Int64
+
+	mQueueDepth *obs.Gauge
+	mInflight   *obs.Gauge
+	mDraining   *obs.Gauge
+	mShed       *obs.Counter
+	mCoalesced  *obs.Counter
+	mSubmitted  *obs.Counter
+	mRuns       *obs.Counter
+	mDone       *obs.Counter
+	mFailed     *obs.Counter
+	mCancelled  *obs.Counter
+	mPanics     *obs.Counter
+}
+
+// New builds a Server and starts its worker pool. The caller must
+// eventually call Drain (even with no traffic) to stop the workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		tr:         cfg.Obs,
+		reg:        cfg.Obs.Metrics(),
+		queue:      make(chan *job, cfg.QueueDepth),
+		stop:       make(chan struct{}),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		jobs:       map[string]*job{},
+		inflight:   map[string]*job{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mQueueDepth = s.reg.Gauge("serve_queue_depth")
+	s.mInflight = s.reg.Gauge("serve_inflight")
+	s.mDraining = s.reg.Gauge("serve_draining")
+	s.mShed = s.reg.Counter("serve_shed_total")
+	s.mCoalesced = s.reg.Counter("serve_coalesced_total")
+	s.mSubmitted = s.reg.Counter("serve_jobs_submitted")
+	s.mRuns = s.reg.Counter("serve_pipeline_runs")
+	s.mDone = s.reg.Counter("serve_jobs_done")
+	s.mFailed = s.reg.Counter("serve_jobs_failed")
+	s.mCancelled = s.reg.Counter("serve_jobs_cancelled")
+	s.mPanics = s.reg.Counter("serve_handler_panics")
+	s.reg.Gauge("serve_queue_capacity").Set(float64(cfg.QueueDepth))
+	s.reg.Gauge("serve_workers").Set(float64(cfg.Workers))
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Sentinel admission errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrShed rejects a submission because the admission queue is full.
+	ErrShed = errors.New("serve: admission queue full, submission shed")
+	// ErrDraining rejects a submission because the server is draining.
+	ErrDraining = errors.New("serve: draining, not admitting new jobs")
+)
+
+// submit admits a decoded request: it either coalesces onto an identical
+// live job, enqueues a new one, or fails with ErrShed / ErrDraining.
+// It never blocks on the worker pool.
+func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Config) (j *job, coalesced bool, err error) {
+	key := experiments.CacheKey(circuit, cfg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false, ErrDraining
+	}
+	if live := s.inflight[key]; live != nil {
+		live.mu.Lock()
+		live.coalesced++
+		live.mu.Unlock()
+		s.mCoalesced.Inc()
+		return live, true, nil
+	}
+	cfg.Obs = obs.New() // per-job tracer: every job gets its own run report
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j = &job{
+		id:        fmt.Sprintf("job-%d", s.nextID.Add(1)),
+		key:       key,
+		circuit:   circuit,
+		cfg:       cfg,
+		nl:        nl,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.mShed.Inc()
+		return nil, false, ErrShed
+	}
+	s.queued++
+	s.mQueueDepth.Set(float64(s.queued))
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.inflight[key] = j
+	s.mSubmitted.Inc()
+	s.pruneLocked()
+	return j, false, nil
+}
+
+// pruneLocked evicts the oldest finished jobs beyond the retention cap.
+// Live (queued/running) jobs are never evicted.
+func (s *Server) pruneLocked() {
+	for len(s.jobs) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			j := s.jobs[id]
+			if j == nil {
+				continue
+			}
+			j.mu.Lock()
+			finished := j.state == StateDone || j.state == StateFailed || j.state == StateCancelled
+			j.mu.Unlock()
+			if finished {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live; let the map exceed the cap briefly
+		}
+	}
+}
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job: queued jobs are marked cancelled immediately (the
+// worker skips them), running jobs get their context cancelled and settle
+// through the pipeline's cancellation path. Finished jobs are unchanged.
+// The second return is false when the ID is unknown.
+func (s *Server) Cancel(id string) (state string, ok bool) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return "", false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		s.mCancelled.Inc()
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+	case StateRunning:
+		// settle via the run's cancellation path; state flips in runJob.
+	}
+	state = j.state
+	j.mu.Unlock()
+	s.mu.Unlock()
+	j.cancel()
+	return state, true
+}
+
+// worker pulls jobs off the admission queue until the server stops.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job end to end: state bookkeeping, the pipeline run
+// (cached when a cache dir is configured), and failure classification.
+// Panics escaping the pipeline's own stage isolation are contained here so
+// a broken run can never take a worker down.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	s.queued--
+	s.mQueueDepth.Set(float64(s.queued))
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		j.mu.Unlock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.running++
+	s.mInflight.Set(float64(s.running))
+	s.mu.Unlock()
+
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.mPanics.Inc()
+			s.finish(j, nil, false, fmt.Errorf("serve: job panic: %v\n%s", rec, debug.Stack()))
+		}
+		s.mu.Lock()
+		s.running--
+		s.mInflight.Set(float64(s.running))
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		j.cancel() // release the context's resources
+	}()
+
+	s.mRuns.Inc()
+	var (
+		p   *experiments.Pipeline
+		hit bool
+		err error
+	)
+	if s.cfg.CacheDir != "" {
+		p, hit, err = experiments.RunCachedCtx(j.ctx, j.nl, j.cfg, filepath.Join(s.cfg.CacheDir, j.key+".json"))
+	} else {
+		p, err = experiments.RunCtx(j.ctx, j.nl, j.cfg)
+	}
+	s.finish(j, p, hit, err)
+}
+
+// finish classifies a run's outcome onto the job record.
+func (s *Server) finish(j *job, p *experiments.Pipeline, cacheHit bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return
+	}
+	j.finished = time.Now()
+	j.pipe = p
+	j.cacheHit = cacheHit
+	j.err = err
+	switch {
+	case err == nil:
+		j.state = StateDone
+		s.mDone.Inc()
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		s.mCancelled.Inc()
+	default:
+		j.state = StateFailed
+		s.mFailed.Inc()
+	}
+}
+
+// DrainReport is the outcome of a graceful drain.
+type DrainReport struct {
+	// Waited is how long the drain took end to end.
+	Waited time.Duration `json:"waited_ns"`
+	// Cancelled lists the jobs that did not finish within the budget and
+	// were cancelled. Empty on a fully graceful drain.
+	Cancelled []string `json:"cancelled,omitempty"`
+	// Forced reports whether cancelled jobs were still unwinding when the
+	// grace period expired (they keep their context cancelled and settle
+	// on their own, but the pool is already stopped).
+	Forced bool `json:"forced,omitempty"`
+}
+
+// Clean reports whether every job finished on its own within the budget.
+func (r DrainReport) Clean() bool { return len(r.Cancelled) == 0 && !r.Forced }
+
+// Drain performs graceful shutdown of the job layer: admission stops
+// (readiness flips off, submissions get 503), in-flight and queued jobs
+// get DrainBudget to finish, whatever remains is cancelled and given
+// DrainGrace to unwind, then the worker pool is stopped. Drain is
+// idempotent; concurrent calls share the same shutdown. ctx bounds the
+// whole wait (its cancellation forces the fast path).
+func (s *Server) Drain(ctx context.Context) DrainReport {
+	start := time.Now()
+	s.mu.Lock()
+	s.draining = true
+	s.mDraining.Set(1)
+	s.mu.Unlock()
+
+	budget := s.cfg.DrainBudget
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < budget {
+			budget = rem
+		}
+	}
+	var rep DrainReport
+	if !s.waitIdle(ctx, budget) {
+		// Budget exhausted: cancel everything still live.
+		s.mu.Lock()
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if j == nil {
+				continue
+			}
+			j.mu.Lock()
+			switch j.state {
+			case StateQueued:
+				j.state = StateCancelled
+				j.err = context.Canceled
+				j.finished = time.Now()
+				s.mCancelled.Inc()
+				if s.inflight[j.key] == j {
+					delete(s.inflight, j.key)
+				}
+				rep.Cancelled = append(rep.Cancelled, j.id)
+			case StateRunning:
+				rep.Cancelled = append(rep.Cancelled, j.id)
+			}
+			j.mu.Unlock()
+			j.cancel()
+		}
+		s.mu.Unlock()
+		if !s.waitIdle(ctx, s.cfg.DrainGrace) {
+			rep.Forced = true
+		}
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	if !rep.Forced {
+		s.wg.Wait()
+	}
+	s.baseCancel()
+	rep.Waited = time.Since(start)
+	return rep
+}
+
+// Draining reports whether Drain has started (readiness off).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// waitIdle blocks until no jobs are queued or running, the timeout
+// expires, or ctx is cancelled. Returns true when idle was reached.
+func (s *Server) waitIdle(ctx context.Context, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	wake := time.AfterFunc(timeout, func() { s.cond.Broadcast() })
+	defer wake.Stop()
+	stopPoll := context.AfterFunc(ctx, func() { s.cond.Broadcast() })
+	defer stopPoll()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.queued+s.running > 0 {
+		if ctx.Err() != nil || !time.Now().Before(deadline) {
+			return false
+		}
+		s.cond.Wait()
+	}
+	return true
+}
+
+// Metrics returns the server's obs registry (the one behind /metrics) —
+// test and daemon access to the serve_* instruments.
+func (s *Server) Metrics() *obs.Registry { return s.reg }

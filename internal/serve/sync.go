@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"defectsim/internal/coverage"
+	"defectsim/internal/dlmodel"
+	"defectsim/internal/fit"
+)
+
+// The synchronous endpoints evaluate the paper's closed-form models and
+// fits — microseconds to low milliseconds of CPU, no queue needed. All
+// domain violations are rejected with 400 before touching the model
+// package (whose contract is to panic on domain errors); the panic
+// middleware is only the backstop.
+
+// dlRequest is the body of POST /v1/dl.
+type dlRequest struct {
+	// Model: williams-brown (eq. 1), agrawal (eq. 2), weighted (eq. 3) or
+	// proposed (eq. 11).
+	Model string `json:"model"`
+	// Mode: "dl" (default) computes the defect level; "required-coverage"
+	// inverts williams-brown/proposed for the coverage reaching TargetDL;
+	// "residual" returns the proposed model's residual DL at 100% coverage.
+	Mode  string  `json:"mode,omitempty"`
+	Yield float64 `json:"yield"`
+	// Coverage is T for williams-brown/agrawal/proposed and Θ for weighted.
+	Coverage float64 `json:"coverage,omitempty"`
+	TargetDL float64 `json:"target_dl,omitempty"`
+	// N is the Agrawal model's average fault count per faulty chip.
+	N float64 `json:"n,omitempty"`
+	// R / ThetaMax are the proposed model's parameters.
+	R        float64 `json:"r,omitempty"`
+	ThetaMax float64 `json:"theta_max,omitempty"`
+}
+
+type dlResponse struct {
+	Model string `json:"model"`
+	Mode  string `json:"mode"`
+	// DL is set for mode dl/residual; Coverage for required-coverage.
+	DL       *float64 `json:"dl,omitempty"`
+	Coverage *float64 `json:"required_coverage,omitempty"`
+	// PPM is DL expressed in parts per million, when DL is set.
+	PPM *float64 `json:"ppm,omitempty"`
+}
+
+func checkYield(y float64) error {
+	if !(y > 0 && y < 1) {
+		return fmt.Errorf("yield %g must be in (0,1)", y)
+	}
+	return nil
+}
+
+func checkCoverage(name string, c float64) error {
+	if !(c >= 0 && c <= 1) {
+		return fmt.Errorf("%s %g must be in [0,1]", name, c)
+	}
+	return nil
+}
+
+func (s *Server) handleDL(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	var req dlRequest
+	if err := decodeStrict(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	if req.Mode == "" {
+		req.Mode = "dl"
+	}
+	if err := checkYield(req.Yield); err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	resp := dlResponse{Model: req.Model, Mode: req.Mode}
+	setDL := func(v float64) {
+		ppm := 1e6 * v
+		resp.DL, resp.PPM = &v, &ppm
+	}
+	fail := func(err error) { writeError(w, http.StatusBadRequest, apiError{Message: err.Error()}) }
+
+	params := dlmodel.Params{R: req.R, ThetaMax: req.ThetaMax}
+	switch {
+	case req.Model == "williams-brown" && req.Mode == "dl":
+		if err := checkCoverage("coverage", req.Coverage); err != nil {
+			fail(err)
+			return
+		}
+		setDL(dlmodel.WilliamsBrown(req.Yield, req.Coverage))
+	case req.Model == "williams-brown" && req.Mode == "required-coverage":
+		if !(req.TargetDL > 0 && req.TargetDL < 1) {
+			fail(fmt.Errorf("target_dl %g must be in (0,1)", req.TargetDL))
+			return
+		}
+		t := dlmodel.WilliamsBrownRequiredT(req.Yield, req.TargetDL)
+		resp.Coverage = &t
+	case req.Model == "agrawal" && req.Mode == "dl":
+		if err := checkCoverage("coverage", req.Coverage); err != nil {
+			fail(err)
+			return
+		}
+		if req.N < 1 {
+			fail(fmt.Errorf("n = %g must be >= 1", req.N))
+			return
+		}
+		setDL(dlmodel.Agrawal(req.Yield, req.Coverage, req.N))
+	case req.Model == "weighted" && req.Mode == "dl":
+		if err := checkCoverage("coverage", req.Coverage); err != nil {
+			fail(err)
+			return
+		}
+		setDL(dlmodel.Weighted(req.Yield, req.Coverage))
+	case req.Model == "proposed":
+		if err := params.Validate(); err != nil {
+			fail(err)
+			return
+		}
+		switch req.Mode {
+		case "dl":
+			if err := checkCoverage("coverage", req.Coverage); err != nil {
+				fail(err)
+				return
+			}
+			setDL(params.DL(req.Yield, req.Coverage))
+		case "required-coverage":
+			t, err := params.RequiredT(req.Yield, req.TargetDL)
+			if err != nil {
+				fail(err)
+				return
+			}
+			resp.Coverage = &t
+		case "residual":
+			setDL(params.ResidualDL(req.Yield))
+		default:
+			fail(fmt.Errorf("unknown mode %q for model proposed (dl, required-coverage, residual)", req.Mode))
+			return
+		}
+	default:
+		fail(fmt.Errorf("unknown model/mode %q/%q (models: williams-brown, agrawal, weighted, proposed)", req.Model, req.Mode))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// falloutPoint is one observed (coverage, defect level) pair.
+type falloutPoint struct {
+	T  float64 `json:"t"`
+	DL float64 `json:"dl"`
+}
+
+// fitRequest is the body of POST /v1/fit.
+type fitRequest struct {
+	// Model: "proposed" fits (R, Θmax) (eq. 9–11); "agrawal" fits n.
+	Model  string         `json:"model"`
+	Yield  float64        `json:"yield"`
+	Points []falloutPoint `json:"points"`
+}
+
+type fitResponse struct {
+	Model string `json:"model"`
+	// R/ThetaMax for model proposed; ResidualPPM derives from them.
+	R           *float64 `json:"r,omitempty"`
+	ThetaMax    *float64 `json:"theta_max,omitempty"`
+	ResidualPPM *float64 `json:"residual_ppm,omitempty"`
+	// N for model agrawal.
+	N *float64 `json:"n,omitempty"`
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	var req fitRequest
+	if err := decodeStrict(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	if err := checkYield(req.Yield); err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	if len(req.Points) < 2 {
+		writeError(w, http.StatusBadRequest, apiError{Message: fmt.Sprintf("need at least 2 fallout points, got %d", len(req.Points))})
+		return
+	}
+	points := make([]fit.DLPoint, len(req.Points))
+	for i, p := range req.Points {
+		if !(p.T >= 0 && p.T <= 1) || !(p.DL >= 0 && p.DL < 1) {
+			writeError(w, http.StatusBadRequest, apiError{
+				Message: fmt.Sprintf("point %d (t=%g, dl=%g) out of domain: t in [0,1], dl in [0,1)", i, p.T, p.DL)})
+			return
+		}
+		points[i] = fit.DLPoint{T: p.T, DL: p.DL}
+	}
+	resp := fitResponse{Model: req.Model}
+	switch req.Model {
+	case "proposed":
+		params := fit.FitParams(points, req.Yield)
+		ppm := 1e6 * params.ResidualDL(req.Yield)
+		resp.R, resp.ThetaMax, resp.ResidualPPM = &params.R, &params.ThetaMax, &ppm
+	case "agrawal":
+		n := fit.FitAgrawalN(points, req.Yield)
+		resp.N = &n
+	default:
+		writeError(w, http.StatusBadRequest, apiError{Message: fmt.Sprintf("unknown model %q (models: proposed, agrawal)", req.Model)})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// coverageRequest is the body of POST /v1/coverage. Two modes:
+//
+//   - analytic: Sigma (and optional Cmax) given — evaluate the growth law
+//     (eq. 7–8) at Ks.
+//   - empirical: DetectedAt given — build the coverage curve from
+//     first-detection indices (optionally weighted) and fit σ to it.
+type coverageRequest struct {
+	// Sigma is the fault-set susceptibility (> 1) of the growth law.
+	Sigma float64 `json:"sigma,omitempty"`
+	// Cmax is the coverage ceiling (default 1).
+	Cmax float64 `json:"cmax,omitempty"`
+	// Ks are the vector counts to evaluate at. Empirical mode defaults to
+	// a log-spaced grid over the detection indices.
+	Ks []int `json:"ks,omitempty"`
+	// DetectedAt are first-detection vector indices (0 = never detected).
+	DetectedAt []int `json:"detected_at,omitempty"`
+	// Weights optionally weight the faults of DetectedAt.
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// curvePoint is one (k, coverage) sample of a response curve.
+type curvePoint struct {
+	K float64 `json:"k"`
+	C float64 `json:"c"`
+}
+
+type coverageResponse struct {
+	Points []curvePoint `json:"points"`
+	// Sigma is the request's σ (analytic) or the fitted σ (empirical).
+	Sigma float64 `json:"sigma,omitempty"`
+	Cmax  float64 `json:"cmax,omitempty"`
+}
+
+func toCurvePoints(c coverage.Curve) []curvePoint {
+	out := make([]curvePoint, len(c))
+	for i, p := range c {
+		out[i] = curvePoint{K: p.K, C: p.C}
+	}
+	return out
+}
+
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	var req coverageRequest
+	if err := decodeStrict(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	fail := func(err error) { writeError(w, http.StatusBadRequest, apiError{Message: err.Error()}) }
+
+	if len(req.DetectedAt) > 0 {
+		if len(req.Weights) > 0 && len(req.Weights) != len(req.DetectedAt) {
+			fail(fmt.Errorf("weights length %d != detected_at length %d", len(req.Weights), len(req.DetectedAt)))
+			return
+		}
+		maxK := 1
+		for _, d := range req.DetectedAt {
+			if d < 0 {
+				fail(fmt.Errorf("detected_at entries must be >= 0 (0 = undetected), got %d", d))
+				return
+			}
+			if d > maxK {
+				maxK = d
+			}
+		}
+		ks := req.Ks
+		if len(ks) == 0 {
+			ks = coverage.SampleKs(maxK, 8)
+		}
+		var weights []float64
+		if len(req.Weights) > 0 {
+			weights = req.Weights
+		}
+		curve := coverage.FromDetections(req.DetectedAt, weights, ks)
+		resp := coverageResponse{Points: toCurvePoints(curve), Cmax: curve.Final()}
+		if curve.Final() > 0 {
+			resp.Sigma = coverage.FitSigma(curve, 0)
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	if !(req.Sigma > 1) {
+		fail(fmt.Errorf("sigma %g must exceed 1 (or provide detected_at for the empirical mode)", req.Sigma))
+		return
+	}
+	cmax := req.Cmax
+	if cmax == 0 {
+		cmax = 1
+	}
+	if !(cmax > 0 && cmax <= 1) {
+		fail(fmt.Errorf("cmax %g must be in (0,1]", cmax))
+		return
+	}
+	if len(req.Ks) == 0 {
+		fail(fmt.Errorf("ks must be non-empty in analytic mode"))
+		return
+	}
+	pts := make([]curvePoint, 0, len(req.Ks))
+	for _, k := range req.Ks {
+		if k < 0 {
+			fail(fmt.Errorf("ks entries must be >= 0, got %d", k))
+			return
+		}
+		pts = append(pts, curvePoint{K: float64(k), C: coverage.Growth(float64(k), req.Sigma, cmax)})
+	}
+	writeJSON(w, http.StatusOK, coverageResponse{Points: pts, Sigma: req.Sigma, Cmax: cmax})
+}

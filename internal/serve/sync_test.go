@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"defectsim/internal/dlmodel"
+)
+
+// The synchronous endpoints answer in-process with no queue involved;
+// these tests pin their math against the dlmodel package and, more
+// importantly for the serving layer, the contract that every domain
+// violation is a 400 with the validation message — never a panic-500.
+
+func wantErr(t *testing.T, code int, data []byte, wantCode int, substr string) {
+	t.Helper()
+	if code != wantCode {
+		t.Fatalf("status = %d, want %d; body: %s", code, wantCode, data)
+	}
+	eb := decode[errorBody](t, data)
+	if !strings.Contains(eb.Error.Message, substr) {
+		t.Fatalf("error message %q does not mention %q", eb.Error.Message, substr)
+	}
+}
+
+func TestDLEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	url := ts.URL + "/v1/dl"
+
+	// Williams–Brown (eq. 1) round trip against the model package.
+	code, _, data := post(t, url, `{"model":"williams-brown","yield":0.5,"coverage":0.9}`)
+	if code != http.StatusOK {
+		t.Fatalf("dl = %d: %s", code, data)
+	}
+	resp := decode[dlResponse](t, data)
+	want := dlmodel.WilliamsBrown(0.5, 0.9)
+	if resp.DL == nil || math.Abs(*resp.DL-want) > 1e-12 {
+		t.Fatalf("williams-brown dl = %v, want %g", resp.DL, want)
+	}
+	if resp.PPM == nil || math.Abs(*resp.PPM-1e6*want) > 1e-6 {
+		t.Fatalf("ppm = %v, want %g", resp.PPM, 1e6*want)
+	}
+
+	// Required coverage inverts back to T = 0.9.
+	code, _, data = post(t, url, fmt.Sprintf(
+		`{"model":"williams-brown","mode":"required-coverage","yield":0.5,"target_dl":%g}`, want))
+	if code != http.StatusOK {
+		t.Fatalf("required-coverage = %d: %s", code, data)
+	}
+	resp = decode[dlResponse](t, data)
+	if resp.Coverage == nil || math.Abs(*resp.Coverage-0.9) > 1e-9 {
+		t.Fatalf("required coverage = %v, want 0.9", resp.Coverage)
+	}
+
+	// The proposed model (eq. 11) with paper-example parameters.
+	code, _, data = post(t, url, `{"model":"proposed","yield":0.75,"coverage":0.95,"r":2.1,"theta_max":0.96}`)
+	if code != http.StatusOK {
+		t.Fatalf("proposed dl = %d: %s", code, data)
+	}
+	resp = decode[dlResponse](t, data)
+	wantP := dlmodel.Params{R: 2.1, ThetaMax: 0.96}.DL(0.75, 0.95)
+	if resp.DL == nil || math.Abs(*resp.DL-wantP) > 1e-12 {
+		t.Fatalf("proposed dl = %v, want %g", resp.DL, wantP)
+	}
+
+	// Residual DL at full stuck-at coverage (eq. 12 / example 2).
+	code, _, data = post(t, url, `{"model":"proposed","mode":"residual","yield":0.75,"r":2.1,"theta_max":0.96}`)
+	if code != http.StatusOK {
+		t.Fatalf("residual = %d: %s", code, data)
+	}
+	resp = decode[dlResponse](t, data)
+	wantR := dlmodel.Params{R: 2.1, ThetaMax: 0.96}.ResidualDL(0.75)
+	if resp.DL == nil || math.Abs(*resp.DL-wantR) > 1e-12 {
+		t.Fatalf("residual dl = %v, want %g", resp.DL, wantR)
+	}
+
+	// Agrawal and weighted answer too.
+	if code, _, data := post(t, url, `{"model":"agrawal","yield":0.5,"coverage":0.9,"n":2}`); code != http.StatusOK {
+		t.Fatalf("agrawal = %d: %s", code, data)
+	}
+	if code, _, data := post(t, url, `{"model":"weighted","yield":0.5,"coverage":0.9}`); code != http.StatusOK {
+		t.Fatalf("weighted = %d: %s", code, data)
+	}
+
+	// Domain violations are 400s with the reason, not panics.
+	for _, tc := range []struct{ body, substr string }{
+		{`{"model":"williams-brown","yield":0,"coverage":0.9}`, "yield"},
+		{`{"model":"williams-brown","yield":1.5,"coverage":0.9}`, "yield"},
+		{`{"model":"williams-brown","yield":0.5,"coverage":1.5}`, "coverage"},
+		{`{"model":"agrawal","yield":0.5,"coverage":0.9,"n":0.5}`, "n ="},
+		{`{"model":"proposed","yield":0.5,"coverage":0.9,"r":-1,"theta_max":0.9}`, "must be positive"},
+		{`{"model":"proposed","yield":0.5,"coverage":0.9,"r":2,"theta_max":1.5}`, "(0,1]"},
+		{`{"model":"proposed","mode":"sideways","yield":0.5,"r":2,"theta_max":0.9}`, "unknown mode"},
+		{`{"model":"perfect","yield":0.5,"coverage":0.9}`, "unknown model"},
+	} {
+		code, _, data := post(t, url, tc.body)
+		wantErr(t, code, data, http.StatusBadRequest, tc.substr)
+	}
+}
+
+func TestFitEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	url := ts.URL + "/v1/fit"
+
+	// Points sampled exactly from the proposed model: the fit must recover
+	// the generating parameters.
+	truth := dlmodel.Params{R: 2.1, ThetaMax: 0.96}
+	const y = 0.75
+	var pts []string
+	for _, tv := range []float64{0.2, 0.4, 0.6, 0.75, 0.85, 0.92, 0.97, 0.995} {
+		pts = append(pts, fmt.Sprintf(`{"t":%g,"dl":%.12g}`, tv, truth.DL(y, tv)))
+	}
+	body := fmt.Sprintf(`{"model":"proposed","yield":%g,"points":[%s]}`, y, strings.Join(pts, ","))
+	code, _, data := post(t, url, body)
+	if code != http.StatusOK {
+		t.Fatalf("fit = %d: %s", code, data)
+	}
+	resp := decode[fitResponse](t, data)
+	if resp.R == nil || resp.ThetaMax == nil || resp.ResidualPPM == nil {
+		t.Fatalf("proposed fit missing fields: %s", data)
+	}
+	if math.Abs(*resp.R-truth.R) > 0.1 || math.Abs(*resp.ThetaMax-truth.ThetaMax) > 0.01 {
+		t.Fatalf("fit (R=%g, Θmax=%g) far from truth (R=%g, Θmax=%g)",
+			*resp.R, *resp.ThetaMax, truth.R, truth.ThetaMax)
+	}
+
+	// The Agrawal variant fits its n.
+	body = fmt.Sprintf(`{"model":"agrawal","yield":%g,"points":[%s]}`, y, strings.Join(pts, ","))
+	code, _, data = post(t, url, body)
+	if code != http.StatusOK {
+		t.Fatalf("agrawal fit = %d: %s", code, data)
+	}
+	if resp := decode[fitResponse](t, data); resp.N == nil || *resp.N < 1 {
+		t.Fatalf("agrawal fit n = %v", resp.N)
+	}
+
+	for _, tc := range []struct{ body, substr string }{
+		{`{"model":"proposed","yield":0.75,"points":[{"t":0.5,"dl":0.1}]}`, "at least 2"},
+		{`{"model":"proposed","yield":0.75,"points":[{"t":0.5,"dl":0.1},{"t":2,"dl":0.1}]}`, "out of domain"},
+		{`{"model":"proposed","yield":0.75,"points":[{"t":0.5,"dl":0.1},{"t":0.9,"dl":1.0}]}`, "out of domain"},
+		{`{"model":"cubist","yield":0.75,"points":[{"t":0.5,"dl":0.1},{"t":0.9,"dl":0.05}]}`, "unknown model"},
+		{`{"model":"proposed","yield":2,"points":[{"t":0.5,"dl":0.1},{"t":0.9,"dl":0.05}]}`, "yield"},
+	} {
+		code, _, data := post(t, url, tc.body)
+		wantErr(t, code, data, http.StatusBadRequest, tc.substr)
+	}
+}
+
+func TestCoverageEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	url := ts.URL + "/v1/coverage"
+
+	// Analytic mode: the growth law, monotonically rising toward cmax.
+	code, _, data := post(t, url, `{"sigma":4,"cmax":0.95,"ks":[1,10,100,1000]}`)
+	if code != http.StatusOK {
+		t.Fatalf("analytic = %d: %s", code, data)
+	}
+	resp := decode[coverageResponse](t, data)
+	if len(resp.Points) != 4 {
+		t.Fatalf("analytic points = %d, want 4", len(resp.Points))
+	}
+	for i := 1; i < len(resp.Points); i++ {
+		if resp.Points[i].C < resp.Points[i-1].C {
+			t.Fatalf("coverage not monotone: %+v", resp.Points)
+		}
+	}
+	if last := resp.Points[len(resp.Points)-1].C; !(last > 0 && last <= 0.95) {
+		t.Fatalf("coverage %g escapes (0, cmax]", last)
+	}
+
+	// Empirical mode: curve plus fitted σ from first-detection indices.
+	code, _, data = post(t, url, `{"detected_at":[1,1,2,3,5,8,40,0]}`)
+	if code != http.StatusOK {
+		t.Fatalf("empirical = %d: %s", code, data)
+	}
+	resp = decode[coverageResponse](t, data)
+	if len(resp.Points) == 0 {
+		t.Fatal("empirical mode returned no points")
+	}
+	if !(resp.Cmax > 0 && resp.Cmax < 1) {
+		t.Fatalf("cmax = %g, want in (0,1) with one undetected fault", resp.Cmax)
+	}
+
+	for _, tc := range []struct{ body, substr string }{
+		{`{"sigma":0.5,"ks":[1,10]}`, "exceed 1"},
+		{`{"sigma":4,"cmax":1.5,"ks":[1,10]}`, "cmax"},
+		{`{"sigma":4}`, "ks must be non-empty"},
+		{`{"sigma":4,"ks":[-1]}`, ">= 0"},
+		{`{"detected_at":[1,2,-3]}`, ">= 0"},
+		{`{"detected_at":[1,2],"weights":[1,2,3]}`, "length"},
+	} {
+		code, _, data := post(t, url, tc.body)
+		wantErr(t, code, data, http.StatusBadRequest, tc.substr)
+	}
+}
+
+// TestSubmitValidationErrors pins the decode layer of the job API: every
+// experiments.Config.Validate error path reachable over HTTP maps to a
+// 400 carrying the validation message, before anything is enqueued.
+func TestSubmitValidationErrors(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxDeadline: time.Minute})
+	url := ts.URL + "/v1/pipeline"
+
+	cases := []struct {
+		name, body, substr string
+	}{
+		{"negative workers", `{"workers":-1}`, "Workers is -1"},
+		{"negative random vectors", `{"random_vectors":-3}`, "RandomVectors is -3"},
+		{"negative backtrack limit", `{"backtrack_limit":-5}`, "BacktrackLimit is -5"},
+		{"yield above 1", `{"target_yield":1.5}`, "TargetYield"},
+		{"zero stage budget", `{"stage_budgets_ms":{"atpg":0}}`, "must be > 0"},
+		{"negative stage budget", `{"stage_budgets_ms":{"switch-sim":-50}}`, "must be > 0"},
+		{"unknown stage", `{"stage_budgets_ms":{"warp-drive":100}}`, "unknown stage"},
+		{"negative deadline", `{"deadline_ms":-100}`, "Deadline is"},
+		{"absurd deadline", `{"deadline_ms":3600000}`, "exceeds the server maximum"},
+		{"unknown stats", `{"stats":"exotic"}`, "unknown stats"},
+		{"unknown circuit", `{"circuit":"c9999"}`, "unknown circuit"},
+		{"unknown field", `{"bogus":1}`, "unknown field"},
+		{"trailing garbage", `{"circuit":"c17"} {"again":true}`, "trailing data"},
+		{"not json", `certainly not json`, "invalid request body"},
+		{"oversized body", `{"circuit":"` + strings.Repeat("x", 2<<20) + `"}`, "exceeds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, data := post(t, url, tc.body)
+			wantErr(t, code, data, http.StatusBadRequest, tc.substr)
+		})
+	}
+	// Nothing was admitted along the way.
+	if n := s.Metrics().Counter("serve_jobs_submitted").Value(); n != 0 {
+		t.Fatalf("invalid requests admitted %d jobs", n)
+	}
+}

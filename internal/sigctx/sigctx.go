@@ -1,0 +1,67 @@
+// Package sigctx is the shared shutdown-signal policy of the commands
+// (dlproj, dlprojd): the first SIGINT/SIGTERM cancels a context so the
+// run or server can drain gracefully; a second signal forces immediate
+// termination instead of being swallowed while a drain hangs. The forced
+// path restores the signal's default disposition and re-raises it, so the
+// process dies with the conventional signal exit status (128+signo) and a
+// stuck drain can always be broken from the keyboard.
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// forceExit terminates the process as if the signal had never been
+// caught. A package variable so tests can observe the forced path
+// without killing the test process.
+var forceExit = func(sig os.Signal) {
+	signal.Reset(sig)
+	if s, ok := sig.(syscall.Signal); ok {
+		_ = syscall.Kill(syscall.Getpid(), s)
+		// The self-signal terminates the process; the exit below is the
+		// fallback for platforms where delivery is deferred.
+		os.Exit(128 + int(s))
+	}
+	os.Exit(1)
+}
+
+// Notify returns a context cancelled on the first of the given signals
+// (default: SIGINT and SIGTERM). A second signal — same or different —
+// forces immediate process termination via the signal's default
+// disposition. The returned stop function releases the signal handler
+// and cancels the context; after stop, signals regain their defaults.
+func Notify(parent context.Context, sigs ...os.Signal) (context.Context, context.CancelFunc) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	stopped := make(chan struct{})
+	go func() {
+		defer signal.Stop(ch)
+		select {
+		case <-ch: // first signal: cancel, keep listening
+			cancel()
+		case <-stopped:
+			return
+		case <-ctx.Done():
+			return
+		}
+		select {
+		case sig := <-ch: // second signal: force out
+			forceExit(sig)
+		case <-stopped:
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() { close(stopped) })
+		cancel()
+	}
+	return ctx, stop
+}

@@ -1,0 +1,80 @@
+package sigctx
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// raise delivers sig to the test process itself.
+func raise(t *testing.T, sig syscall.Signal) {
+	t.Helper()
+	if err := syscall.Kill(syscall.Getpid(), sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstSignalCancels(t *testing.T) {
+	ctx, stop := Notify(context.Background(), syscall.SIGUSR1)
+	defer stop()
+	if ctx.Err() != nil {
+		t.Fatal("context cancelled before any signal")
+	}
+	raise(t, syscall.SIGUSR1)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+}
+
+func TestSecondSignalForcesExit(t *testing.T) {
+	forced := make(chan os.Signal, 1)
+	orig := forceExit
+	forceExit = func(sig os.Signal) { forced <- sig }
+	defer func() { forceExit = orig }()
+
+	ctx, stop := Notify(context.Background(), syscall.SIGUSR1)
+	defer stop()
+	raise(t, syscall.SIGUSR1)
+	<-ctx.Done()
+	raise(t, syscall.SIGUSR1)
+	select {
+	case sig := <-forced:
+		if sig != syscall.SIGUSR1 {
+			t.Fatalf("forced exit on %v, want SIGUSR1", sig)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not force exit")
+	}
+}
+
+func TestStopReleasesWithoutSignal(t *testing.T) {
+	ctx, stop := Notify(context.Background(), syscall.SIGUSR2)
+	stop()
+	stop() // idempotent
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+	// After stop the handler is released: a signal must not be swallowed
+	// by a stale goroutine (nothing to assert beyond "no panic/hang").
+}
+
+func TestParentCancellationReleases(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := Notify(parent, syscall.SIGUSR2)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+}

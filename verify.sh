@@ -3,8 +3,9 @@
 #
 # Tier 1 (fast, the PR gate): build + vet + full test suite.
 # Tier 2 (slow): race-detector pass over the concurrency-bearing packages
-# (observability, the hardened pipeline, the fault-injection harness and
-# the worker-sharded gate-, switch-level simulators and ATPG).
+# (observability, the hardened pipeline, the fault-injection harness, the
+# worker-sharded gate-, switch-level simulators and ATPG, and the serving
+# layer's admission/coalescing/drain machinery).
 set -eu
 cd "$(dirname "$0")"
 
@@ -14,6 +15,6 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race (obs, experiments, faultinject, switchsim, gatesim, atpg)"
-go test -race ./internal/obs/... ./internal/experiments/... ./internal/faultinject/... ./internal/switchsim/... ./internal/gatesim/... ./internal/atpg/...
+echo "== go test -race (obs, experiments, faultinject, switchsim, gatesim, atpg, serve)"
+go test -race ./internal/obs/... ./internal/experiments/... ./internal/faultinject/... ./internal/switchsim/... ./internal/gatesim/... ./internal/atpg/... ./internal/serve/...
 echo "verify.sh: all checks passed"
