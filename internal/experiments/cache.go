@@ -80,10 +80,14 @@ const cacheVersion = 3
 // CacheKey returns the result-cache identity of a run: a short hex digest
 // of the circuit name and the result-determining configuration fields
 // (seed, yield scaling, vector and backtrack budgets, defect statistics).
-// Two runs with equal keys produce bitwise-identical simulation results —
-// execution-only knobs (Workers, Obs, Deadline, StageBudgets) do not
-// participate. The serving layer coalesces concurrent identical
-// submissions on this key, and it makes a stable cache file name.
+// Two complete runs with equal keys produce bitwise-identical simulation
+// results — execution-only knobs (Workers, Obs, Deadline, StageBudgets)
+// do not participate. Deadline/StageBudgets can still truncate a run to
+// partial results, which is why RunCachedCtx never saves a
+// result-degraded run under this key (see Pipeline.ResultDegraded). The
+// key makes a stable cache file name; the serving layer derives its
+// coalescing key from it (adding the execution budgets back in, since
+// coalesced submitters share one live run).
 func CacheKey(circuit string, cfg Config) string {
 	dc := digestConfig(cfg)
 	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%g|%d|%d|%s",
@@ -127,7 +131,13 @@ func digestConfig(cfg Config) cacheConfig {
 // envelope written atomically (temp file + rename) so that a crash or a
 // concurrent reader never observes a truncated cache. Concurrent Saves
 // to the same path within one process are serialized (last writer wins).
+// Result-degraded runs are refused: their partial results would be served
+// to later cache hits as if complete (cache-load cannot tell the
+// difference — the key deliberately excludes execution budgets).
 func (p *Pipeline) Save(path string) error {
+	if p.ResultDegraded() {
+		return fmt.Errorf("experiments: refusing to cache a result-degraded run (%d degradations)", len(p.Degradations))
+	}
 	cf := cacheFile{
 		Circuit:         p.Netlist.Name,
 		Config:          digestConfig(p.Config),
@@ -249,7 +259,17 @@ func RunCachedCtx(ctx context.Context, nl *netlist.Netlist, cfg Config, path str
 	if corrupt != "" {
 		degradeCache("fell back to fresh run: " + corrupt)
 	}
-	if err := p.Save(path); err != nil {
+	if p.ResultDegraded() {
+		// A budget- or deadline-degraded run holds partial results (fewer
+		// ATPG patterns, undecided faults). Persisting it would let a later
+		// request with no budgets hit the cache and receive the partial data
+		// as if it were complete — so degraded runs are never saved; the next
+		// unconstrained run misses, runs in full, and populates the cache.
+		reg.Counter("pipeline_cache_save_skipped_degraded").Inc()
+		if p.Report != nil {
+			p.Report.Events = append(p.Report.Events, "cache: degraded run not saved (partial results)")
+		}
+	} else if err := p.Save(path); err != nil {
 		reg.Counter("pipeline_cache_save_failures").Inc()
 		degradeCache("cache write failed: " + err.Error())
 	}

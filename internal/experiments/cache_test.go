@@ -4,8 +4,11 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"defectsim/internal/faultinject"
 	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
 )
 
 func TestRunCachedRoundTrip(t *testing.T) {
@@ -54,6 +57,79 @@ func TestRunCachedRoundTrip(t *testing.T) {
 	f1, f2 := Figure5(p1), Figure5(p2)
 	if f1.Fitted != f2.Fitted {
 		t.Fatalf("fit differs: %+v vs %+v", f1.Fitted, f2.Fitted)
+	}
+}
+
+// TestRunCachedDegradedNotSaved pins the cache-poisoning guard: a run cut
+// short by a stage budget holds partial results and must never be written
+// to the result cache — the key excludes execution budgets, so a later
+// unconstrained request would hit the partial data and be served it as
+// complete. The degraded run is delivered but not persisted; the next
+// unconstrained run misses, completes in full, and populates the cache.
+func TestRunCachedDegradedNotSaved(t *testing.T) {
+	restore := faultinject.Set(faultinject.HookATPGFault, faultinject.Sleep(5*time.Millisecond))
+	defer restore()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.json")
+	cfg := smallConfig()
+	cfg.RandomVectors = 0
+	cfg.Obs = obs.New()
+	cfg.StageBudgets = map[string]time.Duration{"atpg": 20 * time.Millisecond}
+
+	p, hit, err := RunCached(netlist.C17(), cfg, path)
+	if err != nil {
+		t.Fatalf("budget exhaustion must degrade, not fail: %v", err)
+	}
+	if hit {
+		t.Fatal("first run cannot hit the cache")
+	}
+	if !p.ResultDegraded() {
+		t.Fatalf("run is not result-degraded (degradations: %+v)", p.Degradations)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("degraded run was written to the result cache")
+	}
+	if got := cfg.Obs.Metrics().Counter("pipeline_cache_save_skipped_degraded").Value(); got != 1 {
+		t.Fatalf("pipeline_cache_save_skipped_degraded = %d, want 1", got)
+	}
+	// Save itself refuses degraded pipelines (defense in depth for any
+	// future direct caller).
+	if err := p.Save(path); err == nil {
+		t.Fatal("Save accepted a result-degraded run")
+	}
+
+	// The same result-determining config without budgets: a miss (never a
+	// hit on partial data), a complete run, and a populated cache.
+	restore()
+	cfg2 := smallConfig()
+	cfg2.RandomVectors = 0
+	cfg2.Obs = obs.New()
+	p2, hit, err := RunCached(netlist.C17(), cfg2, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("unconstrained run hit a cache that must not have been written")
+	}
+	if p2.Degraded() {
+		t.Fatalf("unconstrained run degraded: %+v", p2.Degradations)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("complete run did not populate the cache")
+	}
+
+	// And the populated cache now serves complete, undegraded hits.
+	p3, hit, err := RunCached(netlist.C17(), cfg2, path)
+	if err != nil || !hit {
+		t.Fatalf("complete-run cache must hit (hit=%v err=%v)", hit, err)
+	}
+	if p3.Degraded() {
+		t.Fatalf("cache hit reports degradation: %+v", p3.Degradations)
+	}
+	if len(p3.TestSet.Patterns) != len(p2.TestSet.Patterns) {
+		t.Fatalf("cache hit has %d patterns, fresh complete run had %d",
+			len(p3.TestSet.Patterns), len(p2.TestSet.Patterns))
 	}
 }
 

@@ -237,6 +237,21 @@ func (p *Pipeline) setGoodTrace(tr *switchsim.GoodTrace) {
 // Degraded results are usable but cover less than the full workload.
 func (p *Pipeline) Degraded() bool { return len(p.Degradations) > 0 }
 
+// ResultDegraded reports whether the simulation results themselves are
+// partial — a stage budget or deadline cut a stage short (fewer ATPG
+// patterns, undecided faults). Degradations on the "cache" stage are
+// bookkeeping (fallback from a corrupt file, a failed cache write): the
+// run behind them is complete, so they do not count here. Only
+// result-complete runs may be persisted to the result cache.
+func (p *Pipeline) ResultDegraded() bool {
+	for _, d := range p.Degradations {
+		if d.Stage != "cache" {
+			return true
+		}
+	}
+	return false
+}
+
 // runner executes pipeline stages under the hardening policy: one span
 // per stage, per-stage budget contexts, and panic isolation.
 type runner struct {

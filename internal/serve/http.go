@@ -272,11 +272,11 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, ok := s.Cancel(id); !ok {
+	j, ok := s.Cancel(id)
+	if !ok {
 		writeError(w, http.StatusNotFound, apiError{Message: "unknown job " + id})
 		return
 	}
-	j, _ := s.Job(id)
 	writeJSON(w, http.StatusOK, s.status(j))
 }
 

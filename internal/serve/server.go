@@ -12,10 +12,13 @@
 //   - Admission control: a bounded queue between the HTTP handlers and the
 //     worker pool. A full queue sheds the submission with 429 and a
 //     Retry-After hint — the handler never blocks on the pool.
-//   - Deduplication: concurrent submissions with the same result-cache key
-//     (experiments.CacheKey: circuit + result-determining config) coalesce
-//     onto one job, sharing one pipeline run — and one good-machine trace —
-//     instead of N identical ones.
+//   - Deduplication: concurrent submissions with the same coalescing key
+//     (experiments.CacheKey — circuit + result-determining config — plus
+//     the execution budgets, Deadline and StageBudgets) coalesce onto one
+//     job, sharing one pipeline run — and one good-machine trace — instead
+//     of N identical ones. The budgets participate because coalesced
+//     submitters share the live run's fate: a request with different
+//     budgets must not inherit another request's degradation or deadline.
 //   - Per-request deadlines map onto experiments.Config.Deadline and
 //     StageBudgets, so a slow stage degrades the job (or fails it with a
 //     typed error) instead of hanging a connection.
@@ -36,6 +39,8 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,7 +134,8 @@ const (
 // job is one asynchronous pipeline run.
 type job struct {
 	id      string
-	key     string // coalescing / cache key
+	key     string // result-cache key (experiments.CacheKey)
+	ckey    string // coalescing key: cache key + execution budgets
 	circuit string
 	cfg     experiments.Config
 	nl      *netlist.Netlist
@@ -238,17 +244,43 @@ var (
 	ErrDraining = errors.New("serve: draining, not admitting new jobs")
 )
 
+// coalesceKey derives the deduplication identity of a submission from its
+// result-cache key plus the execution budgets. Two submissions coalesce
+// only when they would run the *same* live job: identical results
+// (CacheKey) under identical Deadline/StageBudgets. Budgets are excluded
+// from the cache key (a complete cached result satisfies any budget) but
+// must participate here — a coalesced submitter shares the live run's
+// degradation and failure, so a request with a looser deadline must not
+// ride a tighter-deadline run, nor vice versa.
+func coalesceKey(cacheKey string, cfg experiments.Config) string {
+	if cfg.Deadline == 0 && len(cfg.StageBudgets) == 0 {
+		return cacheKey
+	}
+	stages := make([]string, 0, len(cfg.StageBudgets))
+	for name := range cfg.StageBudgets {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|dl=%d", cacheKey, cfg.Deadline)
+	for _, name := range stages {
+		fmt.Fprintf(&b, "|%s=%d", name, cfg.StageBudgets[name])
+	}
+	return b.String()
+}
+
 // submit admits a decoded request: it either coalesces onto an identical
 // live job, enqueues a new one, or fails with ErrShed / ErrDraining.
 // It never blocks on the worker pool.
 func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Config) (j *job, coalesced bool, err error) {
 	key := experiments.CacheKey(circuit, cfg)
+	ckey := coalesceKey(key, cfg)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, false, ErrDraining
 	}
-	if live := s.inflight[key]; live != nil {
+	if live := s.inflight[ckey]; live != nil {
 		live.mu.Lock()
 		live.coalesced++
 		live.mu.Unlock()
@@ -260,6 +292,7 @@ func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Con
 	j = &job{
 		id:        fmt.Sprintf("job-%d", s.nextID.Add(1)),
 		key:       key,
+		ckey:      ckey,
 		circuit:   circuit,
 		cfg:       cfg,
 		nl:        nl,
@@ -279,7 +312,7 @@ func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Con
 	s.mQueueDepth.Set(float64(s.queued))
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	s.inflight[key] = j
+	s.inflight[ckey] = j
 	s.mSubmitted.Inc()
 	s.pruneLocked()
 	return j, false, nil
@@ -322,13 +355,17 @@ func (s *Server) Job(id string) (*job, bool) {
 // Cancel cancels a job: queued jobs are marked cancelled immediately (the
 // worker skips them), running jobs get their context cancelled and settle
 // through the pipeline's cancellation path. Finished jobs are unchanged.
-// The second return is false when the ID is unknown.
-func (s *Server) Cancel(id string) (state string, ok bool) {
+// Either way the job leaves the inflight map at once, so an identical
+// submission arriving after the cancel starts a fresh run instead of
+// coalescing onto a job that is already dying. The returned job (nil when
+// the ID is unknown) lets callers snapshot the post-cancel state without
+// a second lookup racing against retention pruning.
+func (s *Server) Cancel(id string) (*job, bool) {
 	s.mu.Lock()
 	j := s.jobs[id]
 	if j == nil {
 		s.mu.Unlock()
-		return "", false
+		return nil, false
 	}
 	j.mu.Lock()
 	switch j.state {
@@ -337,17 +374,16 @@ func (s *Server) Cancel(id string) (state string, ok bool) {
 		j.err = context.Canceled
 		j.finished = time.Now()
 		s.mCancelled.Inc()
-		if s.inflight[j.key] == j {
-			delete(s.inflight, j.key)
-		}
 	case StateRunning:
 		// settle via the run's cancellation path; state flips in runJob.
 	}
-	state = j.state
+	if s.inflight[j.ckey] == j {
+		delete(s.inflight, j.ckey)
+	}
 	j.mu.Unlock()
 	s.mu.Unlock()
 	j.cancel()
-	return state, true
+	return j, true
 }
 
 // worker pulls jobs off the admission queue until the server stops.
@@ -393,8 +429,8 @@ func (s *Server) runJob(j *job) {
 		s.mu.Lock()
 		s.running--
 		s.mInflight.Set(float64(s.running))
-		if s.inflight[j.key] == j {
-			delete(s.inflight, j.key)
+		if s.inflight[j.ckey] == j {
+			delete(s.inflight, j.ckey)
 		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -490,8 +526,8 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 				j.err = context.Canceled
 				j.finished = time.Now()
 				s.mCancelled.Inc()
-				if s.inflight[j.key] == j {
-					delete(s.inflight, j.key)
+				if s.inflight[j.ckey] == j {
+					delete(s.inflight, j.ckey)
 				}
 				rep.Cancelled = append(rep.Cancelled, j.id)
 			case StateRunning:

@@ -419,6 +419,78 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+// TestCancelRunningReleasesKey pins the cancel/coalesce interaction: the
+// moment a running job is cancelled it leaves the inflight map, so an
+// identical submission starts a fresh run instead of coalescing onto the
+// dying job and receiving a cancelled outcome no run ever earned.
+func TestCancelRunningReleasesKey(t *testing.T) {
+	hook, release := blockHook()
+	restore := faultinject.Set(faultinject.HookSwitchSimVector, hook)
+	defer restore()
+
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+
+	body := `{"circuit":"c17","random_vectors":48,"seed":401}`
+	first := submitJob(t, ts, body)
+	waitState(t, ts, first.ID, StateRunning)
+
+	if code, _, data := post(t, ts.URL+"/v1/pipeline/"+first.ID+"/cancel", ""); code != http.StatusOK {
+		t.Fatalf("cancel running = %d: %s", code, data)
+	}
+	// submitJob requires 202 — a 200 coalesce onto the dying job fails here.
+	second := submitJob(t, ts, body)
+	if second.ID == first.ID {
+		t.Fatal("new submission coalesced onto a cancelled job")
+	}
+
+	release()
+	if code, data := waitResult(t, ts, second.ID); code != http.StatusOK {
+		t.Fatalf("fresh run after cancel = %d: %s", code, data)
+	}
+	waitState(t, ts, first.ID, StateCancelled)
+}
+
+// TestBudgetsDoNotCoalesce pins the coalescing key: submissions that
+// differ only in execution budgets (deadline_ms, stage_budgets_ms) are
+// separate jobs — a coalesced submitter shares the live run's fate, so a
+// request must never inherit a different budget's degradation or
+// deadline. Identical budgets still coalesce.
+func TestBudgetsDoNotCoalesce(t *testing.T) {
+	hook, release := blockHook()
+	restore := faultinject.Set(faultinject.HookSwitchSimVector, hook)
+	defer restore()
+
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	first := submitJob(t, ts, `{"circuit":"c17","random_vectors":48,"seed":501}`)
+	waitState(t, ts, first.ID, StateRunning)
+
+	deadlined := submitJob(t, ts, `{"circuit":"c17","random_vectors":48,"seed":501,"deadline_ms":60000}`)
+	if deadlined.ID == first.ID {
+		t.Fatal("deadline-bounded submission coalesced onto the unbounded run")
+	}
+	budgeted := submitJob(t, ts, `{"circuit":"c17","random_vectors":48,"seed":501,"stage_budgets_ms":{"atpg":60000}}`)
+	if budgeted.ID == first.ID || budgeted.ID == deadlined.ID {
+		t.Fatal("stage-budgeted submission coalesced across budget boundaries")
+	}
+
+	// Identical budgets do coalesce.
+	code, _, data := post(t, ts.URL+"/v1/pipeline", `{"circuit":"c17","random_vectors":48,"seed":501,"deadline_ms":60000}`)
+	if code != http.StatusOK {
+		t.Fatalf("identical-budget resubmit = %d, want 200 coalesce: %s", code, data)
+	}
+	if sr := decode[submitResponse](t, data); !sr.CoalescedOnto || sr.ID != deadlined.ID {
+		t.Fatalf("identical-budget resubmit joined %s (coalesced=%v), want %s", sr.ID, sr.CoalescedOnto, deadlined.ID)
+	}
+
+	release()
+	for _, id := range []string{first.ID, deadlined.ID, budgeted.ID} {
+		if code, data := waitResult(t, ts, id); code != http.StatusOK {
+			t.Fatalf("job %s result = %d: %s", id, code, data)
+		}
+	}
+}
+
 // TestGracefulDrain pins the shutdown state machine: draining flips
 // readiness off and sheds submissions with 503, jobs that outlive the
 // budget are cancelled (not abandoned), and the drain report says so.
