@@ -10,10 +10,11 @@
 //	POST /v1/pipeline              submit an async pipeline job (202; 429 when shed)
 //	GET  /v1/pipeline/{id}         job status
 //	GET  /v1/pipeline/{id}/result  job result (202 while pending)
+//	GET  /v1/pipeline/{id}/events  live job events (SSE; ?poll=1 for long-poll)
 //	POST /v1/pipeline/{id}/cancel  cancel a job
-//	GET  /healthz                  liveness
+//	GET  /healthz                  liveness + build info
 //	GET  /readyz                   readiness (503 while draining)
-//	GET  /metrics                  server metrics (obs report JSON)
+//	GET  /metrics                  Prometheus text exposition (?format=json for the obs report)
 //
 // Pipeline jobs run on a bounded worker pool behind a bounded admission
 // queue: a full queue sheds with 429 + Retry-After, and identical
@@ -22,6 +23,12 @@
 // submissions get 503, in-flight jobs get -drain-budget to finish and
 // are then cancelled; a second signal forces immediate exit
 // (internal/sigctx, shared with dlproj).
+//
+// Every request carries a correlation ID (inbound X-Request-ID when
+// well-formed, generated otherwise), echoed on the response and written
+// on every access-log line; -log-level selects the JSON log threshold.
+// -pprof exposes net/http/pprof on a second, loopback-only listener —
+// profiling endpoints never ride the service port.
 //
 // Exit codes:
 //
@@ -36,8 +43,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -47,6 +56,57 @@ import (
 
 func main() {
 	os.Exit(run())
+}
+
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("invalid -log-level %q (debug, info, warn or error)", s)
+}
+
+// pprofListener opens the profiling listener after enforcing that addr
+// is loopback: pprof exposes heap contents and symbol tables, so it must
+// never bind a routable interface, regardless of what the flag says.
+func pprofListener(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof: %v", err)
+	}
+	if host != "localhost" {
+		ip := net.ParseIP(host)
+		if ip == nil || !ip.IsLoopback() {
+			return nil, fmt.Errorf("-pprof address %q is not loopback; refusing to expose profiling endpoints", addr)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof: %v", err)
+	}
+	return ln, nil
+}
+
+// servePprof serves the net/http/pprof handlers on their own mux — the
+// service handler never sees /debug/pprof, and the default ServeMux
+// stays untouched.
+func servePprof(ln net.Listener, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// No timeouts: CPU profiles intentionally run for tens of seconds.
+	if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+		logger.Error("pprof listener failed", "err", err)
+	}
 }
 
 func run() int {
@@ -64,6 +124,8 @@ func run() int {
 		maxJobs      = flag.Int("max-jobs", 1024, "finished-job records retained for status/result queries")
 		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
+		logLevel     = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -71,11 +133,27 @@ func run() int {
 		flag.Usage()
 		return 2
 	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dlprojd:", err)
+		return 2
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	if *cacheDir != "" {
 		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "dlprojd:", err)
 			return 1
 		}
+	}
+	if *pprofAddr != "" {
+		ln, err := pprofListener(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlprojd:", err)
+			return 2
+		}
+		defer ln.Close()
+		go servePprof(ln, logger)
+		fmt.Fprintf(os.Stderr, "dlprojd: pprof on http://%s/debug/pprof/ (loopback only)\n", ln.Addr())
 	}
 
 	srv := serve.New(serve.Config{
@@ -89,6 +167,7 @@ func run() int {
 		RetryAfter:      *retryAfter,
 		CacheDir:        *cacheDir,
 		MaxJobs:         *maxJobs,
+		Logger:          logger,
 	})
 
 	hs := &http.Server{

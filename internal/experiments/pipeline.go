@@ -260,7 +260,15 @@ type runner struct {
 	tr  *obs.Tracer
 	reg *obs.Registry
 	p   *Pipeline
+	// stageSec is the pipeline_stage_seconds{stage} histogram, resolved
+	// once per run; stage() observes every stage's wall time into it.
+	stageSec *obs.HistogramVec
 }
+
+// StageSecondsBuckets are the pipeline_stage_seconds bucket bounds:
+// 1ms … ~4.4min in powers of 4, wide enough for both the unit-test
+// circuits and a full hard-benchmark run.
+var StageSecondsBuckets = obs.ExpBuckets(0.001, 4, 10)
 
 // stage runs fn under the stage's span and budget context and converts
 // failures — errors and panics alike — into a *PipelineError naming the
@@ -273,6 +281,10 @@ func (r *runner) stage(name string, fn func(ctx context.Context) error) (err err
 		ctx, cancel = context.WithTimeout(ctx, b)
 		defer cancel()
 	}
+	start := time.Now()
+	defer func() {
+		r.stageSec.With(name).Observe(time.Since(start).Seconds())
+	}()
 	sp := r.tr.StartSpan(name)
 	defer sp.End()
 	defer func() {
@@ -330,7 +342,10 @@ func RunCtx(ctx context.Context, nl *netlist.Netlist, cfg Config) (*Pipeline, er
 	p := &Pipeline{Config: cfg, Netlist: nl}
 	tr := cfg.Obs
 	reg := tr.Metrics()
-	r := &runner{ctx: ctx, cfg: cfg, tr: tr, reg: reg, p: p}
+	r := &runner{
+		ctx: ctx, cfg: cfg, tr: tr, reg: reg, p: p,
+		stageSec: reg.HistogramVec("pipeline_stage_seconds", StageSecondsBuckets, "stage"),
+	}
 	run := tr.StartSpan("pipeline")
 	defer func() {
 		run.End()

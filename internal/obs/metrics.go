@@ -16,21 +16,31 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// Labeled families (see labels.go). A family name must stay unique
+	// across plain and labeled instruments of the same kind.
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		hists:       map[string]*Histogram{},
+		counterVecs: map[string]*CounterVec{},
+		gaugeVecs:   map[string]*GaugeVec{},
+		histVecs:    map[string]*HistogramVec{},
 	}
 }
 
 // Counter is a monotonically increasing atomic count.
 type Counter struct {
-	name string
-	v    atomic.Int64
+	name   string
+	labels []string // label values when the counter is a vec child, else nil
+	v      atomic.Int64
 }
 
 // Counter returns (creating if needed) the named counter.
@@ -69,8 +79,9 @@ func (c *Counter) Value() int64 {
 
 // Gauge is an atomic last-value float (e.g. a yield, a coverage ceiling).
 type Gauge struct {
-	name string
-	bits atomic.Uint64
+	name   string
+	labels []string // label values when the gauge is a vec child, else nil
+	bits   atomic.Uint64
 }
 
 // Gauge returns (creating if needed) the named gauge.
@@ -109,6 +120,7 @@ func (g *Gauge) Value() float64 {
 // overflow bucket holds v > bounds[len-1]. Observation is lock-free.
 type Histogram struct {
 	name   string
+	labels []string // label values when the histogram is a vec child, else nil
 	bounds []float64
 	counts []atomic.Int64 // len(bounds)+1, last = overflow
 	count  atomic.Int64

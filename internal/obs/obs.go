@@ -22,8 +22,29 @@ type Tracer struct {
 	mu      sync.Mutex
 	reg     *Registry
 	started time.Time
-	spans   []*Span // top-level spans in start order
-	cur     *Span   // innermost un-ended span, or nil
+	spans   []*Span  // top-level spans in start order
+	cur     *Span    // innermost un-ended span, or nil
+	hook    SpanHook // optional live span observer, called outside the lock
+}
+
+// SpanHook observes span lifecycle transitions live: it is called with
+// the span name on every explicit StartSpan (start=true) and on the first
+// effective End (start=false). Spans ended implicitly by an out-of-order
+// parent End do not fire the hook. Hooks run synchronously on the
+// instrumented goroutine, outside the tracer lock — keep them cheap and
+// never call back into the tracer.
+type SpanHook func(name string, start bool)
+
+// SetSpanHook installs (or with nil removes) the tracer's span hook. The
+// serving layer uses this to stream a job's stage transitions to event
+// subscribers. No-op on a nil tracer.
+func (t *Tracer) SetSpanHook(h SpanHook) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.hook = h
+	t.mu.Unlock()
 }
 
 // New returns a recording tracer with a fresh metrics registry.
@@ -73,7 +94,11 @@ func (t *Tracer) StartSpan(name string) *Span {
 		t.cur.Children = append(t.cur.Children, s)
 	}
 	t.cur = s
+	hook := t.hook
 	t.mu.Unlock()
+	if hook != nil {
+		hook(name, true)
+	}
 	// Read memstats outside the lock, start the clock last so the span
 	// does not charge itself for the (stop-the-world) memstats read.
 	s.alloc0 = totalAlloc()
@@ -92,8 +117,8 @@ func (s *Span) End() {
 	alloc := totalAlloc()
 	t := s.tracer
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if s.ended {
+		t.mu.Unlock()
 		return
 	}
 	// Implicitly end open descendants (leaked spans) first.
@@ -111,12 +136,17 @@ func (s *Span) End() {
 	for c := t.cur; ; c = c.parent {
 		if c == nil {
 			t.cur = nil
-			return
+			break
 		}
 		if !c.ended {
 			t.cur = c
-			return
+			break
 		}
+	}
+	hook := t.hook
+	t.mu.Unlock()
+	if hook != nil {
+		hook(s.Name, false)
 	}
 }
 

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func expose(t *testing.T, reg *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+// TestPromGoldenBasic pins the full output shape: counters, gauges, a
+// plain histogram and a labeled one, deterministic family and series
+// ordering, cumulative buckets with +Inf.
+func TestPromGoldenBasic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve_jobs_done").Add(12)
+	reg.Gauge("pipeline_yield").Set(0.75)
+	reg.Gauge("serve_queue_depth").Set(3)
+	h := reg.Histogram("atpg_backtracks_per_fault", []float64{1, 4, 16})
+	h.Observe(0.5)
+	h.Observe(2)
+	h.Observe(100)
+	rv := reg.CounterVec("serve_requests_total", "route", "code")
+	rv.With("/v1/dl", "200").Add(4)
+	rv.With("/v1/dl", "400").Add(1)
+	rv.With("/v1/pipeline", "202").Add(2)
+	sv := reg.HistogramVec("pipeline_stage_seconds", []float64{0.001, 0.01}, "stage")
+	sv.With("atpg").Observe(0.005)
+	sv.With("layout").Observe(0.0005)
+	golden(t, "prom_basic", expose(t, reg))
+}
+
+// TestPromGoldenEscaping pins label-value escaping (backslash, quote,
+// newline) and metric/label name sanitization of invalid runes.
+func TestPromGoldenEscaping(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("weird metric-name.total", "label name", "other")
+	v.With(`back\slash`, "plain").Inc()
+	v.With("quote\"quote", "line\nbreak").Add(2)
+	reg.Gauge("9starts_with_digit").Set(1)
+	reg.Counter("ok_name:with_colon").Add(5)
+	golden(t, "prom_escaping", expose(t, reg))
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":        "ok_name",
+		"ok:colon":       "ok:colon",
+		"has space":      "has_space",
+		"dash-and.dot":   "dash_and_dot",
+		"7digit":         "_7digit",
+		"":               "_",
+		"ünïcode":        "_n_code",
+		"tab\tand\nnl":   "tab_and_nl",
+		"digits2_inside": "digits2_inside",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := sanitizeLabelName("no:colons"); got != "no_colons" {
+		t.Errorf("sanitizeLabelName kept a colon: %q", got)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":        "plain",
+		`a\b`:          `a\\b`,
+		`say "hi"`:     `say \"hi\"`,
+		"two\nlines":   `two\nlines`,
+		`mix\"` + "\n": `mix\\\"\n`,
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// mustValidate runs the exported line-level exposition validator and
+// fails the test on any structural error.
+func mustValidate(t *testing.T, text string) int {
+	t.Helper()
+	n, err := ValidateExposition(text)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	return n
+}
+
+// TestExpositionValidates runs the structural validator over a registry
+// with every instrument kind, including awkward label values.
+func TestExpositionValidates(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total").Add(5)
+	reg.Gauge("g").Set(-2.5)
+	reg.Histogram("h", []float64{1, 2}).Observe(1.5)
+	v := reg.CounterVec("lv_total", "k")
+	v.With(`tricky"value`).Inc()
+	v.With("with,comma").Inc()
+	hv := reg.HistogramVec("hv_seconds", []float64{0.1, 1}, "stage")
+	hv.With("a").Observe(0.5)
+	hv.With("b").Observe(5)
+	n := mustValidate(t, expose(t, reg))
+	if n == 0 {
+		t.Fatal("validator saw no samples")
+	}
+}
+
+// TestPromDeterministic: two scrapes of an unchanged registry are
+// byte-identical, and series order ignores map iteration order.
+func TestPromDeterministic(t *testing.T) {
+	build := func(order []int) string {
+		reg := NewRegistry()
+		v := reg.CounterVec("x_total", "i")
+		for _, i := range order {
+			v.With(fmt.Sprintf("%03d", i)).Add(int64(i))
+		}
+		reg.Gauge("b").Set(1)
+		reg.Gauge("a").Set(2)
+		return expose(t, reg)
+	}
+	a := build([]int{1, 2, 3, 4, 5})
+	b := build([]int{5, 3, 1, 4, 2})
+	if a != b {
+		t.Fatalf("exposition depends on creation order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestPromConcurrentScrapeHammer races labeled-metric creation and
+// observation against scrapes; the race detector is the assertion, plus
+// every intermediate scrape must stay structurally valid.
+func TestPromConcurrentScrapeHammer(t *testing.T) {
+	reg := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := reg.CounterVec("hammer_total", "worker", "shard")
+			hv := reg.HistogramVec("hammer_seconds", []float64{0.001, 0.01, 0.1}, "worker")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v.With(fmt.Sprintf("w%d", w), fmt.Sprintf("s%d", i%7)).Inc()
+				hv.With(fmt.Sprintf("w%d", w)).Observe(float64(i%100) / 1000)
+				reg.Gauge(fmt.Sprintf("hammer_gauge_%d", i%5)).Set(float64(i))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		mustValidate(t, expose(t, reg))
+	}
+	close(stop)
+	wg.Wait()
+	mustValidate(t, expose(t, reg))
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := HistogramSnap{
+		Bounds: []float64{10, 20, 30},
+		Counts: []int64{10, 10, 0, 0}, // 10 in (0,10], 10 in (10,20]
+		Count:  20,
+	}
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("p50 = %g, want 10 (bucket edge)", got)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("p75 = %g, want 15 (midway through second bucket)", got)
+	}
+	if got := h.Quantile(0.25); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("p25 = %g, want 5", got)
+	}
+
+	// Overflow bucket: clamp to the largest finite bound.
+	over := HistogramSnap{Bounds: []float64{1}, Counts: []int64{0, 4}, Count: 4}
+	if got := over.Quantile(0.9); got != 1 {
+		t.Fatalf("overflow quantile = %g, want 1", got)
+	}
+
+	// Empty and invalid q → NaN.
+	empty := HistogramSnap{Bounds: []float64{1}, Counts: []int64{0, 0}}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	if !math.IsNaN(h.Quantile(0)) || !math.IsNaN(h.Quantile(1.5)) {
+		t.Fatal("out-of-range q must be NaN")
+	}
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Line-level structural validator for the text exposition format —
+// dependency-free on purpose so tests (obs golden tests, the serve CI
+// scrape smoke) can assert "this parses as Prometheus exposition"
+// without a client library.
+
+// sampleRe matches one exposition sample line. The label block is
+// matched pair by pair — values are quoted strings with backslash
+// escapes, and may themselves contain '}' or ','.
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\})? (-?[0-9].*|[+-]Inf|NaN)$`)
+
+// ValidateExposition structurally checks text as Prometheus exposition
+// format: every line is a TYPE/HELP comment or a well-formed sample,
+// every sample belongs to a declared family, histogram bucket series are
+// cumulative with ascending le bounds and a +Inf bucket equal to _count.
+// Returns the number of sample lines checked.
+func ValidateExposition(text string) (int, error) {
+	types := map[string]string{}
+	samples := 0
+	type histState struct {
+		lastLE  float64
+		lastCum int64
+		infCum  int64
+		hasInf  bool
+		count   int64
+		hasCnt  bool
+	}
+	hists := map[string]*histState{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		l := sc.Text()
+		if l == "" {
+			continue
+		}
+		if strings.HasPrefix(l, "# TYPE ") {
+			fields := strings.Fields(l)
+			if len(fields) != 4 {
+				return samples, fmt.Errorf("line %d: malformed TYPE comment: %q", line, l)
+			}
+			name, kind := fields[2], fields[3]
+			if kind != "counter" && kind != "gauge" && kind != "histogram" &&
+				kind != "summary" && kind != "untyped" {
+				return samples, fmt.Errorf("line %d: unknown metric type %q", line, kind)
+			}
+			if _, dup := types[name]; dup {
+				return samples, fmt.Errorf("line %d: duplicate TYPE for %q", line, name)
+			}
+			types[name] = kind
+			continue
+		}
+		if strings.HasPrefix(l, "#") {
+			continue // HELP and other comments are legal
+		}
+		m := sampleRe.FindStringSubmatch(l)
+		if m == nil {
+			return samples, fmt.Errorf("line %d: not a valid sample line: %q", line, l)
+		}
+		samples++
+		name, labels, valueStr := m[1], m[2], m[3]
+		base, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, s)
+			if trimmed != name {
+				if k, ok := types[trimmed]; ok && k == "histogram" {
+					base, suffix = trimmed, s
+				}
+				break
+			}
+		}
+		kind, ok := types[base]
+		if !ok {
+			return samples, fmt.Errorf("line %d: sample %q has no TYPE declaration", line, name)
+		}
+		if kind == "histogram" && suffix == "" {
+			return samples, fmt.Errorf("line %d: bare sample %q for histogram family", line, name)
+		}
+		value, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: bad sample value %q: %v", line, valueStr, err)
+		}
+		if kind == "counter" && (value < 0 || math.IsNaN(value)) {
+			return samples, fmt.Errorf("line %d: counter %q has invalid value %v", line, name, value)
+		}
+		if suffix != "" {
+			rest, le := stripLE(labels)
+			key := base + "|" + rest
+			st := hists[key]
+			if st == nil {
+				st = &histState{lastLE: math.Inf(-1)}
+				hists[key] = st
+			}
+			switch suffix {
+			case "_bucket":
+				cum := int64(value)
+				if le == "+Inf" {
+					st.hasInf = true
+					st.infCum = cum
+					if cum < st.lastCum {
+						return samples, fmt.Errorf("line %d: +Inf bucket %d below prior cumulative %d", line, cum, st.lastCum)
+					}
+					break
+				}
+				leV, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return samples, fmt.Errorf("line %d: bad le %q: %v", line, le, err)
+				}
+				if leV <= st.lastLE {
+					return samples, fmt.Errorf("line %d: le %g not ascending (prev %g)", line, leV, st.lastLE)
+				}
+				if cum < st.lastCum {
+					return samples, fmt.Errorf("line %d: bucket counts not cumulative (%d after %d)", line, cum, st.lastCum)
+				}
+				st.lastLE, st.lastCum = leV, cum
+			case "_count":
+				st.hasCnt = true
+				st.count = int64(value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	for key, st := range hists {
+		if !st.hasInf {
+			return samples, fmt.Errorf("histogram series %q has no +Inf bucket", key)
+		}
+		if !st.hasCnt {
+			return samples, fmt.Errorf("histogram series %q has no _count", key)
+		}
+		if st.infCum != st.count {
+			return samples, fmt.Errorf("histogram series %q: +Inf bucket %d != _count %d", key, st.infCum, st.count)
+		}
+	}
+	return samples, nil
+}
+
+// stripLE removes the le pair from a rendered label block (braces
+// included), returning the remaining pairs and the le value.
+func stripLE(labels string) (rest, le string) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	if inner == "" {
+		return "", ""
+	}
+	var kept []string
+	for _, p := range splitLabelPairs(inner) {
+		if strings.HasPrefix(p, `le="`) {
+			le = strings.TrimSuffix(strings.TrimPrefix(p, `le="`), `"`)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return strings.Join(kept, ","), le
+}
+
+// splitLabelPairs splits `a="x",b="y"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+			cur.WriteRune(r)
+		case r == '\\' && inQuote:
+			escaped = true
+			cur.WriteRune(r)
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Live job event streams. Every job keeps an append-only in-memory log
+// of lifecycle events (queued → running → per-stage start/end →
+// degradations → one terminal event); GET /v1/pipeline/{id}/events
+// serves it as Server-Sent Events by default, or as JSON long-polling
+// with ?poll=1 for clients without an SSE reader. Both forms resume from
+// a sequence number (Last-Event-ID / ?since), so a dropped connection
+// replays nothing and misses nothing.
+
+// JobEvent is one lifecycle event of a job.
+type JobEvent struct {
+	// Seq numbers events from 1 per job; the SSE id field and the since
+	// query parameter speak this sequence.
+	Seq  int64  `json:"seq"`
+	Time string `json:"time"` // RFC3339Nano, UTC
+	Type string `json:"type"`
+	// Stage names the pipeline stage on stage_start/stage_end/degraded.
+	Stage string `json:"stage,omitempty"`
+	// Detail carries the human-readable specifics: the degradation
+	// reason, the failure message, a cache-hit marker.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Event types, in lifecycle order. done, failed and cancelled are
+// terminal: exactly one of them ends every stream.
+const (
+	EventQueued     = "queued"
+	EventCoalesced  = "coalesced"
+	EventRunning    = "running"
+	EventStageStart = "stage_start"
+	EventStageEnd   = "stage_end"
+	EventDegraded   = "degraded"
+	EventDone       = "done"
+	EventFailed     = "failed"
+	EventCancelled  = "cancelled"
+)
+
+func terminalEvent(typ string) bool {
+	return typ == EventDone || typ == EventFailed || typ == EventCancelled
+}
+
+// eventLog is one job's event history: append-only, broadcast on write,
+// sealed by the first terminal event.
+type eventLog struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	events   []JobEvent
+	terminal bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// emit appends one event and wakes every waiting stream. Events after
+// the terminal one are dropped — the job is over, late span or
+// degradation callbacks must not reopen the stream.
+func (l *eventLog) emit(typ, stage, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.terminal {
+		l.mu.Unlock()
+		return
+	}
+	l.events = append(l.events, JobEvent{
+		Seq:    int64(len(l.events)) + 1,
+		Time:   time.Now().UTC().Format(time.RFC3339Nano),
+		Type:   typ,
+		Stage:  stage,
+		Detail: detail,
+	})
+	if terminalEvent(typ) {
+		l.terminal = true
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// wait blocks until the log holds events past since, the log is
+// terminal, timeout expires, or ctx is cancelled — whichever first. It
+// returns a copy of the events after since and whether the log was
+// terminal at that point (with every event up to the terminal one
+// included in the returned slice).
+func (l *eventLog) wait(ctx context.Context, since int64, timeout time.Duration) ([]JobEvent, bool) {
+	deadline := time.Now().Add(timeout)
+	wake := time.AfterFunc(timeout, func() { l.cond.Broadcast() })
+	defer wake.Stop()
+	stopPoll := context.AfterFunc(ctx, func() { l.cond.Broadcast() })
+	defer stopPoll()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for int64(len(l.events)) <= since && !l.terminal {
+		if ctx.Err() != nil || !time.Now().Before(deadline) {
+			break
+		}
+		l.cond.Wait()
+	}
+	var out []JobEvent
+	if since < int64(len(l.events)) {
+		out = append(out, l.events[since:]...)
+	}
+	return out, l.terminal
+}
+
+// pollEventsResponse is the long-poll JSON shape: the new events plus
+// whether the job has reached a terminal state (no further events will
+// ever arrive; stop polling).
+type pollEventsResponse struct {
+	Events   []JobEvent `json:"events"`
+	Terminal bool       `json:"terminal"`
+}
+
+// ssePingInterval is how often an idle SSE stream sends a comment line
+// so intermediaries do not reap the connection.
+const ssePingInterval = 15 * time.Second
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, apiError{Message: "unknown job " + r.PathValue("id")})
+		return
+	}
+	q := r.URL.Query()
+	since, _ := strconv.ParseInt(q.Get("since"), 10, 64)
+	if since < 0 {
+		since = 0
+	}
+
+	if q.Get("poll") == "1" {
+		waitFor := 30 * time.Second
+		if ms, err := strconv.Atoi(q.Get("wait_ms")); err == nil {
+			if ms < 0 {
+				ms = 0
+			}
+			if ms > 60000 {
+				ms = 60000
+			}
+			waitFor = time.Duration(ms) * time.Millisecond
+		}
+		evs, terminal := j.events.wait(r.Context(), since, waitFor)
+		writeJSON(w, http.StatusOK, pollEventsResponse{Events: evs, Terminal: terminal})
+		return
+	}
+
+	// SSE. A reconnecting EventSource resumes via Last-Event-ID.
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		if v, err := strconv.ParseInt(lei, 10, 64); err == nil && v > since {
+			since = v
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // disable proxy buffering
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	// The stream outlives the server's WriteTimeout by design; clear the
+	// per-connection deadline (best effort — ignored where unsupported).
+	_ = rc.SetWriteDeadline(time.Time{})
+	_ = rc.Flush()
+
+	for {
+		evs, terminal := j.events.wait(r.Context(), since, ssePingInterval)
+		if r.Context().Err() != nil {
+			return
+		}
+		if len(evs) == 0 && !terminal {
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			_ = rc.Flush()
+			continue
+		}
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+			since = ev.Seq
+		}
+		if err := rc.Flush(); err != nil {
+			return
+		}
+		if terminal {
+			return
+		}
+	}
+}

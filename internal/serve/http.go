@@ -55,20 +55,24 @@ func pipelineAPIError(err error) apiError {
 // Handler returns the server's HTTP handler: the full route set wrapped
 // in per-request panic recovery (a panicking handler yields a structured
 // 500 JSON error and a serve_handler_panics count, never a torn
-// connection or a dead worker).
+// connection or a dead worker), itself wrapped in the correlation
+// middleware (request IDs, access log, per-route metrics). Each handler
+// is registered through s.route so the matched pattern — not the raw,
+// unbounded URL path — becomes the route label.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/dl", s.handleDL)
-	mux.HandleFunc("POST /v1/fit", s.handleFit)
-	mux.HandleFunc("POST /v1/coverage", s.handleCoverage)
-	mux.HandleFunc("POST /v1/pipeline", s.handleSubmit)
-	mux.HandleFunc("GET /v1/pipeline/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/pipeline/{id}/result", s.handleResult)
-	mux.HandleFunc("POST /v1/pipeline/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.recoverPanics(mux)
+	mux.HandleFunc("POST /v1/dl", s.route("/v1/dl", s.handleDL))
+	mux.HandleFunc("POST /v1/fit", s.route("/v1/fit", s.handleFit))
+	mux.HandleFunc("POST /v1/coverage", s.route("/v1/coverage", s.handleCoverage))
+	mux.HandleFunc("POST /v1/pipeline", s.route("/v1/pipeline", s.handleSubmit))
+	mux.HandleFunc("GET /v1/pipeline/{id}", s.route("/v1/pipeline/{id}", s.handleStatus))
+	mux.HandleFunc("GET /v1/pipeline/{id}/result", s.route("/v1/pipeline/{id}/result", s.handleResult))
+	mux.HandleFunc("GET /v1/pipeline/{id}/events", s.route("/v1/pipeline/{id}/events", s.handleEvents))
+	mux.HandleFunc("POST /v1/pipeline/{id}/cancel", s.route("/v1/pipeline/{id}/cancel", s.handleCancel))
+	mux.HandleFunc("GET /healthz", s.route("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.route("/readyz", s.handleReadyz))
+	mux.HandleFunc("GET /metrics", s.route("/metrics", s.handleMetrics))
+	return s.instrument(s.recoverPanics(mux))
 }
 
 func (s *Server) recoverPanics(next http.Handler) http.Handler {
@@ -161,7 +165,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
 		return
 	}
-	j, coalesced, err := s.submit(nl.Name, nl, cfg)
+	j, coalesced, err := s.submit(nl.Name, nl, cfg, RequestIDFrom(r.Context()))
 	switch {
 	case errors.Is(err, ErrShed):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
@@ -281,7 +285,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, struct {
+		Status string    `json:"status"`
+		Build  BuildInfo `json:"build"`
+	}{Status: "ok", Build: s.build})
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -292,11 +299,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// handleMetrics serves the server-level obs report: every serve_* gauge
-// and counter (queue depth, in-flight, shed, coalesced, …) plus whatever
-// else was recorded on the server registry, in the same machine-readable
-// shape as the per-job run reports.
+// handleMetrics serves the server-level registry — every serve_*
+// instrument (queue depth, in-flight, shed, coalesced, request
+// counters, …) plus the fleet-level pipeline stage histogram — in the
+// Prometheus text exposition format. ?format=json keeps the previous
+// behavior: the full obs report (span tree included) as JSON.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	rep := s.tr.Report("dlprojd")
-	writeJSON(w, http.StatusOK, rep)
+	s.mUptime.Set(time.Since(s.started).Seconds())
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.tr.Report("dlprojd"))
+		return
+	}
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_ = s.reg.WritePrometheus(w)
 }

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Request correlation and access logging. Every request gets an ID —
+// the inbound X-Request-ID when it is well-formed, a generated one
+// otherwise — echoed on the response, carried through the request
+// context into job records and the per-job obs run report, and stamped
+// on every structured log line. The instrument middleware additionally
+// feeds the serve_requests_total{route,code} counter and the
+// serve_request_seconds{route} histogram.
+
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	routeKey
+)
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// Generated request IDs are <process prefix>-<counter>: unique within a
+// process, and the random prefix keeps IDs from colliding across
+// restarts when they end up in shared logs.
+var (
+	ridPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "dlprojd"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridCounter atomic.Int64
+)
+
+func newRequestID() string {
+	return ridPrefix + "-" + strconv.FormatInt(ridCounter.Add(1), 10)
+}
+
+// validRequestID accepts an inbound X-Request-ID: 1–128 runes of
+// [A-Za-z0-9._-]. Anything else (empty, control characters, log-breaking
+// whitespace, unbounded length) is replaced with a generated ID.
+func validRequestID(s string) bool {
+	if s == "" || len(s) > 128 {
+		return false
+	}
+	for _, r := range s {
+		ok := r == '.' || r == '_' || r == '-' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// routeHolder is planted in the request context by instrument and filled
+// by the matched route's wrapper — the mux's pattern string is not
+// otherwise recoverable after routing, and the raw URL path is an
+// unbounded label.
+type routeHolder struct{ name string }
+
+// route wraps a handler so the matched route pattern becomes the metric
+// and log label for the request.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if holder, _ := r.Context().Value(routeKey).(*routeHolder); holder != nil {
+			holder.name = name
+		}
+		h(w, r)
+	}
+}
+
+// statusRecorder captures the response status for metrics and the access
+// log. Unwrap keeps http.ResponseController (flush, write deadlines —
+// the SSE handler needs both) working through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// instrument is the outermost middleware: request-ID resolution and
+// response echo, route/status metrics, and one structured access-log
+// line per request. Scrape and probe endpoints log at Debug so a
+// 15-second Prometheus interval does not drown the Info log.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get("X-Request-ID")
+		if !validRequestID(rid) {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		holder := &routeHolder{}
+		ctx := context.WithValue(WithRequestID(r.Context(), rid), routeKey, holder)
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r.WithContext(ctx))
+
+		route := holder.name
+		if route == "" {
+			route = "unrouted"
+		}
+		code := rec.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.mRequests.With(route, strconv.Itoa(code)).Inc()
+		s.mReqSeconds.With(route).Observe(elapsed.Seconds())
+
+		level := slog.LevelInfo
+		switch route {
+		case "/metrics", "/healthz", "/readyz":
+			level = slog.LevelDebug
+		}
+		s.logger.LogAttrs(ctx, level, "http request",
+			slog.String("request_id", rid),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", code),
+			slog.Duration("duration", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}
+
+// nopLog is the slog handler behind a nil Config.Logger: every level
+// disabled, so call sites never nil-check.
+type nopLog struct{}
+
+func (nopLog) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopLog) Handle(context.Context, slog.Record) error { return nil }
+func (nopLog) WithAttrs([]slog.Attr) slog.Handler        { return nopLog{} }
+func (nopLog) WithGroup(string) slog.Handler             { return nopLog{} }

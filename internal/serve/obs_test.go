@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"defectsim/internal/faultinject"
+	"defectsim/internal/obs"
+)
+
+// Tests for the observability surface: Prometheus exposition on
+// /metrics, request-ID correlation, the structured access log, build
+// info on /healthz, and the live job event streams (SSE + long-poll).
+
+// TestMetricsPromSmoke is the CI scrape smoke: run a pipeline job, then
+// scrape /metrics and structurally validate the exposition with the
+// obs-package line-level validator (no external parser).
+func TestMetricsPromSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st := submitJob(t, ts, smallC17)
+	waitState(t, ts, st.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != obs.PromContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, obs.PromContentType)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	n, err := obs.ValidateExposition(text)
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	}
+	if n == 0 {
+		t.Fatal("exposition has no samples")
+	}
+	for _, want := range []string{
+		"# TYPE serve_requests_total counter",
+		`serve_requests_total{route="/v1/pipeline",code="202"} 1`,
+		`pipeline_stage_seconds_bucket{stage="atpg",le="+Inf"} 1`,
+		"serve_jobs_done 1",
+		"serve_uptime_seconds",
+		"dlprojd_build_info{",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// The JSON form stays available behind ?format=json.
+	code, data := get(t, ts.URL+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("metrics?format=json = %d", code)
+	}
+	rep := decode[obs.Report](t, data)
+	found := false
+	for _, c := range rep.Counters {
+		if c.Name == "serve_jobs_done" && c.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("JSON report missing serve_jobs_done=1: %s", data)
+	}
+}
+
+// TestRequestIDPropagation: a valid inbound X-Request-ID is echoed and
+// lands in the job's run report; an invalid one is replaced with a
+// generated ID.
+func TestRequestIDPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/pipeline", strings.NewReader(smallC17))
+	req.Header.Set("X-Request-ID", "client-id.123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := new(bytes.Buffer)
+	_, _ = body.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-id.123" {
+		t.Fatalf("echoed request id = %q, want client-id.123", got)
+	}
+	st := decode[jobStatus](t, body.Bytes())
+	waitState(t, ts, st.ID, StateDone)
+	code, data := waitResult(t, ts, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("result = %d: %s", code, data)
+	}
+	res := decode[jobResult](t, data)
+	if res.Report == nil || res.Report.RequestID != "client-id.123" {
+		t.Fatalf("run report request id not propagated: %+v", res.Report)
+	}
+
+	// Malformed inbound IDs (here: a space) are replaced, not echoed.
+	req2, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req2.Header.Set("X-Request-ID", "bad id with spaces")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	got := resp2.Header.Get("X-Request-ID")
+	if got == "" || got == "bad id with spaces" {
+		t.Fatalf("invalid inbound id must be replaced, got %q", got)
+	}
+}
+
+// TestAccessLog: every request writes one structured JSON log line with
+// request_id, matched route and status; probe endpoints log at Debug.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	_, ts := newTestServer(t, Config{Workers: 1, Logger: logger})
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/pipeline/job-999", nil)
+	req.Header.Set("X-Request-ID", "log-test-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	get(t, ts.URL+"/healthz") // Debug-level: filtered by the Info handler
+
+	var entry map[string]any
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("access log line is not JSON: %q: %v", line, err)
+		}
+		if e["msg"] == "http request" && e["request_id"] == "log-test-1" {
+			entry, found = e, true
+		}
+		if e["route"] == "/healthz" {
+			t.Fatalf("probe endpoint logged at Info: %q", line)
+		}
+	}
+	if !found {
+		t.Fatalf("no access log line for request log-test-1:\n%s", buf.String())
+	}
+	if entry["route"] != "/v1/pipeline/{id}" {
+		t.Fatalf("route = %v, want /v1/pipeline/{id}", entry["route"])
+	}
+	if entry["status"] != float64(http.StatusNotFound) {
+		t.Fatalf("status = %v, want 404", entry["status"])
+	}
+	if entry["method"] != "GET" {
+		t.Fatalf("method = %v, want GET", entry["method"])
+	}
+}
+
+// TestHealthzBuildInfo: /healthz reports the binary's build identity.
+func TestHealthzBuildInfo(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, data := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	var h struct {
+		Status string    `json:"status"`
+		Build  BuildInfo `json:"build"`
+	}
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if h.Build.GoVersion == "" {
+		t.Fatalf("healthz build info missing go version: %s", data)
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	id    string
+	event string
+	data  string
+}
+
+// readSSE consumes frames from an SSE body until a terminal event or
+// the deadline, returning the frames seen.
+func readSSE(t *testing.T, body *bufio.Scanner, deadline time.Time) []sseEvent {
+	t.Helper()
+	var (
+		out []sseEvent
+		cur sseEvent
+	)
+	for time.Now().Before(deadline) && body.Scan() {
+		line := body.Text()
+		switch {
+		case line == "":
+			if cur.event != "" {
+				out = append(out, cur)
+				if terminalEvent(cur.event) {
+					return out
+				}
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, ":"):
+			// comment / keep-alive
+		}
+	}
+	t.Fatalf("SSE stream ended without a terminal event; got %+v", out)
+	return nil
+}
+
+// TestEventsSSE is the CI streaming smoke: an SSE client attached to a
+// running job sees the lifecycle — queued, running, stage transitions —
+// and a terminal done event, then the stream closes.
+func TestEventsSSE(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st := submitJob(t, ts, smallC17)
+
+	resp, err := http.Get(ts.URL + "/v1/pipeline/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	events := readSSE(t, bufio.NewScanner(resp.Body), time.Now().Add(30*time.Second))
+
+	byType := map[string]int{}
+	for _, ev := range events {
+		byType[ev.event]++
+		var je JobEvent
+		if err := json.Unmarshal([]byte(ev.data), &je); err != nil {
+			t.Fatalf("event data is not JSON: %q: %v", ev.data, err)
+		}
+		if fmt.Sprint(je.Seq) != ev.id {
+			t.Fatalf("SSE id %q != payload seq %d", ev.id, je.Seq)
+		}
+	}
+	if byType[EventQueued] != 1 || byType[EventDone] != 1 {
+		t.Fatalf("missing queued/done events: %v", byType)
+	}
+	if byType[EventStageStart] == 0 || byType[EventStageStart] != byType[EventStageEnd] {
+		t.Fatalf("unbalanced stage events: %v", byType)
+	}
+	if last := events[len(events)-1]; last.event != EventDone {
+		t.Fatalf("stream did not end on done: %+v", last)
+	}
+	// Seqs are strictly increasing from 1.
+	for i, ev := range events {
+		if ev.id != fmt.Sprint(i+1) {
+			t.Fatalf("event %d has id %q, want %d", i, ev.id, i+1)
+		}
+	}
+}
+
+// TestEventsSSEResume: a reconnecting client with Last-Event-ID replays
+// only the events it has not seen.
+func TestEventsSSEResume(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st := submitJob(t, ts, smallC17)
+	waitState(t, ts, st.ID, StateDone)
+
+	// First read the full stream to learn the final seq.
+	resp, err := http.Get(ts.URL + "/v1/pipeline/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := readSSE(t, bufio.NewScanner(resp.Body), time.Now().Add(10*time.Second))
+	resp.Body.Close()
+	if len(full) < 2 {
+		t.Fatalf("want at least 2 events, got %+v", full)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/pipeline/"+st.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", full[len(full)-2].id)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	tail := readSSE(t, bufio.NewScanner(resp2.Body), time.Now().Add(10*time.Second))
+	if len(tail) != 1 || tail[0].id != full[len(full)-1].id {
+		t.Fatalf("resume replayed %+v, want only the final event %+v", tail, full[len(full)-1])
+	}
+}
+
+// TestEventsLongPoll drives the ?poll=1 fallback to a terminal state.
+func TestEventsLongPoll(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	st := submitJob(t, ts, smallC17)
+
+	var all []JobEvent
+	since := int64(0)
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, data := get(t, fmt.Sprintf("%s/v1/pipeline/%s/events?poll=1&since=%d&wait_ms=2000", ts.URL, st.ID, since))
+		if code != http.StatusOK {
+			t.Fatalf("poll = %d: %s", code, data)
+		}
+		pr := decode[pollEventsResponse](t, data)
+		for _, ev := range pr.Events {
+			if ev.Seq != since+1 {
+				t.Fatalf("poll gap: got seq %d after %d", ev.Seq, since)
+			}
+			since = ev.Seq
+			all = append(all, ev)
+		}
+		if pr.Terminal {
+			if len(all) == 0 || !terminalEvent(all[len(all)-1].Type) {
+				t.Fatalf("terminal poll without terminal event: %+v", all)
+			}
+			return
+		}
+	}
+	t.Fatalf("long-poll never reached terminal; events: %+v", all)
+}
+
+// TestEventsUnknownJob: the events endpoint 404s cleanly.
+func TestEventsUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if code, _ := get(t, ts.URL+"/v1/pipeline/job-999/events"); code != http.StatusNotFound {
+		t.Fatalf("events for unknown job = %d, want 404", code)
+	}
+}
+
+// TestEventsCancelledJob: cancelling a queued job seals its stream with
+// a terminal cancelled event.
+func TestEventsCancelledJob(t *testing.T) {
+	hook, release := blockHook()
+	restore := faultinject.Set(faultinject.HookSwitchSimVector, hook)
+	defer restore()
+	defer release()
+
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	running := submitJob(t, ts, `{"circuit":"c17","random_vectors":48,"seed":301}`)
+	waitState(t, ts, running.ID, StateRunning)
+	queued := submitJob(t, ts, `{"circuit":"c17","random_vectors":48,"seed":302}`)
+
+	code, _, data := post(t, ts.URL+"/v1/pipeline/"+queued.ID+"/cancel", "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel = %d: %s", code, data)
+	}
+	codeP, dataP := get(t, ts.URL+"/v1/pipeline/"+queued.ID+"/events?poll=1&since=0&wait_ms=5000")
+	if codeP != http.StatusOK {
+		t.Fatalf("poll = %d", codeP)
+	}
+	pr := decode[pollEventsResponse](t, dataP)
+	if !pr.Terminal {
+		t.Fatalf("cancelled job's stream not terminal: %+v", pr)
+	}
+	last := pr.Events[len(pr.Events)-1]
+	if last.Type != EventCancelled {
+		t.Fatalf("last event = %q, want cancelled: %+v", last.Type, pr.Events)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"runtime/debug"
 	"sort"
@@ -94,6 +95,9 @@ type Config struct {
 	// obs.New(). (Each job additionally gets its own tracer for its run
 	// report.)
 	Obs *obs.Tracer
+	// Logger receives the structured access log and job lifecycle events.
+	// Nil disables logging entirely.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -133,12 +137,14 @@ const (
 
 // job is one asynchronous pipeline run.
 type job struct {
-	id      string
-	key     string // result-cache key (experiments.CacheKey)
-	ckey    string // coalescing key: cache key + execution budgets
-	circuit string
-	cfg     experiments.Config
-	nl      *netlist.Netlist
+	id        string
+	key       string // result-cache key (experiments.CacheKey)
+	ckey      string // coalescing key: cache key + execution budgets
+	circuit   string
+	requestID string // correlation ID of the submitting request
+	cfg       experiments.Config
+	nl        *netlist.Netlist
+	events    *eventLog
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -163,9 +169,12 @@ func (j *job) snapshot() (state string, err error, p *experiments.Pipeline) {
 // Server owns the job store, the admission queue and the worker pool.
 // Create with New, expose via Handler, stop with Drain.
 type Server struct {
-	cfg Config
-	tr  *obs.Tracer
-	reg *obs.Registry
+	cfg     Config
+	tr      *obs.Tracer
+	reg     *obs.Registry
+	logger  *slog.Logger
+	started time.Time
+	build   BuildInfo
 
 	queue    chan *job
 	stop     chan struct{}
@@ -186,17 +195,50 @@ type Server struct {
 
 	nextID atomic.Int64
 
-	mQueueDepth *obs.Gauge
-	mInflight   *obs.Gauge
-	mDraining   *obs.Gauge
-	mShed       *obs.Counter
-	mCoalesced  *obs.Counter
-	mSubmitted  *obs.Counter
-	mRuns       *obs.Counter
-	mDone       *obs.Counter
-	mFailed     *obs.Counter
-	mCancelled  *obs.Counter
-	mPanics     *obs.Counter
+	mQueueDepth   *obs.Gauge
+	mInflight     *obs.Gauge
+	mDraining     *obs.Gauge
+	mUptime       *obs.Gauge
+	mShed         *obs.Counter
+	mCoalesced    *obs.Counter
+	mSubmitted    *obs.Counter
+	mRuns         *obs.Counter
+	mDone         *obs.Counter
+	mFailed       *obs.Counter
+	mCancelled    *obs.Counter
+	mPanics       *obs.Counter
+	mRequests     *obs.CounterVec   // serve_requests_total{route,code}
+	mReqSeconds   *obs.HistogramVec // serve_request_seconds{route}
+	mStageSeconds *obs.HistogramVec // pipeline_stage_seconds{stage}, fleet-level
+}
+
+// BuildInfo identifies the running binary, read once from the embedded
+// module/VCS metadata (debug.ReadBuildInfo). Served on /healthz and as
+// the dlprojd_build_info gauge.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Version   string `json:"version,omitempty"`  // main module version
+	Revision  string `json:"revision,omitempty"` // vcs.revision
+	Modified  bool   `json:"modified,omitempty"` // vcs.modified (dirty tree)
+}
+
+func readBuildInfo() BuildInfo {
+	b := BuildInfo{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = bi.GoVersion
+	b.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
 }
 
 // New builds a Server and starts its worker pool. The caller must
@@ -208,12 +250,18 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		tr:         cfg.Obs,
 		reg:        cfg.Obs.Metrics(),
+		logger:     cfg.Logger,
+		started:    time.Now(),
+		build:      readBuildInfo(),
 		queue:      make(chan *job, cfg.QueueDepth),
 		stop:       make(chan struct{}),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		jobs:       map[string]*job{},
 		inflight:   map[string]*job{},
+	}
+	if s.logger == nil {
+		s.logger = slog.New(nopLog{})
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.mQueueDepth = s.reg.Gauge("serve_queue_depth")
@@ -227,8 +275,16 @@ func New(cfg Config) *Server {
 	s.mFailed = s.reg.Counter("serve_jobs_failed")
 	s.mCancelled = s.reg.Counter("serve_jobs_cancelled")
 	s.mPanics = s.reg.Counter("serve_handler_panics")
+	s.mUptime = s.reg.Gauge("serve_uptime_seconds")
+	s.mRequests = s.reg.CounterVec("serve_requests_total", "route", "code")
+	s.mReqSeconds = s.reg.HistogramVec("serve_request_seconds",
+		obs.ExpBuckets(0.0005, 4, 10), "route")
+	s.mStageSeconds = s.reg.HistogramVec("pipeline_stage_seconds",
+		experiments.StageSecondsBuckets, "stage")
 	s.reg.Gauge("serve_queue_capacity").Set(float64(cfg.QueueDepth))
 	s.reg.Gauge("serve_workers").Set(float64(cfg.Workers))
+	s.reg.GaugeVec("dlprojd_build_info", "go_version", "revision", "version").
+		With(s.build.GoVersion, s.build.Revision, s.build.Version).Set(1)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -271,8 +327,9 @@ func coalesceKey(cacheKey string, cfg experiments.Config) string {
 
 // submit admits a decoded request: it either coalesces onto an identical
 // live job, enqueues a new one, or fails with ErrShed / ErrDraining.
-// It never blocks on the worker pool.
-func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Config) (j *job, coalesced bool, err error) {
+// It never blocks on the worker pool. requestID is the correlation ID of
+// the submitting HTTP request; the job carries it into its run report.
+func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Config, requestID string) (j *job, coalesced bool, err error) {
 	key := experiments.CacheKey(circuit, cfg)
 	ckey := coalesceKey(key, cfg)
 	s.mu.Lock()
@@ -285,6 +342,9 @@ func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Con
 		live.coalesced++
 		live.mu.Unlock()
 		s.mCoalesced.Inc()
+		live.events.emit(EventCoalesced, "", "request "+requestID+" joined this run")
+		s.logger.Info("job coalesced",
+			"job", live.id, "request_id", requestID, "circuit", circuit)
 		return live, true, nil
 	}
 	cfg.Obs = obs.New() // per-job tracer: every job gets its own run report
@@ -294,18 +354,22 @@ func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Con
 		key:       key,
 		ckey:      ckey,
 		circuit:   circuit,
+		requestID: requestID,
 		cfg:       cfg,
 		nl:        nl,
+		events:    newEventLog(),
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
+	s.hookSpans(j, cfg.Obs)
 	select {
 	case s.queue <- j:
 	default:
 		cancel()
 		s.mShed.Inc()
+		s.logger.Warn("job shed", "request_id", requestID, "circuit", circuit)
 		return nil, false, ErrShed
 	}
 	s.queued++
@@ -315,7 +379,45 @@ func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Con
 	s.inflight[ckey] = j
 	s.mSubmitted.Inc()
 	s.pruneLocked()
+	j.events.emit(EventQueued, "", "")
+	s.logger.Info("job queued",
+		"job", j.id, "request_id", requestID, "circuit", circuit)
 	return j, false, nil
+}
+
+// hookSpans subscribes the server to the job tracer's span transitions:
+// top-level pipeline stages become stage_start/stage_end events on the
+// job's live stream, and each stage's wall time lands in the fleet-level
+// pipeline_stage_seconds{stage} histogram. Inner spans (the simulators
+// open their own) are ignored — the stream is a lifecycle feed, not a
+// trace dump.
+func (s *Server) hookSpans(j *job, tr *obs.Tracer) {
+	isStage := make(map[string]bool, len(experiments.StageNames))
+	for _, name := range experiments.StageNames {
+		isStage[name] = true
+	}
+	var mu sync.Mutex
+	startAt := map[string]time.Time{}
+	tr.SetSpanHook(func(name string, start bool) {
+		if !isStage[name] {
+			return
+		}
+		if start {
+			mu.Lock()
+			startAt[name] = time.Now()
+			mu.Unlock()
+			j.events.emit(EventStageStart, name, "")
+			return
+		}
+		mu.Lock()
+		t0, ok := startAt[name]
+		delete(startAt, name)
+		mu.Unlock()
+		if ok {
+			s.mStageSeconds.With(name).Observe(time.Since(t0).Seconds())
+		}
+		j.events.emit(EventStageEnd, name, "")
+	})
 }
 
 // pruneLocked evicts the oldest finished jobs beyond the retention cap.
@@ -368,12 +470,14 @@ func (s *Server) Cancel(id string) (*job, bool) {
 		return nil, false
 	}
 	j.mu.Lock()
+	cancelledQueued := false
 	switch j.state {
 	case StateQueued:
 		j.state = StateCancelled
 		j.err = context.Canceled
 		j.finished = time.Now()
 		s.mCancelled.Inc()
+		cancelledQueued = true
 	case StateRunning:
 		// settle via the run's cancellation path; state flips in runJob.
 	}
@@ -383,6 +487,11 @@ func (s *Server) Cancel(id string) (*job, bool) {
 	j.mu.Unlock()
 	s.mu.Unlock()
 	j.cancel()
+	if cancelledQueued {
+		j.events.emit(EventCancelled, "", "cancelled while queued")
+		s.logger.Info("job cancelled",
+			"job", j.id, "request_id", j.requestID, "state", StateQueued)
+	}
 	return j, true
 }
 
@@ -420,6 +529,9 @@ func (s *Server) runJob(j *job) {
 	s.running++
 	s.mInflight.Set(float64(s.running))
 	s.mu.Unlock()
+	j.events.emit(EventRunning, "", "")
+	s.logger.Info("job running",
+		"job", j.id, "request_id", j.requestID, "circuit", j.circuit)
 
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -451,17 +563,22 @@ func (s *Server) runJob(j *job) {
 	s.finish(j, p, hit, err)
 }
 
-// finish classifies a run's outcome onto the job record.
+// finish classifies a run's outcome onto the job record, stamps the
+// request ID onto the run report, and seals the event stream with the
+// degradation and terminal events.
 func (s *Server) finish(j *job, p *experiments.Pipeline, cacheHit bool, err error) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != StateRunning {
+		j.mu.Unlock()
 		return
 	}
 	j.finished = time.Now()
 	j.pipe = p
 	j.cacheHit = cacheHit
 	j.err = err
+	if p != nil && p.Report != nil {
+		p.Report.RequestID = j.requestID
+	}
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -473,6 +590,37 @@ func (s *Server) finish(j *job, p *experiments.Pipeline, cacheHit bool, err erro
 		j.state = StateFailed
 		s.mFailed.Inc()
 	}
+	state, elapsed := j.state, j.finished.Sub(j.started)
+	j.mu.Unlock()
+
+	if p != nil {
+		for _, d := range p.Degradations {
+			j.events.emit(EventDegraded, d.Stage, d.Reason)
+		}
+	}
+	switch state {
+	case StateDone:
+		detail := ""
+		if cacheHit {
+			detail = "served from result cache"
+		}
+		j.events.emit(EventDone, "", detail)
+	case StateCancelled:
+		j.events.emit(EventCancelled, "", errDetail(err))
+	default:
+		j.events.emit(EventFailed, "", errDetail(err))
+	}
+	s.logger.Info("job finished",
+		"job", j.id, "request_id", j.requestID, "state", state,
+		"duration", elapsed, "cache_hit", cacheHit)
+}
+
+// errDetail renders an error for an event's detail field.
+func errDetail(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // DrainReport is the outcome of a graceful drain.
@@ -520,6 +668,7 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 				continue
 			}
 			j.mu.Lock()
+			cancelledQueued := false
 			switch j.state {
 			case StateQueued:
 				j.state = StateCancelled
@@ -530,11 +679,15 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 					delete(s.inflight, j.ckey)
 				}
 				rep.Cancelled = append(rep.Cancelled, j.id)
+				cancelledQueued = true
 			case StateRunning:
 				rep.Cancelled = append(rep.Cancelled, j.id)
 			}
 			j.mu.Unlock()
 			j.cancel()
+			if cancelledQueued {
+				j.events.emit(EventCancelled, "", "cancelled by drain")
+			}
 		}
 		s.mu.Unlock()
 		if !s.waitIdle(ctx, s.cfg.DrainGrace) {
@@ -547,6 +700,8 @@ func (s *Server) Drain(ctx context.Context) DrainReport {
 	}
 	s.baseCancel()
 	rep.Waited = time.Since(start)
+	s.logger.Info("drain finished",
+		"waited", rep.Waited, "cancelled", len(rep.Cancelled), "forced", rep.Forced)
 	return rep
 }
 
