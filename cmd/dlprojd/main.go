@@ -8,6 +8,9 @@
 //	POST /v1/fit                   fit model parameters to fallout points
 //	POST /v1/coverage              coverage-growth curves (analytic or empirical)
 //	POST /v1/pipeline              submit an async pipeline job (202; 429 when shed)
+//	POST /v1/pipeline:batch        submit many jobs in one round trip (per-item statuses)
+//	GET  /v1/store/{key}           fetch a result envelope (peer-facing store API; HEAD for existence)
+//	PUT  /v1/store/{key}           accept a verified result envelope (idempotent)
 //	GET  /v1/pipeline/{id}         job status
 //	GET  /v1/pipeline/{id}/result  job result (202 while pending)
 //	GET  /v1/pipeline/{id}/events  live job events (SSE; ?poll=1 for long-poll)
@@ -23,6 +26,13 @@
 // submissions get 503, in-flight jobs get -drain-budget to finish and
 // are then cancelled; a second signal forces immediate exit
 // (internal/sigctx, shared with dlproj).
+//
+// Multi-node serving: -node and -peers place the daemon on a static
+// consistent-hash ring — a submission whose result key another node owns
+// is forwarded there (request ID propagated) and the result adopted
+// through the owner's /v1/store API; any peer failure (circuit breaker,
+// timeout, 5xx) falls back to a local run. -store-remote layers a shared
+// remote result store over the local cache directory.
 //
 // Every request carries a correlation ID (inbound X-Request-ID when
 // well-formed, generated otherwise), echoed on the response and written
@@ -50,8 +60,11 @@ import (
 	"os"
 	"time"
 
+	"defectsim/internal/cluster"
+	"defectsim/internal/obs"
 	"defectsim/internal/serve"
 	"defectsim/internal/sigctx"
+	"defectsim/internal/store"
 )
 
 func main() {
@@ -126,6 +139,9 @@ func run() int {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		logLevel     = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. localhost:6060; empty = off)")
+		nodeName     = flag.String("node", "", "this node's name on the cluster ring (required with -peers)")
+		peers        = flag.String("peers", "", "static peer list name=url,... (e.g. node-b=http://10.0.0.2:8447); empty = single-node")
+		storeRemote  = flag.String("store-remote", "", "base URL of a remote result store layered over the local cache (empty = local only)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -156,6 +172,58 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "dlprojd: pprof on http://%s/debug/pprof/ (loopback only)\n", ln.Addr())
 	}
 
+	// One tracer/registry backs /metrics, the store backends and the
+	// cluster's per-peer instruments, so a single scrape sees it all.
+	tr := obs.New()
+
+	// Result store: -cache-dir alone is resolved inside the serving layer
+	// (FS store). A -store-remote layers a shared remote store over it
+	// (tiered: local-first reads with backfill, best-effort replication),
+	// or serves as the only backend when no cache dir is configured.
+	var st store.Store
+	if *storeRemote != "" {
+		sm := store.NewMetrics(tr.Metrics())
+		remote, err := store.NewHTTP(*storeRemote, store.HTTPOptions{Metrics: sm})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlprojd:", err)
+			return 2
+		}
+		st = remote
+		if *cacheDir != "" {
+			local, err := store.NewFS(*cacheDir, sm)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dlprojd:", err)
+				return 1
+			}
+			if st, err = store.NewTiered(local, remote, sm); err != nil {
+				fmt.Fprintln(os.Stderr, "dlprojd:", err)
+				return 1
+			}
+		}
+	}
+
+	// Cluster ring: static membership from -peers; submissions whose cache
+	// key another node owns are forwarded there, with local fallback on any
+	// peer failure.
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *nodeName == "" {
+			fmt.Fprintln(os.Stderr, "dlprojd: -peers requires -node (this node's ring name)")
+			return 2
+		}
+		specs, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlprojd:", err)
+			return 2
+		}
+		if cl, err = cluster.New(*nodeName, specs, tr.Metrics(), cluster.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, "dlprojd:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "dlprojd: cluster node %q in a ring of %d\n",
+			*nodeName, cl.Ring().Len())
+	}
+
 	srv := serve.New(serve.Config{
 		QueueDepth:      *queueDepth,
 		Workers:         *workers,
@@ -166,7 +234,10 @@ func run() int {
 		DrainGrace:      *drainGrace,
 		RetryAfter:      *retryAfter,
 		CacheDir:        *cacheDir,
+		Store:           st,
+		Cluster:         cl,
 		MaxJobs:         *maxJobs,
+		Obs:             tr,
 		Logger:          logger,
 	})
 

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"defectsim/internal/obs"
+	"defectsim/internal/store"
+)
+
+// PeerSpec names one remote node and its base URL.
+type PeerSpec struct {
+	Name string
+	URL  string
+}
+
+// ParsePeers parses the -peers flag format: a comma-separated list of
+// name=url entries, e.g. "node-b=http://10.0.0.2:8447,node-c=http://10.0.0.3:8447".
+// The self node is NOT listed (it has no URL to dial); the ring is built
+// over self plus every parsed peer.
+func ParsePeers(s string) ([]PeerSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var specs []PeerSpec
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		name, url = strings.TrimSpace(name), strings.TrimSpace(url)
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("cluster: bad peer entry %q (want name=url)", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", name)
+		}
+		seen[name] = true
+		specs = append(specs, PeerSpec{Name: name, URL: url})
+	}
+	return specs, nil
+}
+
+// Options tunes the per-peer clients. The zero value is serviceable.
+type Options struct {
+	// Client is the shared http.Client for all peers. Default:
+	// http.DefaultClient.
+	Client *http.Client
+	// MaxAttempts / BaseDelay / MaxDelay / PerAttemptTimeout configure each
+	// peer's retrying transport (see store.Transport).
+	MaxAttempts       int
+	BaseDelay         time.Duration
+	MaxDelay          time.Duration
+	PerAttemptTimeout time.Duration
+	// BreakerThreshold consecutive failures open a peer's breaker for
+	// BreakerCooldown (defaults from store.NewBreaker: 5 / 15s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// PollInterval is the cadence for polling a forwarded job's status.
+	// Default 25ms — cheap against an in-fleet peer, fast enough that
+	// forwarding adds negligible latency to a multi-second pipeline run.
+	PollInterval time.Duration
+}
+
+// Metrics is the cluster instrument set. Nil-safe like store.Metrics.
+type Metrics struct {
+	// Forward counts forwarding outcomes:
+	// cluster_forward_total{peer,outcome} with outcome
+	// ok/submit_error/poll_error/remote_failed/cancelled.
+	Forward *obs.CounterVec
+	// Fallback counts jobs that ran locally after a forward was either
+	// impossible or failed: cluster_fallback_local_total{reason}.
+	Fallback *obs.CounterVec
+	// BreakerState mirrors each peer breaker:
+	// cluster_peer_breaker_state{peer} (0 closed / 1 open / 2 half-open).
+	BreakerState *obs.GaugeVec
+}
+
+// NewMetrics registers the cluster instrument families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Forward:      reg.CounterVec("cluster_forward_total", "peer", "outcome"),
+		Fallback:     reg.CounterVec("cluster_fallback_local_total", "reason"),
+		BreakerState: reg.GaugeVec("cluster_peer_breaker_state", "peer"),
+	}
+}
+
+// ForwardOutcome records one forwarding attempt's outcome.
+func (m *Metrics) ForwardOutcome(peer, outcome string) {
+	if m == nil {
+		return
+	}
+	m.Forward.With(peer, outcome).Inc()
+}
+
+// FallbackLocal records a job that degraded to local execution.
+func (m *Metrics) FallbackLocal(reason string) {
+	if m == nil {
+		return
+	}
+	m.Fallback.With(reason).Inc()
+}
+
+func (m *Metrics) breakerGauge(peer string) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.BreakerState.With(peer)
+}
+
+// Cluster is one node's view of the fleet: the ring over all members
+// (self included) and a client per remote peer. Membership is static —
+// fixed at construction from the -peers flag.
+type Cluster struct {
+	self  string
+	ring  *Ring
+	peers map[string]*Peer
+	m     *Metrics
+	poll  time.Duration
+}
+
+// New builds the cluster view for node self with the given remote peers.
+// Metrics (and the per-peer breaker gauges) register on reg; a nil reg
+// disables them.
+func New(self string, specs []PeerSpec, reg *obs.Registry, opts Options) (*Cluster, error) {
+	if self == "" {
+		return nil, fmt.Errorf("cluster: self node name must be non-empty")
+	}
+	names := []string{self}
+	for _, sp := range specs {
+		if sp.Name == self {
+			return nil, fmt.Errorf("cluster: peer list includes self (%q)", self)
+		}
+		names = append(names, sp.Name)
+	}
+	ring, err := NewRing(names)
+	if err != nil {
+		return nil, err
+	}
+	m := NewMetrics(reg)
+	sm := store.NewMetrics(reg)
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 25 * time.Millisecond
+	}
+	c := &Cluster{self: self, ring: ring, peers: make(map[string]*Peer, len(specs)), m: m, poll: opts.PollInterval}
+	for _, sp := range specs {
+		br := store.NewBreaker(sp.Name, opts.BreakerThreshold, opts.BreakerCooldown, m.breakerGauge(sp.Name))
+		p, err := newPeer(sp.Name, sp.URL, store.HTTPOptions{
+			Client:            opts.Client,
+			MaxAttempts:       opts.MaxAttempts,
+			BaseDelay:         opts.BaseDelay,
+			MaxDelay:          opts.MaxDelay,
+			PerAttemptTimeout: opts.PerAttemptTimeout,
+			Breaker:           br,
+			Metrics:           sm,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.peers[sp.Name] = p
+	}
+	return c, nil
+}
+
+// Self returns this node's name.
+func (c *Cluster) Self() string { return c.self }
+
+// Ring returns the membership ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Metrics returns the cluster instrument set.
+func (c *Cluster) Metrics() *Metrics { return c.m }
+
+// PollInterval is the forwarded-job status polling cadence.
+func (c *Cluster) PollInterval() time.Duration { return c.poll }
+
+// Owner returns the node owning key on the ring.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// Peer returns the client for a remote node, or nil for self / unknown
+// names.
+func (c *Cluster) Peer(name string) *Peer { return c.peers[name] }
+
+// Peers returns the remote peer clients in name order.
+func (c *Cluster) Peers() []*Peer {
+	out := make([]*Peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"defectsim/internal/faultinject"
+	"defectsim/internal/obs"
+	"defectsim/internal/store"
+)
+
+func TestParsePeers(t *testing.T) {
+	specs, err := ParsePeers(" node-b=http://b:8447 , node-c=http://c:8447 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PeerSpec{{"node-b", "http://b:8447"}, {"node-c", "http://c:8447"}}
+	if len(specs) != len(want) {
+		t.Fatalf("ParsePeers = %v, want %v", specs, want)
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Fatalf("ParsePeers = %v, want %v", specs, want)
+		}
+	}
+	if specs, err := ParsePeers(""); err != nil || specs != nil {
+		t.Fatalf("ParsePeers(\"\") = %v, %v, want nil, nil", specs, err)
+	}
+	for _, bad := range []string{"nourl", "=http://x", "name=", "a=u,a=u"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewRejectsSelfInPeerList(t *testing.T) {
+	if _, err := New("node-a", []PeerSpec{{"node-a", "http://a"}}, nil, Options{}); err == nil {
+		t.Fatal("self in peer list accepted")
+	}
+	if _, err := New("", nil, nil, Options{}); err == nil {
+		t.Fatal("empty self accepted")
+	}
+}
+
+func TestClusterSingleNodeOwnsAll(t *testing.T) {
+	c, err := New("solo", nil, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Owner(key(1)); got != "solo" {
+		t.Fatalf("Owner = %q, want solo", got)
+	}
+	if c.Peer("solo") != nil || c.Peer("ghost") != nil {
+		t.Fatal("Peer returned a client for self/unknown")
+	}
+}
+
+// fakeNode is a minimal remote dlprojd: the submit/status/cancel routes
+// with the serve-layer JSON shapes, plus knobs for failure shaping.
+type fakeNode struct {
+	submits    atomic.Int64
+	cancels    atomic.Int64
+	lastReqID  atomic.Value // string
+	lastFwd    atomic.Value // string
+	shedLeft   atomic.Int64
+	statusHits atomic.Int64
+	// state served by GET /v1/pipeline/{id}
+	state atomic.Value // string
+}
+
+func newFakeNode() *fakeNode {
+	n := &fakeNode{}
+	n.state.Store("done")
+	return n
+}
+
+func (n *fakeNode) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/pipeline", func(w http.ResponseWriter, r *http.Request) {
+		n.submits.Add(1)
+		n.lastReqID.Store(r.Header.Get("X-Request-ID"))
+		n.lastFwd.Store(r.Header.Get(ForwardedHeader))
+		if n.shedLeft.Load() > 0 {
+			n.shedLeft.Add(-1)
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]any{"id": "job-1", "state": "queued"})
+	})
+	mux.HandleFunc("GET /v1/pipeline/{id}", func(w http.ResponseWriter, r *http.Request) {
+		n.statusHits.Add(1)
+		st := n.state.Load().(string)
+		body := map[string]any{"id": r.PathValue("id"), "state": st}
+		if st == "failed" {
+			body["error"] = map[string]any{"message": "remote stage blew up"}
+		}
+		_ = json.NewEncoder(w).Encode(body)
+	})
+	mux.HandleFunc("POST /v1/pipeline/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		n.cancels.Add(1)
+		_ = json.NewEncoder(w).Encode(map[string]any{"id": r.PathValue("id"), "state": "cancelled"})
+	})
+	return mux
+}
+
+func testCluster(t *testing.T, peerURL string) *Cluster {
+	t.Helper()
+	c, err := New("node-a", []PeerSpec{{"node-b", peerURL}}, obs.New().Metrics(), Options{
+		MaxAttempts:       2,
+		BaseDelay:         time.Millisecond,
+		MaxDelay:          2 * time.Millisecond,
+		PerAttemptTimeout: 2 * time.Second,
+		BreakerThreshold:  3,
+		BreakerCooldown:   50 * time.Millisecond,
+		PollInterval:      time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPeerSubmitStatusCancel(t *testing.T) {
+	node := newFakeNode()
+	ts := httptest.NewServer(node.handler())
+	defer ts.Close()
+	c := testCluster(t, ts.URL)
+	p := c.Peer("node-b")
+	ctx := context.Background()
+
+	js, err := p.Submit(ctx, []byte(`{"circuit":"c17"}`), "req-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.ID != "job-1" || js.State != "queued" || js.Terminal() {
+		t.Fatalf("Submit = %+v", js)
+	}
+	if got := node.lastReqID.Load(); got != "req-42" {
+		t.Fatalf("X-Request-ID on forwarded submit = %q, want req-42", got)
+	}
+	if got := node.lastFwd.Load(); got != "1" {
+		t.Fatalf("forwarded marker = %q, want 1", got)
+	}
+
+	js, err = p.Status(ctx, "job-1")
+	if err != nil || js.State != "done" || !js.Terminal() {
+		t.Fatalf("Status = %+v, %v", js, err)
+	}
+	node.state.Store("failed")
+	js, err = p.Status(ctx, "job-1")
+	if err != nil || js.State != "failed" || js.Error == nil || js.Error.Message == "" {
+		t.Fatalf("failed Status = %+v, %v", js, err)
+	}
+	if err := p.Cancel(ctx, "job-1"); err != nil || node.cancels.Load() != 1 {
+		t.Fatalf("Cancel: %v (%d cancels)", err, node.cancels.Load())
+	}
+}
+
+func TestPeerSubmitSurfacesShedAsError(t *testing.T) {
+	node := newFakeNode()
+	ts := httptest.NewServer(node.handler())
+	defer ts.Close()
+	c := testCluster(t, ts.URL)
+	// Both attempts shed: Submit must error (the caller then runs
+	// locally) without tripping the breaker — shedding is load, not death.
+	node.shedLeft.Store(2)
+	p := c.Peer("node-b")
+	if _, err := p.Submit(context.Background(), []byte(`{}`), ""); err == nil {
+		t.Fatal("Submit against shedding peer succeeded")
+	}
+	if st := p.Breaker().State(); st != store.BreakerClosed {
+		t.Fatalf("breaker after shed = %v, want closed", st)
+	}
+}
+
+func TestPeerBreakerSharedAcrossJobAndStorePaths(t *testing.T) {
+	node := newFakeNode()
+	ts := httptest.NewServer(node.handler())
+	defer ts.Close()
+	c := testCluster(t, ts.URL)
+	p := c.Peer("node-b")
+	ctx := context.Background()
+
+	// Kill the network under the job path only; with MaxAttempts 2 and
+	// threshold 3, two submits open the breaker.
+	boom := errors.New("peer dead (injected)")
+	restore := faultinject.Set(faultinject.HookNetRequest, faultinject.Fail(boom))
+	_, err1 := p.Submit(ctx, []byte(`{}`), "")
+	_, err2 := p.Submit(ctx, []byte(`{}`), "")
+	restore()
+	if err1 == nil || err2 == nil {
+		t.Fatalf("submits against dead peer = %v, %v, want errors", err1, err2)
+	}
+	if st := p.Breaker().State(); st != store.BreakerOpen {
+		t.Fatalf("breaker after dead submits = %v, want open", st)
+	}
+	// The STORE path sees the same open breaker: no request reaches the
+	// node, the call fast-fails as unavailable.
+	before := node.submits.Load()
+	if _, err := p.Store().Get(ctx, key(9)); !store.IsUnavailable(err) {
+		t.Fatalf("store Get with open breaker = %v, want breaker-open", err)
+	}
+	if node.submits.Load() != before {
+		t.Fatal("open breaker let a request through")
+	}
+
+	// After cooldown the half-open probe (on either path) closes it.
+	time.Sleep(60 * time.Millisecond)
+	if js, err := p.Submit(ctx, []byte(`{}`), ""); err != nil || js.ID == "" {
+		t.Fatalf("probe submit after cooldown = %+v, %v", js, err)
+	}
+	if st := p.Breaker().State(); st != store.BreakerClosed {
+		t.Fatalf("breaker after recovery = %v, want closed", st)
+	}
+}

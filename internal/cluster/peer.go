@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"defectsim/internal/store"
+)
+
+// ForwardedHeader marks a forwarded submission so the receiving node
+// runs it locally instead of consulting the ring again — the anti-loop
+// guard when two nodes disagree about ownership mid-reconfiguration.
+const ForwardedHeader = "X-Dlproj-Forwarded"
+
+// JobStatus is the subset of a peer's job-status JSON the forwarding
+// path needs: identity, lifecycle state, and the failure message when
+// the remote run failed.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    *struct {
+		Message string `json:"message"`
+	} `json:"error,omitempty"`
+}
+
+// Terminal reports whether the remote job reached a final state.
+func (js JobStatus) Terminal() bool {
+	switch js.State {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// Peer is the client side of one remote dlprojd node: a job-submission
+// API and a remote store view sharing one hardened transport, so a
+// single circuit breaker sees failures on either path — a node that
+// times out serving blobs is also not a node to forward work to.
+type Peer struct {
+	name string
+	base string
+	st   *store.HTTP
+	tr   *store.Transport
+}
+
+// newPeer builds the client for one remote node. The breaker (created by
+// the cluster with the peer-labeled gauge) is shared between the store
+// view and the job API via the single transport.
+func newPeer(name, baseURL string, opts store.HTTPOptions) (*Peer, error) {
+	st, err := store.NewHTTP(baseURL, opts)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer %s: %w", name, err)
+	}
+	return &Peer{name: name, base: st.Base(), st: st, tr: st.Transport()}, nil
+}
+
+// Name returns the peer's node name.
+func (p *Peer) Name() string { return p.name }
+
+// Store returns the peer's remote store view.
+func (p *Peer) Store() store.Store { return p.st }
+
+// Breaker returns the circuit breaker shared by the peer's store and job
+// clients.
+func (p *Peer) Breaker() *store.Breaker { return p.tr.Breaker }
+
+// Submit forwards a validated pipeline request body to the peer. The
+// request ID propagates so the remote node's access log and events
+// correlate with the originating submission; the forwarded marker stops
+// the remote node from re-routing. Shed (429) and draining (503)
+// responses surface as errors — the caller's cue to run locally.
+func (p *Peer) Submit(ctx context.Context, body []byte, requestID string) (JobStatus, error) {
+	status, _, resBody, err := p.tr.Do(ctx, func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+"/v1/pipeline", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(ForwardedHeader, "1")
+		if requestID != "" {
+			req.Header.Set("X-Request-ID", requestID)
+		}
+		return req, nil
+	})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if status != http.StatusAccepted && status != http.StatusOK {
+		return JobStatus{}, fmt.Errorf("cluster: peer %s submit: status %d", p.name, status)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(resBody, &js); err != nil {
+		return JobStatus{}, fmt.Errorf("cluster: peer %s submit: bad response: %w", p.name, err)
+	}
+	if js.ID == "" {
+		return JobStatus{}, fmt.Errorf("cluster: peer %s submit: response without job id", p.name)
+	}
+	return js, nil
+}
+
+// Status polls the peer for a job's state.
+func (p *Peer) Status(ctx context.Context, id string) (JobStatus, error) {
+	status, _, resBody, err := p.tr.Do(ctx, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/v1/pipeline/"+id, nil)
+	})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if status != http.StatusOK {
+		return JobStatus{}, fmt.Errorf("cluster: peer %s status %s: status %d", p.name, id, status)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(resBody, &js); err != nil {
+		return JobStatus{}, fmt.Errorf("cluster: peer %s status %s: bad response: %w", p.name, id, err)
+	}
+	return js, nil
+}
+
+// Cancel asks the peer to cancel a job — best effort during fallback;
+// the caller does not depend on the outcome.
+func (p *Peer) Cancel(ctx context.Context, id string) error {
+	status, _, _, err := p.tr.Do(ctx, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodPost, p.base+"/v1/pipeline/"+id+"/cancel", nil)
+	})
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK && status != http.StatusNotFound {
+		return fmt.Errorf("cluster: peer %s cancel %s: status %d", p.name, id, status)
+	}
+	return nil
+}

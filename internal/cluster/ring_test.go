@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// key returns a cache-key-shaped (32 hex) string per index.
+func key(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:16])
+}
+
+func TestRingDeterministicAcrossOrdering(t *testing.T) {
+	a, err := NewRing([]string{"node-a", "node-b", "node-c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"node-c", "node-a", "node-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := key(i)
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("ring ownership depends on node ordering: %s vs %s for %s",
+				a.Owner(k), b.Owner(k), k)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing([]string{"node-a", "node-b", "node-c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[r.Owner(key(i))]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own keys: %v", len(counts), counts)
+	}
+	// With 128 vnodes per node the expected share is 1/3; accept a wide
+	// band so the test pins "roughly balanced", not a hash accident.
+	for node, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.20 || frac > 0.47 {
+			t.Errorf("node %s owns %.1f%% of keys (want roughly a third): %v",
+				node, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingMinimalMovementOnNodeRemoval(t *testing.T) {
+	before, err := NewRing([]string{"node-a", "node-b", "node-c", "node-d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"node-a", "node-b", "node-c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8000
+	moved := 0
+	for i := 0; i < n; i++ {
+		k := key(i)
+		was, is := before.Owner(k), after.Owner(k)
+		if was == "node-d" {
+			continue // these keys must move; anywhere is fine
+		}
+		if was != is {
+			moved++
+		}
+	}
+	// Consistent hashing's whole point: removing one of four nodes moves
+	// only that node's ~25% share. Keys owned by survivors stay put.
+	if moved != 0 {
+		t.Fatalf("%d of %d survivor-owned keys changed owner on unrelated node removal", moved, n)
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(key(i)); got != "solo" {
+			t.Fatalf("single-node ring routed %s to %q", key(i), got)
+		}
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}); err == nil {
+		t.Error("empty node name accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,6 +18,7 @@ import (
 	"defectsim/internal/gatesim"
 	"defectsim/internal/layout"
 	"defectsim/internal/netlist"
+	"defectsim/internal/store"
 	"defectsim/internal/switchsim"
 	"defectsim/internal/transistor"
 )
@@ -97,7 +99,7 @@ func CacheKey(circuit string, cfg Config) string {
 
 // savePaths serializes concurrent same-path cache writes within this
 // process. The serving layer makes such writes likely (many jobs, one
-// cache file per result key); without the lock, two atomicWrite renames
+// cache file per result key); without the lock, two atomic-write renames
 // race benignly (last writer wins) but interleaved temp-file churn and
 // rename-over-rename traffic is pointless work. Readers still never need
 // the lock: loadCached always sees either the old or the new complete
@@ -127,16 +129,15 @@ func digestConfig(cfg Config) cacheConfig {
 	}
 }
 
-// Save writes the pipeline's simulation results to path: a checksummed
-// envelope written atomically (temp file + rename) so that a crash or a
-// concurrent reader never observes a truncated cache. Concurrent Saves
-// to the same path within one process are serialized (last writer wins).
-// Result-degraded runs are refused: their partial results would be served
-// to later cache hits as if complete (cache-load cannot tell the
-// difference — the key deliberately excludes execution budgets).
-func (p *Pipeline) Save(path string) error {
+// EncodeCache serializes the pipeline's simulation results as the
+// checksummed cache envelope — the exact bytes every store backend
+// persists and store.VerifyEnvelope validates. Result-degraded runs are
+// refused: their partial results would be served to later cache hits as
+// if complete (cache-load cannot tell the difference — the key
+// deliberately excludes execution budgets).
+func (p *Pipeline) EncodeCache() ([]byte, error) {
 	if p.ResultDegraded() {
-		return fmt.Errorf("experiments: refusing to cache a result-degraded run (%d degradations)", len(p.Degradations))
+		return nil, fmt.Errorf("experiments: refusing to cache a result-degraded run (%d degradations)", len(p.Degradations))
 	}
 	cf := cacheFile{
 		Circuit:         p.Netlist.Name,
@@ -171,7 +172,7 @@ func (p *Pipeline) Save(path string) error {
 	p.traceMu.Unlock()
 	payload, err := json.Marshal(&cf)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sum := sha256.Sum256(payload)
 	env := cacheEnvelope{
@@ -179,42 +180,24 @@ func (p *Pipeline) Save(path string) error {
 		Checksum: hex.EncodeToString(sum[:]),
 		Payload:  payload,
 	}
-	data, err := json.Marshal(&env)
+	return json.Marshal(&env)
+}
+
+// Save writes the pipeline's simulation results to path: a checksummed
+// envelope written atomically and durably (temp file + fsync + rename +
+// directory fsync, via store.AtomicWrite) so that a crash or a
+// concurrent reader never observes a truncated cache. Concurrent Saves
+// to the same path within one process are serialized (last writer wins).
+// Result-degraded runs are refused — see EncodeCache.
+func (p *Pipeline) Save(path string) error {
+	data, err := p.EncodeCache()
 	if err != nil {
 		return err
 	}
 	mu := savePathLock(path)
 	mu.Lock()
 	defer mu.Unlock()
-	return atomicWrite(path, data)
-}
-
-// atomicWrite writes data to path via a temp file in the same directory
-// and a rename, so path either keeps its old content or holds the
-// complete new content — never a partial write.
-func atomicWrite(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Chmod(tmpName, 0o644)
-	}
-	if werr == nil {
-		werr = os.Rename(tmpName, path)
-	}
-	if werr != nil {
-		os.Remove(tmpName)
-		return werr
-	}
-	return nil
+	return store.AtomicWrite(path, data)
 }
 
 // RunCached behaves like Run but reuses the simulation results stored at
@@ -234,13 +217,34 @@ func RunCached(nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool, e
 // recorded as a pipeline_cache_corrupt metric and a "cache" Degradation.
 // A failed cache write degrades the same way instead of erroring.
 func RunCachedCtx(ctx context.Context, nl *netlist.Netlist, cfg Config, path string) (*Pipeline, bool, error) {
+	return RunStoredCtx(ctx, nl, cfg, fileStore{path: path})
+}
+
+// RunStoredCtx is the store-backed generalization of RunCachedCtx: the
+// result is looked up in (and on a miss, persisted to) any store.Store —
+// the local filesystem cache, a remote peer, or a tiered combination.
+// The degradation contract is identical: a corrupt or unreadable entry
+// falls back to a fresh run (pipeline_cache_corrupt + "cache"
+// Degradation), a failed write degrades instead of erroring, and a
+// result-degraded run is never persisted to any backend.
+func RunStoredCtx(ctx context.Context, nl *netlist.Netlist, cfg Config, st store.Store) (*Pipeline, bool, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, false, err
 	}
 	reg := cfg.Obs.Metrics()
-	p, ok, corrupt := loadCached(ctx, nl, cfg, path)
-	if ok {
-		return p, true, nil
+	key := CacheKey(nl.Name, cfg)
+	var corrupt string
+	switch data, err := st.Get(ctx, key); {
+	case err == nil:
+		p, ok, c := decodeCache(ctx, nl, cfg, data)
+		if ok {
+			return p, true, nil
+		}
+		corrupt = c
+	case errors.Is(err, store.ErrNotFound):
+		// Ordinary miss.
+	default:
+		corrupt = fmt.Sprintf("store %s get failed: %v", st.Name(), err)
 	}
 	if corrupt != "" {
 		// Count before the run so the fallback shows up in the run report.
@@ -263,23 +267,69 @@ func RunCachedCtx(ctx context.Context, nl *netlist.Netlist, cfg Config, path str
 		// A budget- or deadline-degraded run holds partial results (fewer
 		// ATPG patterns, undecided faults). Persisting it would let a later
 		// request with no budgets hit the cache and receive the partial data
-		// as if it were complete — so degraded runs are never saved; the next
-		// unconstrained run misses, runs in full, and populates the cache.
+		// as if it were complete — so degraded runs are never saved to any
+		// backend; the next unconstrained run misses, runs in full, and
+		// populates the store.
 		reg.Counter("pipeline_cache_save_skipped_degraded").Inc()
 		if p.Report != nil {
 			p.Report.Events = append(p.Report.Events, "cache: degraded run not saved (partial results)")
 		}
-	} else if err := p.Save(path); err != nil {
+	} else if err := saveTo(ctx, p, st, key); err != nil {
 		reg.Counter("pipeline_cache_save_failures").Inc()
 		degradeCache("cache write failed: " + err.Error())
 	}
 	return p, false, nil
 }
 
-// loadCached attempts a cache hit. The corrupt return is non-empty when
-// the file exists but is unusable (parse failure, checksum mismatch,
-// version skew); an absent file or a clean config/circuit mismatch is an
-// ordinary miss with corrupt == "".
+// saveTo encodes the run and persists it under its cache key.
+func saveTo(ctx context.Context, p *Pipeline, st store.Store, key string) error {
+	data, err := p.EncodeCache()
+	if err != nil {
+		return err
+	}
+	return st.Put(ctx, key, data)
+}
+
+// fileStore adapts a single cache-file path to the Store interface so
+// RunCachedCtx shares the store-backed engine. The key is ignored: the
+// path, chosen by the caller, already encodes the identity (the serving
+// layer names files <key>.json; the CLI uses a fixed path per circuit).
+type fileStore struct{ path string }
+
+func (f fileStore) Name() string { return "file" }
+
+func (f fileStore) Get(_ context.Context, _ string) ([]byte, error) {
+	data, err := os.ReadFile(f.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", store.ErrNotFound, f.path)
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+func (f fileStore) Put(_ context.Context, _ string, data []byte) error {
+	mu := savePathLock(f.path)
+	mu.Lock()
+	defer mu.Unlock()
+	return store.AtomicWrite(f.path, data)
+}
+
+func (f fileStore) Stat(_ context.Context, _ string) (bool, error) {
+	if _, err := os.Stat(f.path); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// loadCached attempts a cache hit from a file path. The corrupt return
+// is non-empty when the file exists but is unusable (parse failure,
+// checksum mismatch, version skew); an absent file or a clean
+// config/circuit mismatch is an ordinary miss with corrupt == "".
 func loadCached(ctx context.Context, nl *netlist.Netlist, cfg Config, path string) (p *Pipeline, ok bool, corrupt string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -288,20 +338,45 @@ func loadCached(ctx context.Context, nl *netlist.Netlist, cfg Config, path strin
 		}
 		return nil, false, fmt.Sprintf("unreadable cache file %s: %v", path, err)
 	}
+	return decodeCache(ctx, nl, cfg, data)
+}
+
+// DecodeCached rebuilds a pipeline from envelope bytes fetched out of a
+// store backend — the forwarding path uses it to adopt a result computed
+// by the key's ring owner. Unlike the cache-miss path it returns an
+// error rather than silently falling back: the caller explicitly fetched
+// these bytes and needs to know why they were unusable.
+func DecodeCached(ctx context.Context, nl *netlist.Netlist, cfg Config, data []byte) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p, ok, corrupt := decodeCache(ctx, nl, cfg, data)
+	if ok {
+		return p, nil
+	}
+	if corrupt == "" {
+		corrupt = "envelope does not match this circuit/config (different cache key?)"
+	}
+	return nil, fmt.Errorf("experiments: decode cached result: %s", corrupt)
+}
+
+// decodeCache attempts a cache hit from envelope bytes (see loadCached
+// for the ok/corrupt contract).
+func decodeCache(ctx context.Context, nl *netlist.Netlist, cfg Config, data []byte) (p *Pipeline, ok bool, corrupt string) {
 	var env cacheEnvelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, false, fmt.Sprintf("cache file %s does not parse: %v", path, err)
+		return nil, false, fmt.Sprintf("cache envelope does not parse: %v", err)
 	}
 	if env.Version != cacheVersion {
-		return nil, false, fmt.Sprintf("cache file %s has version %d, want %d", path, env.Version, cacheVersion)
+		return nil, false, fmt.Sprintf("cache envelope has version %d, want %d", env.Version, cacheVersion)
 	}
 	sum := sha256.Sum256(env.Payload)
 	if hex.EncodeToString(sum[:]) != env.Checksum {
-		return nil, false, fmt.Sprintf("cache file %s fails its checksum (truncated or corrupted)", path)
+		return nil, false, "cache envelope fails its checksum (truncated or corrupted)"
 	}
 	var cf cacheFile
 	if err := json.Unmarshal(env.Payload, &cf); err != nil {
-		return nil, false, fmt.Sprintf("cache payload in %s does not parse: %v", path, err)
+		return nil, false, fmt.Sprintf("cache payload does not parse: %v", err)
 	}
 	if cf.Circuit != nl.Name || cf.Config != digestConfig(cfg) {
 		return nil, false, "" // ordinary miss: different circuit or config
@@ -311,6 +386,7 @@ func loadCached(ctx context.Context, nl *netlist.Netlist, cfg Config, path strin
 	reg := tr.Metrics()
 	load := tr.StartSpan("cache-load")
 	p = &Pipeline{Config: cfg, Netlist: nl}
+	var err error
 	sp := tr.StartSpan("layout")
 	p.Layout, err = layout.BuildCtx(ctx, nl, nil)
 	sp.End()

@@ -14,7 +14,9 @@ package faultinject
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,7 +37,53 @@ const (
 	// HookSwitchSimVector fires once per vector applied by the
 	// switch-level fault simulator.
 	HookSwitchSimVector = "switchsim.vector"
+	// HookStoreGet / HookStorePut / HookStoreStat fire on entry to the
+	// corresponding operation of a result-store backend (internal/store),
+	// with the target carrying the backend name.
+	HookStoreGet  = "store.get"
+	HookStorePut  = "store.put"
+	HookStoreStat = "store.stat"
+	// HookCacheWrite fires inside the atomic cache write, after the temp
+	// file is written and fsynced but before the rename commits it. The
+	// target carries the temp file path, so a test can verify the data is
+	// durable-ordered before the rename; an injected error aborts the
+	// write (the crash-before-commit case), leaving the destination
+	// untouched.
+	HookCacheWrite = "cache.write"
+	// HookNetRequest fires once per HTTP attempt of the remote-store and
+	// cluster-peer clients, before the request is sent, with the target
+	// carrying the destination host. An injected error is treated as a
+	// transport failure (retryable, breaker-counted) — the standard way to
+	// make a peer unreachable in tests.
+	HookNetRequest = "net.request"
+	// HookStoreServeGet fires in the serving layer's store GET handler
+	// before the envelope is written. Returning ErrPartialResponse makes
+	// the handler advertise the full Content-Length but truncate the body
+	// mid-envelope — the canonical partial-response injection.
+	HookStoreServeGet = "store.serve.get"
 )
+
+// ErrPartialResponse, returned from a HookStoreServeGet hook, instructs
+// the store GET handler to send a truncated body under the full
+// Content-Length, so the client observes a short read instead of a clean
+// error.
+var ErrPartialResponse = errors.New("faultinject: partial response injected")
+
+// targetKey carries the hook target (a peer host, a backend name, a temp
+// file path) through the context so one global hook point can act on a
+// specific destination.
+type targetKey struct{}
+
+// WithTarget returns ctx annotated with the firing site's target.
+func WithTarget(ctx context.Context, target string) context.Context {
+	return context.WithValue(ctx, targetKey{}, target)
+}
+
+// TargetFrom returns the target annotated by WithTarget, or "".
+func TargetFrom(ctx context.Context) string {
+	t, _ := ctx.Value(targetKey{}).(string)
+	return t
+}
 
 // Hook is a behavior injected at a hook point. A non-nil returned error
 // aborts the surrounding stage with that error; a panic exercises the
@@ -126,6 +174,32 @@ func After(n int, fn Hook) Hook {
 	var calls atomic.Int64
 	return func(ctx context.Context) error {
 		if calls.Add(1) < int64(n) {
+			return nil
+		}
+		return fn(ctx)
+	}
+}
+
+// Until returns a Hook that behaves like fn for the first n firings and
+// passes forever after — the complement of After, for a peer or backend
+// that is down for a while and then recovers.
+func Until(n int, fn Hook) Hook {
+	var calls atomic.Int64
+	return func(ctx context.Context) error {
+		if calls.Add(1) > int64(n) {
+			return nil
+		}
+		return fn(ctx)
+	}
+}
+
+// ForTarget returns a Hook that applies fn only when the firing context's
+// target (WithTarget) contains the given substring, passing every other
+// firing. Substring matching lets a test name a peer by host:port while
+// the firing site annotates a fuller URL or path.
+func ForTarget(target string, fn Hook) Hook {
+	return func(ctx context.Context) error {
+		if target != "" && !strings.Contains(TargetFrom(ctx), target) {
 			return nil
 		}
 		return fn(ctx)

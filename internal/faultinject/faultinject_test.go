@@ -125,3 +125,45 @@ func TestConcurrentFireAndSet(t *testing.T) {
 		t.Fatalf("harness not disarmed after test: %v", err)
 	}
 }
+
+func TestUntilPassesAfterN(t *testing.T) {
+	boom := errors.New("down")
+	h := Until(2, Fail(boom))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := h(ctx); !errors.Is(err, boom) {
+			t.Fatalf("firing %d: got %v, want boom", i+1, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := h(ctx); err != nil {
+			t.Fatalf("recovered firing %d: got %v, want nil", i+1, err)
+		}
+	}
+}
+
+func TestForTargetFiltersByContext(t *testing.T) {
+	boom := errors.New("unreachable")
+	h := ForTarget("peer-b:8447", Fail(boom))
+	hit := WithTarget(context.Background(), "http://peer-b:8447/v1/pipeline")
+	if err := h(hit); !errors.Is(err, boom) {
+		t.Fatalf("matching target: got %v, want boom", err)
+	}
+	miss := WithTarget(context.Background(), "http://peer-c:8447/v1/pipeline")
+	if err := h(miss); err != nil {
+		t.Fatalf("other target: got %v, want nil", err)
+	}
+	if err := h(context.Background()); err != nil {
+		t.Fatalf("no target annotation: got %v, want nil", err)
+	}
+}
+
+func TestTargetFromRoundTrip(t *testing.T) {
+	if got := TargetFrom(context.Background()); got != "" {
+		t.Fatalf("bare context target = %q, want empty", got)
+	}
+	ctx := WithTarget(context.Background(), "fs")
+	if got := TargetFrom(ctx); got != "fs" {
+		t.Fatalf("target = %q, want fs", got)
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"defectsim/internal/cluster"
+	"defectsim/internal/experiments"
+	"defectsim/internal/netlist"
+)
+
+// Batch submission: POST /v1/pipeline:batch accepts many pipeline
+// requests in one round trip and admits them through one critical
+// section, amortizing the per-submission admission, coalescing and
+// routing cost. Each item succeeds or fails on its own — a shed or
+// invalid item never poisons its neighbors — and the response carries a
+// per-item status so a client can retry exactly the items that need it.
+
+// BatchRequest is the JSON body of POST /v1/pipeline:batch.
+type BatchRequest struct {
+	// Items are individual pipeline submissions, each with the
+	// PipelineRequest shape.
+	Items []json.RawMessage `json:"items"`
+}
+
+// BatchItem is one decoded batch entry: either a runnable submission or
+// its decode error.
+type BatchItem struct {
+	Req *PipelineRequest
+	Cfg experiments.Config
+	Nl  *netlist.Netlist
+	// Body is the item's raw JSON, retained for forwarding.
+	Body []byte
+	// Err is the item's decode/validation failure; nil for a valid item.
+	Err error
+}
+
+// DecodeBatchRequest parses and validates a batch submission. The error
+// return covers envelope-level failures (unparseable body, empty batch,
+// too many items); per-item failures land in the item's Err so one bad
+// item does not reject the batch.
+func DecodeBatchRequest(data []byte, limits Config) ([]BatchItem, error) {
+	var req BatchRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Items) == 0 {
+		return nil, errors.New("batch has no items")
+	}
+	maxBatch := limits.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	if len(req.Items) > maxBatch {
+		return nil, fmt.Errorf("batch has %d items, the maximum is %d", len(req.Items), maxBatch)
+	}
+	items := make([]BatchItem, len(req.Items))
+	for i, raw := range req.Items {
+		body := []byte(raw)
+		r, cfg, nl, err := DecodeRequest(body, limits)
+		items[i] = BatchItem{Req: r, Cfg: cfg, Nl: nl, Body: body, Err: err}
+	}
+	return items, nil
+}
+
+// batchItemResult is the per-item response entry.
+type batchItemResult struct {
+	Index  int    `json:"index"`
+	Status string `json:"status"` // accepted | coalesced | shed | invalid
+	// RetryAfterS hints when to resubmit a shed item (seconds).
+	RetryAfterS int        `json:"retry_after_s,omitempty"`
+	Job         *jobStatus `json:"job,omitempty"`
+	Error       *apiError  `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Items []batchItemResult `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	// Decode and validate every item OUTSIDE the admission lock — parsing
+	// and netlist construction are the expensive part and need no server
+	// state beyond the immutable limits.
+	items, err := DecodeBatchRequest(data, s.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	requestID := RequestIDFrom(r.Context())
+	noForward := r.Header.Get(cluster.ForwardedHeader) != ""
+
+	resp := batchResponse{Items: make([]batchItemResult, len(items))}
+	type admitted struct {
+		index     int
+		j         *job
+		coalesced bool
+	}
+	var admit []admitted
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable, apiError{Message: ErrDraining.Error()})
+		return
+	}
+	for i, it := range items {
+		if it.Err != nil {
+			continue // filled in below, outside the lock
+		}
+		j, coalesced, err := s.admitLocked(submission{
+			circuit:   it.Nl.Name,
+			nl:        it.Nl,
+			cfg:       it.Cfg,
+			requestID: requestID,
+			body:      it.Body,
+			noForward: noForward,
+		})
+		if err != nil {
+			resp.Items[i] = batchItemResult{Index: i, Status: "shed",
+				Error: &apiError{Message: err.Error()}}
+			continue
+		}
+		admit = append(admit, admitted{index: i, j: j, coalesced: coalesced})
+	}
+	s.mu.Unlock()
+
+	anyShed := false
+	for i, it := range items {
+		if it.Err != nil {
+			resp.Items[i] = batchItemResult{Index: i, Status: "invalid",
+				Error: &apiError{Message: it.Err.Error()}}
+		} else if resp.Items[i].Status == "shed" {
+			anyShed = true
+		}
+	}
+	if anyShed {
+		// One consistent hint for every shed item, computed after admission
+		// so it reflects the backlog this batch just created.
+		retryAfter := s.retryAfterSeconds()
+		for i := range resp.Items {
+			if resp.Items[i].Status == "shed" {
+				resp.Items[i].RetryAfterS = retryAfter
+			}
+		}
+	}
+	for _, a := range admit {
+		st := s.status(a.j)
+		status := "accepted"
+		if a.coalesced {
+			status = "coalesced"
+		}
+		resp.Items[a.index] = batchItemResult{Index: a.index, Status: status, Job: &st}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

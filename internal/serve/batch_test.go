@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"defectsim/internal/faultinject"
+)
+
+// TestBatchSubmitMixed submits one batch carrying a new job, an identical
+// duplicate and an invalid item, and checks each gets its own status:
+// accepted / coalesced (onto the first item's job, admitted in the same
+// critical section) / invalid — one bad item never poisons the batch.
+func TestBatchSubmitMixed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4, CacheDir: t.TempDir()})
+
+	body := fmt.Sprintf(`{"items":[%s,%s,%s]}`,
+		smallC17, smallC17, `{"circuit":"c17","bogus_knob":1}`)
+	code, _, data := post(t, ts.URL+"/v1/pipeline:batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d, want 200; body: %s", code, data)
+	}
+	resp := decode[batchResponse](t, data)
+	if len(resp.Items) != 3 {
+		t.Fatalf("batch returned %d items, want 3", len(resp.Items))
+	}
+	if resp.Items[0].Status != "accepted" || resp.Items[0].Job == nil {
+		t.Fatalf("item 0 = %+v, want accepted with job", resp.Items[0])
+	}
+	if resp.Items[1].Status != "coalesced" || resp.Items[1].Job == nil {
+		t.Fatalf("item 1 = %+v, want coalesced with job", resp.Items[1])
+	}
+	if resp.Items[0].Job.ID != resp.Items[1].Job.ID {
+		t.Fatalf("duplicate item got job %s, want %s (coalesced onto item 0)",
+			resp.Items[1].Job.ID, resp.Items[0].Job.ID)
+	}
+	if resp.Items[2].Status != "invalid" || resp.Items[2].Error == nil {
+		t.Fatalf("item 2 = %+v, want invalid with error", resp.Items[2])
+	}
+	if code, _ := waitResult(t, ts, resp.Items[0].Job.ID); code != http.StatusOK {
+		t.Fatalf("batched job result = %d, want 200", code)
+	}
+}
+
+// TestBatchShedRetryAfter fills the worker and the queue, then batches
+// three more distinct jobs: exactly one fits the queue, the other two are
+// shed with the adaptive Retry-After hint reflecting the post-admission
+// backlog (base 1s × (1 + backlog 2 / workers 1) = 3s).
+func TestBatchShedRetryAfter(t *testing.T) {
+	hook, release := blockHook()
+	defer faultinject.Set(faultinject.HookGateSimBlock, hook)()
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, CacheDir: t.TempDir()})
+
+	st := submitJob(t, ts, `{"circuit":"c17","random_vectors":48,"seed":10}`)
+	waitState(t, ts, st.ID, StateRunning)
+
+	body := `{"items":[` +
+		`{"circuit":"c17","random_vectors":48,"seed":11},` +
+		`{"circuit":"c17","random_vectors":48,"seed":12},` +
+		`{"circuit":"c17","random_vectors":48,"seed":13}]}`
+	code, _, data := post(t, ts.URL+"/v1/pipeline:batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d, want 200; body: %s", code, data)
+	}
+	resp := decode[batchResponse](t, data)
+	counts := map[string]int{}
+	for _, it := range resp.Items {
+		counts[it.Status]++
+		if it.Status == "shed" {
+			if it.RetryAfterS != 3 {
+				t.Fatalf("shed item %d retry_after_s = %d, want 3", it.Index, it.RetryAfterS)
+			}
+			if it.Error == nil {
+				t.Fatalf("shed item %d has no error", it.Index)
+			}
+		}
+	}
+	if counts["accepted"] != 1 || counts["shed"] != 2 {
+		t.Fatalf("batch statuses = %v, want 1 accepted / 2 shed", counts)
+	}
+	release()
+}
+
+// TestBatchRejectsEnvelope covers the whole-batch rejection paths: an
+// empty batch, unparseable JSON, and more items than MaxBatch.
+func TestBatchRejectsEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, MaxBatch: 2})
+
+	for name, body := range map[string]string{
+		"empty":     `{"items":[]}`,
+		"malformed": `{"items":`,
+		"unknown":   `{"itemz":[{}]}`,
+		"oversize":  fmt.Sprintf(`{"items":[%s,%s,%s]}`, smallC17, smallC17, smallC17),
+	} {
+		if code, _, data := post(t, ts.URL+"/v1/pipeline:batch", body); code != http.StatusBadRequest {
+			t.Fatalf("%s batch = %d, want 400; body: %s", name, code, data)
+		}
+	}
+}
+
+// FuzzDecodeBatchRequest asserts the batch decoder never panics and keeps
+// its envelope invariants on arbitrary input: a nil error implies a
+// non-empty, size-capped item list in which every entry is either a fully
+// decoded submission or carries its own error.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"items":[` + smallC17 + `]}`))
+	f.Add([]byte(`{"items":[` + smallC17 + `,` + smallC17 + `]}`))
+	f.Add([]byte(`{"items":[]}`))
+	f.Add([]byte(`{"items":[{}]}`))
+	f.Add([]byte(`{"items":[{"circuit":"c17","bogus":1}]}`))
+	f.Add([]byte(`{"items":[{"circuit":"nope"}]}`))
+	f.Add([]byte(`{"items":[{"circuit":"c17","seed":-1,"random_vectors":1e9}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"items":[` + smallC17 + `]} trailing`))
+
+	limits := Config{MaxBatch: 8}.withDefaults()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // the handler bounds bodies long before the decoder
+		}
+		if strings.Contains(string(data), `"circuit"`) &&
+			!strings.Contains(string(data), "c17") {
+			// Keep the fuzzer from spending its budget building large
+			// benchmark netlists; decode validity is circuit-independent.
+			return
+		}
+		items, err := DecodeBatchRequest(data, limits)
+		if err != nil {
+			return
+		}
+		if len(items) == 0 || len(items) > limits.MaxBatch {
+			t.Fatalf("decoded %d items with nil error (max %d)", len(items), limits.MaxBatch)
+		}
+		for i, it := range items {
+			if len(it.Body) == 0 {
+				t.Fatalf("item %d: empty retained body", i)
+			}
+			if it.Err == nil && (it.Req == nil || it.Nl == nil) {
+				t.Fatalf("item %d: no error but incomplete decode (%+v)", i, it)
+			}
+		}
+	})
+}

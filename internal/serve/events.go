@@ -36,15 +36,19 @@ type JobEvent struct {
 // Event types, in lifecycle order. done, failed and cancelled are
 // terminal: exactly one of them ends every stream.
 const (
-	EventQueued     = "queued"
-	EventCoalesced  = "coalesced"
-	EventRunning    = "running"
-	EventStageStart = "stage_start"
-	EventStageEnd   = "stage_end"
-	EventDegraded   = "degraded"
-	EventDone       = "done"
-	EventFailed     = "failed"
-	EventCancelled  = "cancelled"
+	EventQueued    = "queued"
+	EventCoalesced = "coalesced"
+	EventRunning   = "running"
+	EventForwarded = "forwarded" // routed to the key's ring owner
+	// EventForwardFallback marks a forward that failed and degraded to a
+	// local run (the job still terminates normally).
+	EventForwardFallback = "forward_fallback"
+	EventStageStart      = "stage_start"
+	EventStageEnd        = "stage_end"
+	EventDegraded        = "degraded"
+	EventDone            = "done"
+	EventFailed          = "failed"
+	EventCancelled       = "cancelled"
 )
 
 func terminalEvent(typ string) bool {

@@ -9,8 +9,11 @@ import (
 	"strconv"
 	"time"
 
+	"defectsim/internal/cluster"
 	"defectsim/internal/experiments"
+	"defectsim/internal/faultinject"
 	"defectsim/internal/obs"
+	"defectsim/internal/store"
 )
 
 // apiError is the structured error payload of every non-2xx JSON
@@ -65,6 +68,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/fit", s.route("/v1/fit", s.handleFit))
 	mux.HandleFunc("POST /v1/coverage", s.route("/v1/coverage", s.handleCoverage))
 	mux.HandleFunc("POST /v1/pipeline", s.route("/v1/pipeline", s.handleSubmit))
+	mux.HandleFunc("POST /v1/pipeline:batch", s.route("/v1/pipeline:batch", s.handleBatch))
+	mux.HandleFunc("GET /v1/store/{key}", s.route("/v1/store/{key}", s.handleStoreGet))
+	mux.HandleFunc("PUT /v1/store/{key}", s.route("/v1/store/{key}", s.handleStorePut))
 	mux.HandleFunc("GET /v1/pipeline/{id}", s.route("/v1/pipeline/{id}", s.handleStatus))
 	mux.HandleFunc("GET /v1/pipeline/{id}/result", s.route("/v1/pipeline/{id}/result", s.handleResult))
 	mux.HandleFunc("GET /v1/pipeline/{id}/events", s.route("/v1/pipeline/{id}/events", s.handleEvents))
@@ -165,14 +171,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
 		return
 	}
-	j, coalesced, err := s.submit(nl.Name, nl, cfg, RequestIDFrom(r.Context()))
+	j, coalesced, err := s.submit(submission{
+		circuit:   nl.Name,
+		nl:        nl,
+		cfg:       cfg,
+		requestID: RequestIDFrom(r.Context()),
+		body:      data,
+		noForward: r.Header.Get(cluster.ForwardedHeader) != "",
+	})
 	switch {
 	case errors.Is(err, ErrShed):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, apiError{Message: err.Error()})
 		return
 	case errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, apiError{Message: err.Error()})
 		return
 	case err != nil:
@@ -297,6 +310,100 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// maxStoreBlob bounds an accepted /v1/store PUT body — far above any
+// real cache envelope, low enough to stop a hostile peer from
+// ballooning the handler.
+const maxStoreBlob = 256 << 20
+
+// handleStoreGet serves a result envelope (GET) or its existence (HEAD)
+// out of this node's store — the peer-facing side of the remote store
+// backend. The store.serve.get faultinject hook sits between the lookup
+// and the write so tests can inject partial responses (full
+// Content-Length, truncated body) and exercise the client's short-read
+// recovery.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, apiError{Message: "invalid store key"})
+		return
+	}
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, apiError{Message: "no result store configured"})
+		return
+	}
+	if r.Method == http.MethodHead {
+		ok, err := s.store.Stat(r.Context(), key)
+		switch {
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, apiError{Message: err.Error()})
+		case ok:
+			w.WriteHeader(http.StatusOK)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+		return
+	}
+	data, err := s.store.Get(r.Context(), key)
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, apiError{Message: "no entry for key " + key})
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, apiError{Message: err.Error()})
+		return
+	}
+	if err := faultinject.Fire(faultinject.WithTarget(r.Context(), key), faultinject.HookStoreServeGet); err != nil {
+		if errors.Is(err, faultinject.ErrPartialResponse) {
+			// Advertise the full length, send half, drop the connection's
+			// worth of trust: the client must detect the short read.
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(data[:len(data)/2])
+			return
+		}
+		writeError(w, http.StatusInternalServerError, apiError{Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// handleStorePut accepts a result envelope from a peer. The envelope is
+// verified (checksum) before it can touch the store, and an existing
+// entry short-circuits to success — content-addressed keys make every
+// Put idempotent, so replays and duplicate replications are free.
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, apiError{Message: "invalid store key"})
+		return
+	}
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable, apiError{Message: "no result store configured"})
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStoreBlob))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	if err := store.VerifyEnvelope(data); err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	if ok, err := s.store.Stat(r.Context(), key); err == nil && ok {
+		w.WriteHeader(http.StatusOK) // already present: idempotent no-op
+		return
+	}
+	if err := s.store.Put(r.Context(), key, data); err != nil {
+		writeError(w, http.StatusInternalServerError, apiError{Message: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
 }
 
 // handleMetrics serves the server-level registry — every serve_*

@@ -38,7 +38,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"path/filepath"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -46,10 +45,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"defectsim/internal/cluster"
 	"defectsim/internal/experiments"
 	"defectsim/internal/netlist"
 	"defectsim/internal/obs"
 	"defectsim/internal/par"
+	"defectsim/internal/store"
 )
 
 // Config parameterizes a Server. The zero value is usable: every field
@@ -81,13 +82,30 @@ type Config struct {
 	// after the budget expired (the simulators poll their context at
 	// ~100ms granularity). Default 5s.
 	DrainGrace time.Duration
-	// RetryAfter is the Retry-After hint attached to shed (429) and
-	// draining (503) responses. Default 1s.
+	// RetryAfter is the base Retry-After hint attached to shed (429) and
+	// draining (503) responses. The served hint scales with the backlog —
+	// a full queue on busy workers hints longer waits than a transient
+	// spike — up to RetryAfterMax. Default 1s.
 	RetryAfter time.Duration
+	// RetryAfterMax caps the adaptive Retry-After hint. Default 8×RetryAfter.
+	RetryAfterMax time.Duration
 	// CacheDir, when non-empty, holds one result-cache file per cache key,
 	// so repeated submissions of a finished configuration are served from
-	// cache (experiments.RunCachedCtx). Empty disables the cache.
+	// cache. Empty disables the cache (unless Store is set directly).
 	CacheDir string
+	// Store overrides the result store backend. Nil with a CacheDir builds
+	// a store.FS over it; nil without one disables result caching. The
+	// serving layer persists every complete run here and serves the
+	// /v1/store API from it.
+	Store store.Store
+	// Cluster, when non-nil, routes pipeline submissions across a static
+	// peer ring: a job whose cache key is owned by another node is
+	// forwarded there (and its result fetched back through the owner's
+	// /v1/store API); any forwarding failure falls back to a local run.
+	Cluster *cluster.Cluster
+	// MaxBatch bounds the items of one /v1/pipeline:batch submission.
+	// Default 64.
+	MaxBatch int
 	// MaxJobs bounds the finished-job records retained for status/result
 	// queries; the oldest finished jobs are evicted first. Default 1024.
 	MaxJobs int
@@ -115,6 +133,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.RetryAfterMax <= 0 {
+		c.RetryAfterMax = 8 * c.RetryAfter
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
@@ -145,6 +169,11 @@ type job struct {
 	cfg       experiments.Config
 	nl        *netlist.Netlist
 	events    *eventLog
+	// fwdBody is the validated request body, kept for forwarding to the
+	// key's ring owner; noForward pins the job to local execution (set on
+	// submissions that were themselves forwarded — the anti-loop guard).
+	fwdBody   []byte
+	noForward bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -157,6 +186,7 @@ type job struct {
 	coalesced int64 // extra submissions sharing this run
 	pipe      *experiments.Pipeline
 	cacheHit  bool
+	remote    string // peer that computed the adopted result, if any
 	err       error
 }
 
@@ -183,6 +213,10 @@ type Server struct {
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// store is the resolved result store (cfg.Store, or an FS store over
+	// cfg.CacheDir); nil when caching is disabled.
+	store store.Store
 
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast whenever queued/running change
@@ -263,6 +297,17 @@ func New(cfg Config) *Server {
 	if s.logger == nil {
 		s.logger = slog.New(nopLog{})
 	}
+	s.store = cfg.Store
+	if s.store == nil && cfg.CacheDir != "" {
+		fs, err := store.NewFS(cfg.CacheDir, store.NewMetrics(cfg.Obs.Metrics()))
+		if err != nil {
+			// A broken cache dir degrades to uncached serving — the cache is
+			// an optimization, not a precondition for answering requests.
+			s.logger.Warn("result store disabled", "cache_dir", cfg.CacheDir, "error", err)
+		} else {
+			s.store = fs
+		}
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.mQueueDepth = s.reg.Gauge("serve_queue_depth")
 	s.mInflight = s.reg.Gauge("serve_inflight")
@@ -325,15 +370,37 @@ func coalesceKey(cacheKey string, cfg experiments.Config) string {
 	return b.String()
 }
 
+// submission is one decoded, validated pipeline request on its way into
+// the admission queue.
+type submission struct {
+	circuit   string
+	nl        *netlist.Netlist
+	cfg       experiments.Config
+	requestID string
+	// body is the raw (already validated) request body, retained so the
+	// job can be forwarded verbatim to its ring owner.
+	body []byte
+	// noForward pins execution to this node (set on requests that carry
+	// the forwarded marker — the anti-loop guard).
+	noForward bool
+}
+
 // submit admits a decoded request: it either coalesces onto an identical
 // live job, enqueues a new one, or fails with ErrShed / ErrDraining.
-// It never blocks on the worker pool. requestID is the correlation ID of
-// the submitting HTTP request; the job carries it into its run report.
-func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Config, requestID string) (j *job, coalesced bool, err error) {
-	key := experiments.CacheKey(circuit, cfg)
-	ckey := coalesceKey(key, cfg)
+// It never blocks on the worker pool.
+func (s *Server) submit(sub submission) (j *job, coalesced bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.admitLocked(sub)
+}
+
+// admitLocked is submit's body under an already-held s.mu — the batch
+// endpoint admits many decoded submissions in one critical section
+// instead of bouncing the lock per item.
+func (s *Server) admitLocked(sub submission) (j *job, coalesced bool, err error) {
+	circuit, nl, cfg, requestID := sub.circuit, sub.nl, sub.cfg, sub.requestID
+	key := experiments.CacheKey(circuit, cfg)
+	ckey := coalesceKey(key, cfg)
 	if s.draining {
 		return nil, false, ErrDraining
 	}
@@ -358,6 +425,8 @@ func (s *Server) submit(circuit string, nl *netlist.Netlist, cfg experiments.Con
 		cfg:       cfg,
 		nl:        nl,
 		events:    newEventLog(),
+		fwdBody:   sub.body,
+		noForward: sub.noForward,
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     StateQueued,
@@ -550,17 +619,108 @@ func (s *Server) runJob(j *job) {
 	}()
 
 	s.mRuns.Inc()
-	var (
-		p   *experiments.Pipeline
-		hit bool
-		err error
-	)
-	if s.cfg.CacheDir != "" {
-		p, hit, err = experiments.RunCachedCtx(j.ctx, j.nl, j.cfg, filepath.Join(s.cfg.CacheDir, j.key+".json"))
-	} else {
-		p, err = experiments.RunCtx(j.ctx, j.nl, j.cfg)
+	s.finish(s.execute(j))
+}
+
+// execute runs one job: forwarded to its ring owner when the cluster
+// says another node owns the key, locally otherwise — and locally as the
+// fallback for every forwarding failure. Availability beats locality:
+// the only jobs that fail are jobs whose pipeline itself fails.
+func (s *Server) execute(j *job) (_ *job, p *experiments.Pipeline, hit bool, err error) {
+	c := s.cfg.Cluster
+	if c != nil && !j.noForward && len(j.fwdBody) > 0 {
+		if owner := c.Owner(j.key); owner != c.Self() {
+			if p, ok := s.runForwarded(j, owner); ok {
+				return j, p, true, nil
+			}
+			if j.ctx.Err() != nil {
+				// Cancelled while forwarding: settle through the usual path.
+				return j, nil, false, j.ctx.Err()
+			}
+			j.events.emit(EventForwardFallback, "", "running locally after forward to "+owner+" failed")
+		}
 	}
-	s.finish(j, p, hit, err)
+	if s.store != nil {
+		p, hit, err = experiments.RunStoredCtx(j.ctx, j.nl, j.cfg, s.store)
+		return j, p, hit, err
+	}
+	p, err = experiments.RunCtx(j.ctx, j.nl, j.cfg)
+	return j, p, false, err
+}
+
+// runForwarded submits the job's body to the ring owner, polls the
+// remote job to a terminal state, fetches the result envelope from the
+// owner's store, and adopts it locally (backfilling this node's store).
+// Any failure — submit, poll, remote run, fetch, decode — returns ok
+// false and the caller runs locally; a remote result-degraded run also
+// lands here structurally, because degraded runs are never persisted to
+// any store and the fetch misses.
+func (s *Server) runForwarded(j *job, owner string) (*experiments.Pipeline, bool) {
+	c := s.cfg.Cluster
+	m := c.Metrics()
+	peer := c.Peer(owner)
+	if peer == nil {
+		m.FallbackLocal("unknown_peer")
+		return nil, false
+	}
+	fail := func(outcome, detail string) (*experiments.Pipeline, bool) {
+		m.ForwardOutcome(owner, outcome)
+		m.FallbackLocal(outcome)
+		s.logger.Warn("forward failed, falling back to local run",
+			"job", j.id, "peer", owner, "outcome", outcome, "detail", detail)
+		return nil, false
+	}
+	j.events.emit(EventForwarded, "", "key "+j.key+" owned by "+owner)
+	s.logger.Info("job forwarded", "job", j.id, "peer", owner, "key", j.key)
+	js, err := peer.Submit(j.ctx, j.fwdBody, j.requestID)
+	if err != nil {
+		return fail("submit_error", err.Error())
+	}
+	tick := time.NewTicker(c.PollInterval())
+	defer tick.Stop()
+	for !js.Terminal() {
+		select {
+		case <-j.ctx.Done():
+			// The local submitter cancelled (or is draining): release the
+			// remote run best-effort and settle locally.
+			cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = peer.Cancel(cctx, js.ID)
+			cancel()
+			m.ForwardOutcome(owner, "cancelled")
+			return nil, false
+		case <-tick.C:
+		}
+		if js, err = peer.Status(j.ctx, js.ID); err != nil {
+			return fail("poll_error", err.Error())
+		}
+	}
+	if js.State != StateDone {
+		detail := js.State
+		if js.Error != nil {
+			detail += ": " + js.Error.Message
+		}
+		return fail("remote_"+js.State, detail)
+	}
+	data, err := peer.Store().Get(j.ctx, j.key)
+	if err != nil {
+		return fail("fetch_error", err.Error())
+	}
+	p, err := experiments.DecodeCached(j.ctx, j.nl, j.cfg, data)
+	if err != nil {
+		return fail("decode_error", err.Error())
+	}
+	if s.store != nil {
+		// Backfill this node's store so the next submission of this key is
+		// a local hit. Best effort: the result is already in hand.
+		if err := s.store.Put(j.ctx, j.key, data); err != nil {
+			s.logger.Warn("store backfill failed", "job", j.id, "key", j.key, "error", err)
+		}
+	}
+	j.mu.Lock()
+	j.remote = owner
+	j.mu.Unlock()
+	m.ForwardOutcome(owner, "ok")
+	return p, true
 }
 
 // finish classifies a run's outcome onto the job record, stamps the
@@ -590,7 +750,7 @@ func (s *Server) finish(j *job, p *experiments.Pipeline, cacheHit bool, err erro
 		j.state = StateFailed
 		s.mFailed.Inc()
 	}
-	state, elapsed := j.state, j.finished.Sub(j.started)
+	state, elapsed, remote := j.state, j.finished.Sub(j.started), j.remote
 	j.mu.Unlock()
 
 	if p != nil {
@@ -603,6 +763,9 @@ func (s *Server) finish(j *job, p *experiments.Pipeline, cacheHit bool, err erro
 		detail := ""
 		if cacheHit {
 			detail = "served from result cache"
+		}
+		if remote != "" {
+			detail = "adopted result computed by " + remote
 		}
 		j.events.emit(EventDone, "", detail)
 	case StateCancelled:
@@ -734,3 +897,27 @@ func (s *Server) waitIdle(ctx context.Context, timeout time.Duration) bool {
 // Metrics returns the server's obs registry (the one behind /metrics) —
 // test and daemon access to the serve_* instruments.
 func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Store returns the resolved result store backend (nil when caching is
+// disabled).
+func (s *Server) Store() store.Store { return s.store }
+
+// retryAfterSeconds computes the adaptive Retry-After hint attached to
+// shed and draining responses: the base hint scaled by the backlog per
+// worker, capped at RetryAfterMax. An idle server hints the base; a
+// server shedding with a full queue tells clients to stay away roughly
+// one queue-drain longer, so synchronized retries do not re-shed.
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	backlog := s.queued + s.running
+	s.mu.Unlock()
+	d := time.Duration(float64(s.cfg.RetryAfter) * (1 + float64(backlog)/float64(s.cfg.Workers)))
+	if d > s.cfg.RetryAfterMax {
+		d = s.cfg.RetryAfterMax
+	}
+	secs := int(d.Seconds() + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -223,8 +223,10 @@ func TestLoadShed(t *testing.T) {
 	if took := time.Since(start); took > 2*time.Second {
 		t.Fatalf("shed response took %v; shedding must not block", took)
 	}
-	if got := hdr.Get("Retry-After"); got != "7" {
-		t.Fatalf("Retry-After = %q, want %q", got, "7")
+	// The hint adapts to the backlog: base 7s scaled by (1 + backlog/workers)
+	// with one job running and one queued on one worker = 21s.
+	if got := hdr.Get("Retry-After"); got != "21" {
+		t.Fatalf("Retry-After = %q, want %q (adaptive: 7s base × 3)", got, "21")
 	}
 	var eb errorBody
 	if err := json.Unmarshal(data, &eb); err != nil || eb.Error.Message == "" {
@@ -232,6 +234,10 @@ func TestLoadShed(t *testing.T) {
 	}
 	if s.Metrics().Counter("serve_shed_total").Value() != 1 {
 		t.Fatalf("serve_shed_total = %d, want 1", s.Metrics().Counter("serve_shed_total").Value())
+	}
+	if got := s.Metrics().CounterVec("serve_requests_total", "route", "code").
+		With("/v1/pipeline", "429").Value(); got != 1 {
+		t.Fatalf(`serve_requests_total{/v1/pipeline,429} = %d, want 1`, got)
 	}
 
 	// Unblock: both admitted jobs finish.

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"defectsim/internal/experiments"
+	"defectsim/internal/faultinject"
+	"defectsim/internal/store"
+)
+
+// envelopeFor runs the pipeline once in-process and returns the cache key
+// and envelope bytes a completed run of body would persist — the ground
+// truth for the /v1/store wire tests.
+func envelopeFor(t *testing.T, body string, limits Config) (key string, env []byte) {
+	t.Helper()
+	_, cfg, nl, err := DecodeRequest([]byte(body), limits)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	p, err := experiments.RunCtx(context.Background(), nl, cfg)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	env, err = p.EncodeCache()
+	if err != nil {
+		t.Fatalf("EncodeCache: %v", err)
+	}
+	return experiments.CacheKey(nl.Name, cfg), env
+}
+
+func doReq(t *testing.T, method, url string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer res.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return res.StatusCode, buf.Bytes()
+}
+
+// TestStoreEndpoints exercises the peer-facing store API end to end:
+// miss, idempotent PUT, byte-exact GET, HEAD, and the rejection paths
+// (malformed key, corrupt envelope).
+func TestStoreEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheDir: t.TempDir()})
+	key, env := envelopeFor(t, smallC17, s.cfg)
+	url := ts.URL + "/v1/store/" + key
+
+	if code, _ := doReq(t, http.MethodGet, url, nil); code != http.StatusNotFound {
+		t.Fatalf("GET missing key = %d, want 404", code)
+	}
+	if code, _ := doReq(t, http.MethodHead, url, nil); code != http.StatusNotFound {
+		t.Fatalf("HEAD missing key = %d, want 404", code)
+	}
+
+	if code, body := doReq(t, http.MethodPut, url, env); code != http.StatusCreated {
+		t.Fatalf("PUT = %d, want 201; body: %s", code, body)
+	}
+	// Content-addressed keys make replays free: the second PUT is a no-op.
+	if code, _ := doReq(t, http.MethodPut, url, env); code != http.StatusOK {
+		t.Fatalf("re-PUT = %d, want 200 (idempotent)", code)
+	}
+
+	code, got := doReq(t, http.MethodGet, url, nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET = %d, want 200", code)
+	}
+	if !bytes.Equal(got, env) {
+		t.Fatalf("GET returned %d bytes != %d PUT bytes", len(got), len(env))
+	}
+	if code, _ := doReq(t, http.MethodHead, url, nil); code != http.StatusOK {
+		t.Fatalf("HEAD = %d, want 200", code)
+	}
+
+	if code, _ := doReq(t, http.MethodGet, ts.URL+"/v1/store/not-a-key", nil); code != http.StatusBadRequest {
+		t.Fatalf("GET invalid key = %d, want 400", code)
+	}
+	// A corrupt envelope must be rejected before it can touch the store.
+	corrupt := []byte(strings.Replace(string(env), `"checksum":"`, `"checksum":"0`, 1))
+	otherKey := strings.Repeat("0", 32)
+	if code, _ := doReq(t, http.MethodPut, ts.URL+"/v1/store/"+otherKey, corrupt); code != http.StatusBadRequest {
+		t.Fatalf("PUT corrupt envelope = %d, want 400", code)
+	}
+	if ok, err := s.Store().Stat(context.Background(), otherKey); err != nil || ok {
+		t.Fatalf("corrupt envelope reached the store (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestStoreGetPartialResponseRecovered injects one partial response (full
+// Content-Length, truncated body) into the store GET handler and verifies
+// the HTTP store client detects the short read and recovers by retrying.
+func TestStoreGetPartialResponseRecovered(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 2, CacheDir: t.TempDir()})
+	key, env := envelopeFor(t, smallC17, s.cfg)
+	if err := s.Store().Put(context.Background(), key, env); err != nil {
+		t.Fatalf("seed store: %v", err)
+	}
+
+	defer faultinject.Set(faultinject.HookStoreServeGet,
+		faultinject.Until(1, faultinject.Fail(faultinject.ErrPartialResponse)))()
+
+	remote, err := store.NewHTTP(ts.URL, store.HTTPOptions{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewHTTP: %v", err)
+	}
+	got, err := remote.Get(context.Background(), key)
+	if err != nil {
+		t.Fatalf("Get after injected partial response: %v", err)
+	}
+	if !bytes.Equal(got, env) {
+		t.Fatalf("recovered envelope differs from stored one")
+	}
+}

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"defectsim/internal/obs"
+)
+
+// fakeClock is a settable time source for cooldown tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	reg := obs.New().Metrics()
+	gauge := reg.GaugeVec("store_breaker_state", "backend").With("peer-b")
+	b := NewBreaker("peer-b", 3, time.Minute, gauge)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	b.SetClock(clock.now)
+	var transitions []BreakerState
+	b.OnChange(func(_, to BreakerState) { transitions = append(transitions, to) })
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker not closed/allowing")
+	}
+	// Two failures: still closed (threshold 3).
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	// Third consecutive failure opens.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed an operation before cooldown")
+	}
+	if gauge.Value() != float64(BreakerOpen) {
+		t.Fatalf("gauge = %v, want %v", gauge.Value(), float64(BreakerOpen))
+	}
+
+	// Cooldown elapses: exactly one probe is admitted (half-open).
+	clock.advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe not admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	// Probe fails: re-open, new cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+	// Next cooldown, probe succeeds: closed again.
+	clock.advance(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe not admitted")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the circuit")
+	}
+	if gauge.Value() != float64(BreakerClosed) {
+		t.Fatalf("gauge after close = %v, want closed", gauge.Value())
+	}
+
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker("x", 3, time.Minute, nil)
+	b.Failure()
+	b.Failure()
+	b.Success() // streak broken
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("non-consecutive failures opened the breaker: %v", b.State())
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("three consecutive failures did not open")
+	}
+}
+
+func TestIsUnavailable(t *testing.T) {
+	b := NewBreaker("y", 1, time.Hour, nil)
+	b.Failure()
+	tr := &Transport{Breaker: b, Label: "y"}
+	_, _, _, err := tr.Do(nil, nil)
+	if err == nil || !IsUnavailable(err) {
+		t.Fatalf("Do with open breaker = %v, want ErrBreakerOpen", err)
+	}
+}

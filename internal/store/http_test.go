@@ -1,0 +1,320 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"defectsim/internal/faultinject"
+	"defectsim/internal/obs"
+)
+
+// storeServer is a minimal in-memory /v1/store peer for client tests,
+// with per-test knobs for failure shaping.
+type storeServer struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	gets    atomic.Int64
+	puts    atomic.Int64
+	// failNext returns a non-zero status to force on the next requests
+	// (decremented per request); 0 serves normally.
+	failStatus atomic.Int64
+	failLeft   atomic.Int64
+	retryAfter atomic.Int64 // Retry-After seconds attached to failures
+	// partialLeft truncates that many GET bodies mid-envelope.
+	partialLeft atomic.Int64
+}
+
+func newStoreServer() *storeServer { return &storeServer{entries: map[string][]byte{}} }
+
+func (s *storeServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.failLeft.Load() > 0 {
+			s.failLeft.Add(-1)
+			if ra := s.retryAfter.Load(); ra > 0 {
+				w.Header().Set("Retry-After", strconv.FormatInt(ra, 10))
+			}
+			w.WriteHeader(int(s.failStatus.Load()))
+			return
+		}
+		key := r.URL.Path[len("/v1/store/"):]
+		switch r.Method {
+		case http.MethodGet, http.MethodHead:
+			s.gets.Add(1)
+			s.mu.Lock()
+			data, ok := s.entries[key]
+			s.mu.Unlock()
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				return
+			}
+			if r.Method == http.MethodHead {
+				w.WriteHeader(http.StatusOK)
+				return
+			}
+			if s.partialLeft.Load() > 0 {
+				s.partialLeft.Add(-1)
+				// Advertise the full length, send half: the client must see
+				// a short read, not a clean success.
+				w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+				w.WriteHeader(http.StatusOK)
+				w.Write(data[:len(data)/2])
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+			w.Write(data)
+		case http.MethodPut:
+			s.puts.Add(1)
+			body := make([]byte, 0, 1024)
+			buf := make([]byte, 4096)
+			for {
+				n, err := r.Body.Read(buf)
+				body = append(body, buf[:n]...)
+				if err != nil {
+					break
+				}
+			}
+			s.mu.Lock()
+			s.entries[key] = body
+			s.mu.Unlock()
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			w.WriteHeader(http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// newHTTPStore wires an HTTP backend against the fake peer with fast,
+// deterministic retry timing.
+func newHTTPStore(t *testing.T, ts *httptest.Server, reg *obs.Registry) *HTTP {
+	t.Helper()
+	h, err := NewHTTP(ts.URL, HTTPOptions{
+		MaxAttempts:       3,
+		BaseDelay:         time.Millisecond,
+		MaxDelay:          5 * time.Millisecond,
+		PerAttemptTimeout: 2 * time.Second,
+		BreakerThreshold:  4,
+		BreakerCooldown:   50 * time.Millisecond,
+		Metrics:           NewMetrics(reg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Transport().SetJitter(func(d time.Duration) time.Duration { return d })
+	return h
+}
+
+func TestHTTPStoreRoundTrip(t *testing.T) {
+	srv := newStoreServer()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	h := newHTTPStore(t, ts, obs.New().Metrics())
+	ctx := context.Background()
+	key := testKey(10)
+	data := testEnvelope(t, `{"remote":1}`)
+
+	if _, err := h.Get(ctx, key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+	if err := h.Put(ctx, key, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(ctx, key)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if ok, err := h.Stat(ctx, key); err != nil || !ok {
+		t.Fatalf("Stat = %v, %v", ok, err)
+	}
+	// Retried Put is a no-op rewrite of identical bytes — idempotent.
+	if err := h.Put(ctx, key, data); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+}
+
+func TestHTTPStoreRetriesTransientFailures(t *testing.T) {
+	srv := newStoreServer()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	reg := obs.New().Metrics()
+	h := newHTTPStore(t, ts, reg)
+	ctx := context.Background()
+	key := testKey(11)
+	data := testEnvelope(t, `{"retry":"me"}`)
+	if err := h.Put(ctx, key, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two 500s, then success: the third attempt lands.
+	srv.failStatus.Store(http.StatusInternalServerError)
+	srv.failLeft.Store(2)
+	got, err := h.Get(ctx, key)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("Get with transient 500s = %q, %v", got, err)
+	}
+	var retries int64
+	for _, c := range reg.CounterSnapshot() {
+		if c.Name == "store_retries_total" {
+			retries += c.Value
+		}
+	}
+	if retries != 2 {
+		t.Fatalf("store_retries_total = %d, want 2", retries)
+	}
+	if h.Breaker().State() != BreakerClosed {
+		t.Fatalf("breaker after recovery = %v, want closed", h.Breaker().State())
+	}
+}
+
+func TestHTTPStoreRecoversFromPartialResponse(t *testing.T) {
+	srv := newStoreServer()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	h := newHTTPStore(t, ts, obs.New().Metrics())
+	ctx := context.Background()
+	key := testKey(12)
+	data := testEnvelope(t, `{"partial":"then fine"}`)
+	if err := h.Put(ctx, key, data); err != nil {
+		t.Fatal(err)
+	}
+	srv.partialLeft.Store(1)
+	got, err := h.Get(ctx, key)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("Get after partial response = %q, %v", got, err)
+	}
+}
+
+func TestHTTPStoreRejectsCorruptEnvelope(t *testing.T) {
+	srv := newStoreServer()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	h := newHTTPStore(t, ts, obs.New().Metrics())
+	ctx := context.Background()
+	key := testKey(13)
+	srv.mu.Lock()
+	srv.entries[key] = []byte(`{"version":3,"checksum":"beef","payload":{"x":1}}`)
+	srv.mu.Unlock()
+	if _, err := h.Get(ctx, key); err == nil || errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get of corrupt blob = %v, want checksum error", err)
+	}
+}
+
+func TestHTTPStoreHonorsRetryAfter(t *testing.T) {
+	srv := newStoreServer()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	h := newHTTPStore(t, ts, obs.New().Metrics())
+	// Zero out the computed backoff so only Retry-After contributes.
+	h.Transport().SetJitter(func(time.Duration) time.Duration { return 0 })
+	ctx := context.Background()
+	key := testKey(14)
+	data := testEnvelope(t, `{"ra":1}`)
+	if err := h.Put(ctx, key, data); err != nil {
+		t.Fatal(err)
+	}
+	srv.failStatus.Store(http.StatusServiceUnavailable)
+	srv.retryAfter.Store(1)
+	srv.failLeft.Store(1)
+	start := time.Now()
+	if _, err := h.Get(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retry after %v, want >= the 1s Retry-After hint", elapsed)
+	}
+}
+
+func TestHTTPStoreBreakerOpensAndFastFails(t *testing.T) {
+	srv := newStoreServer()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	h := newHTTPStore(t, ts, obs.New().Metrics())
+	ctx := context.Background()
+	key := testKey(15)
+
+	// Make the peer unreachable at the network layer.
+	boom := errors.New("connection refused (injected)")
+	restore := faultinject.Set(faultinject.HookNetRequest, faultinject.Fail(boom))
+	// One operation = 3 failed attempts ≥ threshold 4 after the second op.
+	_, err1 := h.Get(ctx, key)
+	_, err2 := h.Get(ctx, key)
+	restore()
+	if err1 == nil || err2 == nil {
+		t.Fatalf("gets against dead peer = %v, %v, want errors", err1, err2)
+	}
+	if h.Breaker().State() != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", h.Breaker().State())
+	}
+	before := srv.gets.Load()
+	if _, err := h.Get(ctx, key); !IsUnavailable(err) {
+		t.Fatalf("Get with open breaker = %v, want ErrBreakerOpen", err)
+	}
+	if srv.gets.Load() != before {
+		t.Fatal("open breaker still let a request through")
+	}
+
+	// Cooldown elapses, the peer is healthy again: half-open probe closes.
+	time.Sleep(60 * time.Millisecond)
+	data := testEnvelope(t, `{"back":1}`)
+	if err := h.Put(ctx, key, data); err != nil {
+		t.Fatalf("probe put after cooldown: %v", err)
+	}
+	if h.Breaker().State() != BreakerClosed {
+		t.Fatalf("breaker after recovery = %v, want closed", h.Breaker().State())
+	}
+}
+
+func TestTransportBackoffShape(t *testing.T) {
+	tr := &Transport{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, RetryAfterCap: 2 * time.Second}
+	tr.initOnce.Do(tr.withDefaults)
+	tr.SetJitter(func(d time.Duration) time.Duration { return d }) // identity: expose the cap
+	if got := tr.backoff(0, 0); got != 10*time.Millisecond {
+		t.Fatalf("backoff(0) = %v", got)
+	}
+	if got := tr.backoff(2, 0); got != 40*time.Millisecond {
+		t.Fatalf("backoff(2) = %v", got)
+	}
+	if got := tr.backoff(10, 0); got != 80*time.Millisecond {
+		t.Fatalf("backoff(10) = %v, want the 80ms cap", got)
+	}
+	// Retry-After dominates when larger, and is itself capped.
+	if got := tr.backoff(0, time.Second); got != time.Second {
+		t.Fatalf("backoff with Retry-After 1s = %v", got)
+	}
+	if got := tr.backoff(0, time.Hour); got != 2*time.Second {
+		t.Fatalf("backoff with huge Retry-After = %v, want the 2s cap", got)
+	}
+	// Full jitter stays within [0, d].
+	tr.SetJitter(nil)
+	tr.jitter = fullJitter
+	for i := 0; i < 100; i++ {
+		if d := tr.backoff(3, 0); d < 0 || d > 80*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [0, 80ms]", d)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	cases := map[string]time.Duration{
+		"": 0, "3": 3 * time.Second, " 7 ": 7 * time.Second,
+		"-1": 0, "soon": 0, "Wed, 21 Oct 2026 07:28:00 GMT": 0,
+	}
+	for in, want := range cases {
+		if got := parseRetryAfter(mk(in)); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package store provides content-addressed result storage for the
+// defect-level projection pipeline: checksummed cache envelopes keyed by
+// experiments.CacheKey, behind a small Store interface with three
+// backends —
+//
+//   - FS: the local filesystem cache (atomic, fsynced writes),
+//   - HTTP: a remote dlprojd node's /v1/store API, hardened with
+//     per-attempt timeouts, capped exponential backoff with full jitter,
+//     Retry-After honoring and a circuit breaker,
+//   - Tiered: local + remote, degrading to local-only when the remote
+//     fails.
+//
+// Keys are content addresses: a key is a digest of everything that
+// determines the payload, so two writes under one key carry identical
+// bytes and Put is naturally idempotent — a retried or duplicated Put can
+// never corrupt an entry, only re-commit it. Every backend preserves the
+// envelope byte-for-byte; VerifyEnvelope checks the embedded checksum so
+// corrupt or truncated blobs are rejected at the store boundary instead
+// of surfacing as parse errors downstream.
+package store
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"defectsim/internal/obs"
+)
+
+// ErrNotFound reports a clean miss: the key has no entry. Every backend
+// returns it (wrapped or bare) from Get on a missing key, distinguishing
+// "not there" from "backend broken".
+var ErrNotFound = errors.New("store: key not found")
+
+// Store is a content-addressed blob store keyed by experiments.CacheKey.
+// Implementations must treat entries as immutable: a key fully determines
+// its bytes, so Put may skip the write when the key already exists.
+type Store interface {
+	// Get returns the envelope bytes under key, or ErrNotFound.
+	Get(ctx context.Context, key string) ([]byte, error)
+	// Put stores the envelope bytes under key. Idempotent: re-putting an
+	// existing key succeeds without observable effect.
+	Put(ctx context.Context, key string, data []byte) error
+	// Stat reports whether key has an entry, without fetching it.
+	Stat(ctx context.Context, key string) (bool, error)
+	// Name labels the backend in metrics and logs ("fs", "http", "tiered").
+	Name() string
+}
+
+// ValidKey reports whether key has the experiments.CacheKey shape: 32
+// lowercase hex characters. Backends that map keys onto shared namespaces
+// (file names, URL paths) reject anything else, so a hostile key can
+// never traverse a directory or smuggle a path.
+func ValidKey(key string) bool {
+	if len(key) != 32 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// errBadKey marks a malformed key (caller bug or hostile input) — never
+// retried, never breaker-counted.
+func errBadKey(key string) error {
+	return fmt.Errorf("store: invalid key %q (want 32 lowercase hex chars)", key)
+}
+
+// envelope mirrors the wire shape of the experiments cache envelope —
+// {version, checksum, payload} with checksum = sha256(payload) in hex —
+// just enough to verify integrity without importing the pipeline. The
+// experiments package pins this compatibility with a round-trip test.
+type envelope struct {
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// VerifyEnvelope checks that data parses as a cache envelope whose
+// payload matches its embedded sha256 checksum. A nil error means the
+// blob is intact end to end; truncation, bit rot or a partial HTTP read
+// all fail here.
+func VerifyEnvelope(data []byte) error {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("store: envelope does not parse: %w", err)
+	}
+	if env.Checksum == "" || len(env.Payload) == 0 {
+		return errors.New("store: envelope missing checksum or payload")
+	}
+	sum := sha256.Sum256(env.Payload)
+	if hex.EncodeToString(sum[:]) != env.Checksum {
+		return errors.New("store: envelope checksum mismatch (truncated or corrupted)")
+	}
+	return nil
+}
+
+// Metrics is the store-layer instrument set, shared by every backend in
+// one registry. Nil-safe throughout: a nil *Metrics (or one built from a
+// nil registry) makes every observation a no-op.
+type Metrics struct {
+	// Ops counts operations: store_ops_total{backend,op,outcome} with op
+	// get/put/stat and outcome hit/miss/ok/error.
+	Ops *obs.CounterVec
+	// Retries counts retried HTTP attempts: store_retries_total{backend}.
+	Retries *obs.CounterVec
+	// BreakerState exposes each breaker: store_breaker_state{backend} with
+	// 0 closed, 1 open, 2 half-open.
+	BreakerState *obs.GaugeVec
+	// Degraded counts tiered-store degradations to local-only:
+	// store_remote_degraded_total{op}.
+	Degraded *obs.CounterVec
+}
+
+// NewMetrics registers (or resolves) the store instrument families on
+// reg. Nil-safe: a nil registry yields no-op instruments.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Ops:          reg.CounterVec("store_ops_total", "backend", "op", "outcome"),
+		Retries:      reg.CounterVec("store_retries_total", "backend"),
+		BreakerState: reg.GaugeVec("store_breaker_state", "backend"),
+		Degraded:     reg.CounterVec("store_remote_degraded_total", "op"),
+	}
+}
+
+func (m *Metrics) op(backend, op, outcome string) {
+	if m == nil {
+		return
+	}
+	m.Ops.With(backend, op, outcome).Inc()
+}
+
+func (m *Metrics) retry(backend string) {
+	if m == nil {
+		return
+	}
+	m.Retries.With(backend).Inc()
+}
+
+func (m *Metrics) breakerGauge(backend string) *obs.Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.BreakerState.With(backend)
+}
+
+func (m *Metrics) degraded(op string) {
+	if m == nil {
+		return
+	}
+	m.Degraded.With(op).Inc()
+}

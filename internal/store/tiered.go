@@ -1,0 +1,110 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Tiered layers a fast local store over a shared remote one. Reads check
+// local first and backfill it on a remote hit; writes land locally first
+// (the source of truth for this node) and replicate to the remote as best
+// effort. Every remote failure — including a fast-fail from an open
+// breaker — degrades the operation to local-only instead of surfacing an
+// error: the remote tier buys fleet-wide cache locality, never
+// correctness, so losing it costs recomputation, not availability.
+type Tiered struct {
+	local  Store
+	remote Store
+	m      *Metrics
+}
+
+// NewTiered combines a local and a remote store. Both must be non-nil;
+// use the backends directly when only one tier exists.
+func NewTiered(local, remote Store, m *Metrics) (*Tiered, error) {
+	if local == nil || remote == nil {
+		return nil, errors.New("store: tiered needs both a local and a remote tier")
+	}
+	return &Tiered{local: local, remote: remote, m: m}, nil
+}
+
+// Name implements Store.
+func (t *Tiered) Name() string { return "tiered" }
+
+// Local returns the local tier.
+func (t *Tiered) Local() Store { return t.local }
+
+// Remote returns the remote tier.
+func (t *Tiered) Remote() Store { return t.remote }
+
+// Get implements Store: local hit, else remote hit (backfilling local),
+// else ErrNotFound. A remote error beyond a clean miss degrades to a
+// miss and is counted, never returned.
+func (t *Tiered) Get(ctx context.Context, key string) ([]byte, error) {
+	data, err := t.local.Get(ctx, key)
+	if err == nil {
+		t.m.op(t.Name(), "get", "hit")
+		return data, nil
+	}
+	if !errors.Is(err, ErrNotFound) {
+		// A broken local tier is not a miss to paper over: without it the
+		// node has no store at all.
+		t.m.op(t.Name(), "get", "error")
+		return nil, err
+	}
+	data, err = t.remote.Get(ctx, key)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			t.m.op(t.Name(), "get", "miss")
+			return nil, err
+		}
+		t.m.degraded("get")
+		t.m.op(t.Name(), "get", "miss")
+		return nil, fmt.Errorf("%w: %s (remote degraded: %v)", ErrNotFound, key, err)
+	}
+	// Backfill the local tier so the next read is local. Best effort: a
+	// failed backfill still serves the remote bytes.
+	_ = t.local.Put(ctx, key, data)
+	t.m.op(t.Name(), "get", "hit")
+	return data, nil
+}
+
+// Put implements Store: the local write must succeed; the remote write is
+// best effort and a failure only counts a degradation.
+func (t *Tiered) Put(ctx context.Context, key string, data []byte) error {
+	if err := t.local.Put(ctx, key, data); err != nil {
+		t.m.op(t.Name(), "put", "error")
+		return err
+	}
+	if err := t.remote.Put(ctx, key, data); err != nil {
+		t.m.degraded("put")
+	}
+	t.m.op(t.Name(), "put", "ok")
+	return nil
+}
+
+// Stat implements Store: local, then remote; a remote error degrades to
+// "absent".
+func (t *Tiered) Stat(ctx context.Context, key string) (bool, error) {
+	ok, err := t.local.Stat(ctx, key)
+	if err != nil {
+		t.m.op(t.Name(), "stat", "error")
+		return false, err
+	}
+	if ok {
+		t.m.op(t.Name(), "stat", "hit")
+		return true, nil
+	}
+	ok, err = t.remote.Stat(ctx, key)
+	if err != nil {
+		t.m.degraded("stat")
+		t.m.op(t.Name(), "stat", "miss")
+		return false, nil
+	}
+	if ok {
+		t.m.op(t.Name(), "stat", "hit")
+	} else {
+		t.m.op(t.Name(), "stat", "miss")
+	}
+	return ok, nil
+}

@@ -4,8 +4,10 @@
 # Tier 1 (fast, the PR gate): build + vet + full test suite.
 # Tier 2 (slow): race-detector pass over the concurrency-bearing packages
 # (observability, the hardened pipeline, the fault-injection harness, the
-# worker-sharded gate-, switch-level simulators and ATPG, and the serving
-# layer's admission/coalescing/drain machinery).
+# worker-sharded gate-, switch-level simulators and ATPG, the result-store
+# backends and cluster routing, and the serving layer's
+# admission/coalescing/forwarding/drain machinery — including the
+# in-process multi-node ring and chaos tests).
 set -eu
 cd "$(dirname "$0")"
 
@@ -15,6 +17,6 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race (obs, experiments, faultinject, switchsim, gatesim, atpg, serve)"
-go test -race ./internal/obs/... ./internal/experiments/... ./internal/faultinject/... ./internal/switchsim/... ./internal/gatesim/... ./internal/atpg/... ./internal/serve/...
+echo "== go test -race (obs, experiments, faultinject, switchsim, gatesim, atpg, store, cluster, serve)"
+go test -race ./internal/obs/... ./internal/experiments/... ./internal/faultinject/... ./internal/switchsim/... ./internal/gatesim/... ./internal/atpg/... ./internal/store/... ./internal/cluster/... ./internal/serve/...
 echo "verify.sh: all checks passed"
