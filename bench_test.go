@@ -284,8 +284,14 @@ func BenchmarkResistiveBridges(b *testing.B) {
 // BenchmarkResistiveSweepGoodTrace measures the ABL-8 sweep with a warm
 // shared good-machine trace: every conductance point replays the recorded
 // fault-free states (swsim_goodtrace hits) instead of re-simulating the
-// good machine — the regression gate records the trace-cache win.
+// good machine — the regression gate records the trace-cache win (and,
+// since the detected-fault-dropping sweep, the carry-forward win). The
+// longest benchmark in the suite, so `-short` skips it; the CI bench job
+// runs the full suite and still gates it.
 func BenchmarkResistiveSweepGoodTrace(b *testing.B) {
+	if testing.Short() {
+		b.Skip("minutes-long sweep; run without -short (CI bench job does)")
+	}
 	p := c432Pipeline(b)
 	if _, err := p.GoodTrace(context.Background()); err != nil {
 		b.Fatal(err)

@@ -5,19 +5,31 @@
 // Usage:
 //
 //	go test -bench=. -benchmem . | benchjson -o BENCH_ci.json
-//	benchjson -compare BENCH_seed.json BENCH_ci.json -tolerance 1.5
+//	benchjson -compare BENCH_seed.json BENCH_ci.json -tolerance 1.5 -alloc-tolerance 1.1
+//	benchjson -delta BENCH_prev.json BENCH_ci.json
 //
 // Conversion reads benchmark lines ("BenchmarkName-8  100  123 ns/op ...")
 // from stdin, strips the GOMAXPROCS suffix, and writes one entry per
 // benchmark together with the run's environment header (goos/goarch/cpu).
 //
 // Compare exits non-zero when a benchmark present in both documents got
-// slower than baseline × tolerance. The default tolerance of 1.5 catches
-// lost optimizations (a dropped cache, an accidental serial fallback, a
-// quadratic merge) while absorbing ordinary runner-speed variance; pass a
-// larger -tolerance on unusually slow runners. Benchmarks present on only
-// one side are reported but never fail the gate, so adding or retiring a
-// benchmark does not need a baseline refresh in the same change.
+// worse than baseline × tolerance on any gated metric. Wall time is gated
+// at -tolerance (default 1.5: catches lost optimizations while absorbing
+// ordinary runner-speed variance). bytes_per_op and allocs_per_op are
+// gated at -alloc-tolerance (default 1.1): allocation counts are
+// deterministic, so almost any headroom there is a real leak of work back
+// into the hot path, not noise. Metrics the baseline recorded as zero are
+// not gated (a ratio against zero is meaningless; baselines converted
+// without -benchmem simply skip the allocation gates). A repeatable
+// -override Name=ratio flag raises every limit for one benchmark — the
+// escape hatch for a benchmark with a known-noisy profile — without
+// loosening the gate for the rest of the suite. Benchmarks present on
+// only one side are reported but never fail the gate, so adding or
+// retiring a benchmark does not need a baseline refresh in the same
+// change.
+//
+// Delta prints a GitHub-flavored markdown table of ns/bytes/allocs
+// changes between two documents — for CI job summaries, never a gate.
 package main
 
 import (
@@ -108,9 +120,35 @@ func load(path string) (*Doc, error) {
 	return doc, nil
 }
 
-// compare prints a per-benchmark verdict and returns the names that got
-// slower than base × tolerance.
-func compare(w io.Writer, base, cur *Doc, tolerance float64) []string {
+// overrides maps benchmark name → per-benchmark tolerance that replaces
+// every metric's limit for that benchmark. Implements flag.Value so
+// -override can repeat.
+type overrides map[string]float64
+
+func (o overrides) String() string { return "" }
+
+func (o overrides) Set(s string) error {
+	name, ratio, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want Name=ratio, got %q", s)
+	}
+	v, err := strconv.ParseFloat(ratio, 64)
+	if err != nil || v <= 0 {
+		return fmt.Errorf("bad ratio in %q", s)
+	}
+	o[name] = v
+	return nil
+}
+
+// limits holds the gate limits for one benchmark after overrides.
+type limits struct {
+	ns, alloc float64
+}
+
+// compare prints a per-benchmark verdict for every gated metric and
+// returns the "name metric" pairs that got worse than their limit.
+// Metrics the baseline recorded as 0 are skipped.
+func compare(w io.Writer, base, cur *Doc, tolerance, allocTolerance float64, ov overrides) []string {
 	baseBy := map[string]Entry{}
 	for _, e := range base.Benchmarks {
 		baseBy[e.Name] = e
@@ -121,53 +159,103 @@ func compare(w io.Writer, base, cur *Doc, tolerance float64) []string {
 		seen[e.Name] = true
 		b, ok := baseBy[e.Name]
 		if !ok {
-			fmt.Fprintf(w, "NEW      %-32s %14.0f ns/op (no baseline)\n", e.Name, e.NsPerOp)
+			fmt.Fprintf(w, "NEW      %-36s %14.0f ns/op (no baseline)\n", e.Name, e.NsPerOp)
 			continue
 		}
-		ratio := e.NsPerOp / b.NsPerOp
-		verdict := "ok"
-		if ratio > tolerance {
-			verdict = "REGRESSED"
-			failed = append(failed, e.Name)
+		lim := limits{ns: tolerance, alloc: allocTolerance}
+		if v, ok := ov[e.Name]; ok {
+			lim = limits{ns: v, alloc: v}
 		}
-		fmt.Fprintf(w, "%-9s%-32s %14.0f ns/op  baseline %14.0f  ratio %.2fx (limit %.1fx)\n",
-			verdict, e.Name, e.NsPerOp, b.NsPerOp, ratio, tolerance)
+		gate := func(metric string, cur, base, limit float64) {
+			if base == 0 {
+				return
+			}
+			ratio := cur / base
+			verdict := "ok"
+			if ratio > limit {
+				verdict = "REGRESSED"
+				failed = append(failed, e.Name+" "+metric)
+			}
+			fmt.Fprintf(w, "%-9s%-36s %14.0f %-9s baseline %14.0f  ratio %.2fx (limit %.2fx)\n",
+				verdict, e.Name, cur, metric, base, ratio, limit)
+		}
+		gate("ns/op", e.NsPerOp, b.NsPerOp, lim.ns)
+		gate("B/op", float64(e.BytesPerOp), float64(b.BytesPerOp), lim.alloc)
+		gate("allocs/op", float64(e.AllocsPerOp), float64(b.AllocsPerOp), lim.alloc)
 	}
 	for _, b := range base.Benchmarks {
 		if !seen[b.Name] {
-			fmt.Fprintf(w, "MISSING  %-32s baseline %14.0f ns/op (not run)\n", b.Name, b.NsPerOp)
+			fmt.Fprintf(w, "MISSING  %-36s baseline %14.0f ns/op (not run)\n", b.Name, b.NsPerOp)
 		}
 	}
 	return failed
 }
 
+// delta prints a markdown table of per-benchmark changes between prev and
+// cur — informational only.
+func delta(w io.Writer, prev, cur *Doc) {
+	prevBy := map[string]Entry{}
+	for _, e := range prev.Benchmarks {
+		prevBy[e.Name] = e
+	}
+	cell := func(cur, prev float64, unit string) string {
+		if prev == 0 {
+			return fmt.Sprintf("%.0f %s", cur, unit)
+		}
+		return fmt.Sprintf("%.0f %s (%+.1f%%)", cur, unit, 100*(cur/prev-1))
+	}
+	fmt.Fprintln(w, "| benchmark | ns/op | B/op | allocs/op |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	for _, e := range cur.Benchmarks {
+		p := prevBy[e.Name]
+		fmt.Fprintf(w, "| %s | %s | %s | %s |\n", e.Name,
+			cell(e.NsPerOp, p.NsPerOp, "ns"),
+			cell(float64(e.BytesPerOp), float64(p.BytesPerOp), "B"),
+			cell(float64(e.AllocsPerOp), float64(p.AllocsPerOp), "allocs"))
+	}
+}
+
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	cmp := flag.Bool("compare", false, "compare two JSON documents: benchjson -compare BASE CURRENT")
-	tolerance := flag.Float64("tolerance", 1.5, "regression gate: fail when current > baseline × tolerance")
+	dlt := flag.Bool("delta", false, "print a markdown delta table: benchjson -delta PREV CURRENT")
+	tolerance := flag.Float64("tolerance", 1.5, "ns/op gate: fail when current > baseline × tolerance")
+	allocTolerance := flag.Float64("alloc-tolerance", 1.1, "B/op and allocs/op gate: fail when current > baseline × tolerance")
+	ov := overrides{}
+	flag.Var(ov, "override", "per-benchmark tolerance for all metrics, Name=ratio (repeatable)")
 	flag.Parse()
 
-	if *cmp {
+	loadPair := func(usage string) (*Doc, *Doc) {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare BASE.json CURRENT.json [-tolerance 1.5]")
+			fmt.Fprintln(os.Stderr, "usage:", usage)
 			os.Exit(2)
 		}
-		base, err := load(flag.Arg(0))
+		a, err := load(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		cur, err := load(flag.Arg(1))
+		b, err := load(flag.Arg(1))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		failed := compare(os.Stdout, base, cur, *tolerance)
+		return a, b
+	}
+
+	switch {
+	case *cmp:
+		base, cur := loadPair("benchjson -compare BASE.json CURRENT.json [-tolerance 1.5] [-alloc-tolerance 1.1] [-override Name=ratio]")
+		failed := compare(os.Stdout, base, cur, *tolerance, *allocTolerance, ov)
 		if len(failed) > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.1fx: %s\n",
-				len(failed), *tolerance, strings.Join(failed, ", "))
+			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed: %s\n",
+				len(failed), strings.Join(failed, ", "))
 			os.Exit(1)
 		}
+		return
+	case *dlt:
+		prev, cur := loadPair("benchjson -delta PREV.json CURRENT.json")
+		delta(os.Stdout, prev, cur)
 		return
 	}
 

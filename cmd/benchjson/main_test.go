@@ -53,13 +53,84 @@ func TestCompareGate(t *testing.T) {
 		{Name: "BenchmarkNew", NsPerOp: 1}, // no baseline: never fails
 	}}
 	var out strings.Builder
-	failed := compare(&out, base, cur, 3.0)
-	if len(failed) != 1 || failed[0] != "BenchmarkB" {
-		t.Fatalf("failed = %v, want [BenchmarkB]", failed)
+	failed := compare(&out, base, cur, 3.0, 1.1, nil)
+	if len(failed) != 1 || failed[0] != "BenchmarkB ns/op" {
+		t.Fatalf("failed = %v, want [BenchmarkB ns/op]", failed)
 	}
 	for _, want := range []string{"REGRESSED", "NEW", "MISSING", "BenchmarkRetired"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	base := &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10},
+		{Name: "BenchmarkNoMem", NsPerOp: 100}, // converted without -benchmem
+	}}
+	cur := &Doc{Benchmarks: []Entry{
+		// Fast wall time but 2x the bytes and 3x the allocs: the alloc
+		// gate must catch what the ns gate absorbs.
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 2000, AllocsPerOp: 30},
+		// Zero baseline ⇒ no alloc gate even with huge current values.
+		{Name: "BenchmarkNoMem", NsPerOp: 100, BytesPerOp: 1 << 30, AllocsPerOp: 1 << 20},
+	}}
+	var out strings.Builder
+	failed := compare(&out, base, cur, 1.5, 1.1, nil)
+	want := []string{"BenchmarkA B/op", "BenchmarkA allocs/op"}
+	if len(failed) != 2 || failed[0] != want[0] || failed[1] != want[1] {
+		t.Fatalf("failed = %v, want %v", failed, want)
+	}
+}
+
+func TestCompareOverride(t *testing.T) {
+	base := &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkNoisy", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "BenchmarkQuiet", NsPerOp: 100, AllocsPerOp: 10},
+	}}
+	cur := &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkNoisy", NsPerOp: 300, AllocsPerOp: 25},
+		{Name: "BenchmarkQuiet", NsPerOp: 300, AllocsPerOp: 25},
+	}}
+	ov := overrides{}
+	if err := ov.Set("BenchmarkNoisy=4.0"); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	failed := compare(&out, base, cur, 1.5, 1.1, ov)
+	// The override absorbs BenchmarkNoisy entirely; BenchmarkQuiet still
+	// fails both its gates.
+	want := []string{"BenchmarkQuiet ns/op", "BenchmarkQuiet allocs/op"}
+	if len(failed) != 2 || failed[0] != want[0] || failed[1] != want[1] {
+		t.Fatalf("failed = %v, want %v", failed, want)
+	}
+	if err := ov.Set("garbage"); err == nil {
+		t.Fatal("Set(garbage) accepted")
+	}
+	if err := ov.Set("Name=-1"); err == nil {
+		t.Fatal("Set(Name=-1) accepted")
+	}
+}
+
+func TestDeltaTable(t *testing.T) {
+	prev := &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkA", NsPerOp: 200, BytesPerOp: 1000, AllocsPerOp: 10},
+	}}
+	cur := &Doc{Benchmarks: []Entry{
+		{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: 500, AllocsPerOp: 10},
+		{Name: "BenchmarkNew", NsPerOp: 7},
+	}}
+	var out strings.Builder
+	delta(&out, prev, cur)
+	got := out.String()
+	for _, want := range []string{
+		"| benchmark | ns/op | B/op | allocs/op |",
+		"| BenchmarkA | 100 ns (-50.0%) | 500 B (-50.0%) | 10 allocs (+0.0%) |",
+		"| BenchmarkNew | 7 ns |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("delta table missing %q:\n%s", want, got)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"defectsim/internal/fault"
@@ -24,12 +25,36 @@ type ResistiveBridgeStudy struct {
 	// at Gs[i]; ThetaIDDQ[i] adds the current screen.
 	ThetaVoltage []float64
 	ThetaIDDQ    []float64
+	// Simulated[i] is how many bridge faults actually ran a switch-level
+	// campaign at Gs[i]; the remainder carried a verdict from a stronger
+	// conductance (see the detected-fault-dropping note on
+	// RunResistiveBridgeStudy).
+	Simulated []int
 }
 
 // RunResistiveBridgeStudy re-simulates the pipeline's bridge faults under
 // each bridge conductance. Opens are excluded (their behaviour does not
 // depend on the bridge model), so the reported coverages are over bridge
 // weight only.
+//
+// The sweep drops verdicts across conductance points instead of
+// re-simulating every fault at every point: conductances are processed
+// strongest-first, and a fault that voltage testing missed at conductance
+// g is not re-simulated at any weaker g' < g — it carries the undetected
+// verdict. This rests on the Renovell model's monotone-detectability
+// premise (the same premise the study exists to illustrate): weakening the
+// bridge only ever weakens the defect's side of every strength fight, so a
+// bridge that cannot flip a node at g cannot flip one at g' < g. Since
+// undetected faults are exactly the ones a campaign must carry through the
+// entire vector set (detected faults already drop out at their detection
+// vector), skipping them at the weak end — where almost nothing is
+// voltage-detectable — removes most of the sweep's simulation work.
+// Undecided faults (persistent oscillation, early stops) carry nothing and
+// are conservatively re-simulated at every point. The IDDQ screen reads
+// only fault-free node values, making it conductance-independent: it is
+// computed once, on the first (full) campaign, and reused at every point.
+// TestResistiveSweepDroppingMatchesExhaustive pins this sweep against the
+// exhaustive one point by point.
 func RunResistiveBridgeStudy(p *Pipeline, gs []float64) (*ResistiveBridgeStudy, error) {
 	if len(gs) == 0 {
 		gs = []float64{switchsim.BridgeG, 20, 5, 1.5, 0.3}
@@ -53,23 +78,63 @@ func RunResistiveBridgeStudy(p *Pipeline, gs []float64) (*ResistiveBridgeStudy, 
 		Gs:           gs,
 		ThetaVoltage: make([]float64, len(gs)),
 		ThetaIDDQ:    make([]float64, len(gs)),
+		Simulated:    make([]int, len(gs)),
 	}
-	// The per-conductance campaigns are independent, so the sweep spends
-	// the pipeline's worker budget across conductances; each inner
-	// switch-level campaign then runs single-worker to avoid nesting
-	// pools. Results are identical to a serial sweep.
-	err = forEach(context.Background(), p.Config.Workers, len(gs), func(i int) error {
-		res, err := switchsim.SimulateFaultsTrace(context.Background(), p.Circuit, bridges, vectors, 1, gs[i], reg, trace)
-		if err != nil {
-			return err
+
+	// Verdict carrying makes the points order-dependent (strongest first),
+	// so the sweep runs them sequentially and spends the pipeline's whole
+	// worker budget inside each campaign instead of across points.
+	order := make([]int, len(gs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return gs[order[a]] > gs[order[b]] })
+
+	k := len(vectors)
+	nb := len(bridges.Faults)
+	candidate := make([]bool, nb) // simulate at the current point?
+	for j := range candidate {
+		candidate[j] = true
+	}
+	var iddqDet []bool // conductance-independent, from the first campaign
+	pointDet := make([]bool, nb)
+	combined := make([]bool, nb)
+	sub := &fault.List{}
+	var subIdx []int
+	for _, oi := range order {
+		sub.Faults = sub.Faults[:0]
+		subIdx = subIdx[:0]
+		for j, c := range candidate {
+			if c {
+				sub.Faults = append(sub.Faults, bridges.Faults[j])
+				subIdx = append(subIdx, j)
+			}
 		}
-		k := len(vectors)
-		st.ThetaVoltage[i] = bridges.WeightedCoverage(res.DetectedBy(k, false))
-		st.ThetaIDDQ[i] = bridges.WeightedCoverage(res.DetectedBy(k, true))
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		st.Simulated[oi] = len(sub.Faults)
+		res, err := switchsim.SimulateFaultsTrace(context.Background(), p.Circuit, sub, vectors,
+			p.Config.Workers, gs[oi], reg, trace)
+		if err != nil {
+			return nil, err
+		}
+		det := res.DetectedBy(k, false)
+		clear(pointDet)
+		for si, j := range subIdx {
+			pointDet[j] = det[si]
+			// Carry to the next weaker point: only faults this point
+			// detected (or gave up on) are worth re-simulating there.
+			candidate[j] = det[si] || res.Undecided[si]
+		}
+		if iddqDet == nil {
+			iddqDet = make([]bool, nb)
+			for si, j := range subIdx {
+				iddqDet[j] = res.IDDQAt[si] > 0 && res.IDDQAt[si] <= k
+			}
+		}
+		for j := range combined {
+			combined[j] = pointDet[j] || iddqDet[j]
+		}
+		st.ThetaVoltage[oi] = bridges.WeightedCoverage(pointDet)
+		st.ThetaIDDQ[oi] = bridges.WeightedCoverage(combined)
 	}
 	return st, nil
 }

@@ -1,0 +1,244 @@
+package switchsim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"defectsim/internal/fault"
+	"defectsim/internal/faultinject"
+	"defectsim/internal/netlist"
+	"defectsim/internal/transistor"
+)
+
+// TestSettleSteadyStateZeroAllocs pins the scratch-arena contract behind
+// the BENCH alloc gate: once a machine has seen its circuit's CCCs, the
+// entire apply→settle path (event queue, group discovery, conductance
+// relaxation) runs out of reused buffers — zero heap allocations per
+// vector in steady state.
+func TestSettleSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation profile differs under -race")
+	}
+	nl := netlist.RippleAdder(4)
+	_, c := circuitFor(t, nl)
+	m := NewMachine(c)
+	vecs := randomVectors(len(nl.PIs), 8, 3)
+	for _, v := range vecs {
+		if !m.Apply(v) {
+			t.Fatal("good machine failed to settle during warmup")
+		}
+	}
+	// Alternate two differing vectors so every run propagates real events
+	// instead of hitting the nothing-changed early-out.
+	a, b := vecs[0], vecs[1]
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Apply(a)
+		m.Apply(b)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Apply allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestPooledFaultMachineResetZeroAllocs pins the other half of the
+// contract: re-targeting one machine at a different fault (install a new
+// plan, re-seed from the good state, settle) is allocation-free — the
+// reset the per-worker pools in simulateFaults perform once per clean
+// fault per vector.
+func TestPooledFaultMachineResetZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation profile differs under -race")
+	}
+	nl := netlist.RippleAdder(4)
+	list, c := buildCampaign(t, nl)
+	var plans []*faultPlan
+	for _, f := range list.Faults {
+		if p, v := planFault(c, f); v == VerdictSimulate {
+			plans = append(plans, p)
+		}
+		if len(plans) == 4 {
+			break
+		}
+	}
+	if len(plans) < 2 {
+		t.Fatalf("only %d simulable faults extracted", len(plans))
+	}
+
+	good := NewMachine(c)
+	vecs := randomVectors(len(nl.PIs), 2, 9)
+	goodPrev := append([]Val(nil), good.val...)
+	if !good.Apply(vecs[0]) {
+		t.Fatal("good machine failed to settle")
+	}
+
+	m := NewMachine(c)
+	warm := func() {
+		for _, p := range plans {
+			m.install(p, BridgeG)
+			m.ApplyFromGood(good.val, goodPrev)
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(200, warm); allocs != 0 {
+		t.Fatalf("pooled install+ApplyFromGood allocates %v per cycle over %d plans, want 0",
+			allocs, len(plans))
+	}
+}
+
+// freshMachineCampaign is the reference the machine-pooling optimization
+// is pinned against: a serial campaign giving every simulated fault its
+// own dedicated machine from vector one — the pre-pooling engine,
+// reimplemented plainly. stopAt > 0 ends the campaign after that many
+// vectors the way a cancellation does: remaining live faults become
+// undecided.
+func freshMachineCampaign(c *transistor.Circuit, list *fault.List, vectors []Vector, stopAt int) *Result {
+	res := &Result{
+		DetectedAt: make([]int, len(list.Faults)),
+		IDDQAt:     make([]int, len(list.Faults)),
+		Undecided:  make([]bool, len(list.Faults)),
+	}
+	type ref struct {
+		idx     int
+		m       *Machine
+		clean   bool
+		strikes int
+	}
+	var lives []*ref
+	for i, f := range list.Faults {
+		plan, v := planFault(c, f)
+		switch v {
+		case VerdictDetected:
+			res.DetectedAt[i] = 1
+			if f.Kind == fault.KindBridge {
+				res.IDDQAt[i] = 1
+			}
+		case VerdictSimulate:
+			m := NewMachine(c)
+			m.install(plan, BridgeG)
+			lives = append(lives, &ref{idx: i, m: m, clean: true})
+		}
+	}
+	good := NewMachine(c)
+	goodPrev := make([]Val, len(good.val))
+	k := 0
+	for ; k < len(vectors); k++ {
+		if stopAt > 0 && k == stopAt {
+			break
+		}
+		vec := vectors[k]
+		copy(goodPrev, good.val)
+		if !good.Apply(vec) {
+			res.GoodUnsettledAt = k + 1
+			break
+		}
+		for i, f := range list.Faults {
+			if f.Kind != fault.KindBridge || res.IDDQAt[i] != 0 {
+				continue
+			}
+			va, vb := good.val[f.NetA], good.val[f.NetB]
+			if va != VX && vb != VX && va != vb {
+				res.IDDQAt[i] = k + 1
+			}
+		}
+		keep := lives[:0]
+		for _, lv := range lives {
+			var ok bool
+			if lv.clean {
+				ok = lv.m.ApplyFromGood(good.val, goodPrev)
+			} else {
+				ok = lv.m.Apply(vec)
+			}
+			if !ok {
+				res.Oscillations++
+				lv.strikes++
+				lv.clean = false
+				if lv.strikes >= oscStrikeLimit {
+					res.Undecided[lv.idx] = true
+				} else {
+					keep = append(keep, lv)
+				}
+				continue
+			}
+			detected := false
+			for _, po := range c.POs {
+				gv, fv := good.val[po], lv.m.val[po]
+				if gv != VX && fv != VX && gv != fv {
+					detected = true
+					break
+				}
+			}
+			if detected {
+				res.DetectedAt[lv.idx] = k + 1
+				continue
+			}
+			lv.clean = equalVals(lv.m.val, good.val)
+			keep = append(keep, lv)
+		}
+		lives = keep
+	}
+	if k < len(vectors) {
+		for _, lv := range lives {
+			res.Undecided[lv.idx] = true
+		}
+	}
+	res.VectorsApplied = k
+	return res
+}
+
+// TestPooledReuseBitwiseIdenticalToFreshMachines is the property test the
+// pooling rework must never break: for any worker count, traced or
+// untraced, the pooled campaign's Result is bitwise identical to the
+// fresh-machine reference. Run under -race by the tier-2 pass, it also
+// exercises concurrent installs on the per-worker pools.
+func TestPooledReuseBitwiseIdenticalToFreshMachines(t *testing.T) {
+	for _, nl := range []*netlist.Netlist{netlist.C17(), netlist.RippleAdder(4), netlist.Comparator(3)} {
+		list, c := buildCampaign(t, nl)
+		vecs := randomVectors(len(nl.PIs), 48, 7)
+		want := freshMachineCampaign(c, list, vecs, 0)
+		trace := CaptureGoodTrace(c, vecs)
+		for _, w := range []int{1, 4, runtime.NumCPU()} {
+			res, err := SimulateFaultsCtx(context.Background(), c, list, vecs, w, BridgeG, nil)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", nl.Name, w, err)
+			}
+			sameResult(t, nl.Name+" untraced", want, res)
+			tres, err := SimulateFaultsTrace(context.Background(), c, list, vecs, w, BridgeG, nil, trace)
+			if err != nil {
+				t.Fatalf("%s workers=%d traced: %v", nl.Name, w, err)
+			}
+			sameResult(t, nl.Name+" traced", want, tres)
+		}
+	}
+}
+
+// TestPooledReuseCancelMatchesFreshMachines extends the property to
+// mid-run cancellation: the partial result a cancelled pooled campaign
+// returns equals the reference stopped at the same vector.
+func TestPooledReuseCancelMatchesFreshMachines(t *testing.T) {
+	nl := netlist.RippleAdder(4)
+	list, c := buildCampaign(t, nl)
+	vecs := randomVectors(len(nl.PIs), 64, 5)
+	const stopAfter = 6
+	want := freshMachineCampaign(c, list, vecs, stopAfter)
+
+	for _, w := range []int{1, 4, runtime.NumCPU()} {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		restore := faultinject.Set(faultinject.HookSwitchSimVector, func(context.Context) error {
+			n++
+			if n > stopAfter {
+				cancel()
+			}
+			return nil
+		})
+		res, err := SimulateFaultsCtx(ctx, c, list, vecs, w, BridgeG, nil)
+		restore()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		sameResult(t, "cancelled", want, res)
+	}
+}

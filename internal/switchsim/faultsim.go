@@ -12,9 +12,8 @@ import (
 	"defectsim/internal/transistor"
 )
 
-// NewFaultMachine returns a machine with the given realistic fault
-// injected. It returns nil when the fault has no switch-level model worth
-// simulating, together with a verdict:
+// Verdict classifies a fault at plan time. Faults with a trivial verdict
+// need no simulation:
 //
 //   - a GND–VDD bridge is a gross power short, detected by the very first
 //     vector (verdict detected);
@@ -42,6 +41,21 @@ func NewFaultMachine(c *transistor.Circuit, f fault.Realistic) (*Machine, Verdic
 // gate drive strengths, where a bridge may no longer overpower the weaker
 // driver and quietly escapes voltage testing.
 func NewResistiveFaultMachine(c *transistor.Circuit, f fault.Realistic, bridgeG float64) (*Machine, Verdict) {
+	plan, v := planFault(c, f)
+	if v != VerdictSimulate {
+		return nil, v
+	}
+	m := NewMachine(c)
+	m.install(plan, bridgeG)
+	return m, v
+}
+
+// planFault builds the immutable switch-level model of f: which devices
+// disappear, which bridge edges appear, which nets float or pin, and which
+// CCCs host the fault hardware. The plan is circuit-shaped but
+// conductance-independent, so one plan serves every resistive sweep point,
+// and installing it on a machine is O(1).
+func planFault(c *transistor.Circuit, f fault.Realistic) (*faultPlan, Verdict) {
 	isPI := func(n int) bool {
 		for _, pi := range c.PIs {
 			if pi == n {
@@ -53,24 +67,17 @@ func NewResistiveFaultMachine(c *transistor.Circuit, f fault.Realistic, bridgeG 
 	isRail := func(n int) bool { return n == layout.NetGND || n == layout.NetVDD }
 	ideal := func(n int) bool { return isRail(n) || isPI(n) }
 
-	m := NewMachine(c)
-	if bridgeG > 0 {
-		m.bridgeG = bridgeG
-	}
-	m.removedDev = map[int]bool{}
-	m.deadPI = map[int]bool{}
-	m.extraOf = map[int][][2]int{}
-
+	p := &faultPlan{}
 	addSeed := func(id int) {
 		if id < 0 {
 			return
 		}
-		for _, s := range m.seedCCCs {
+		for _, s := range p.seedCCCs {
 			if s == id {
 				return
 			}
 		}
-		m.seedCCCs = append(m.seedCCCs, id)
+		p.seedCCCs = append(p.seedCCCs, id)
 	}
 
 	switch f.Kind {
@@ -85,28 +92,41 @@ func NewResistiveFaultMachine(c *transistor.Circuit, f fault.Realistic, bridgeG 
 			return nil, VerdictDetected
 		}
 		br := [2]int{a, b}
-		m.bridges = append(m.bridges, br)
+		p.bridges = append(p.bridges, br)
+		addExtra := func(key int) {
+			for i := range p.extraOf {
+				if p.extraOf[i].key == key {
+					p.extraOf[i].brs = append(p.extraOf[i].brs, br)
+					return
+				}
+			}
+			p.extraOf = append(p.extraOf, extraBridges{key: key, brs: [][2]int{br}})
+		}
 		for _, n := range br {
 			if id := c.CCCOf[n]; id >= 0 {
-				m.extraOf[id] = append(m.extraOf[id], br)
+				addExtra(id)
 				addSeed(id)
 			} else {
-				m.extraOf[-1-n] = append(m.extraOf[-1-n], br)
+				addExtra(-1 - n)
+				p.hasExtraPI = true
 			}
 		}
-		if len(m.seedCCCs) == 0 {
+		if len(p.seedCCCs) == 0 {
 			// Both endpoints outside CCCs but not ideal: nothing to solve.
 			return nil, VerdictUndetectable
 		}
 	case fault.KindOpenInput:
 		for di, d := range c.Devices {
 			if d.Inst == f.Inst && d.Node == f.Node {
-				m.removedDev[di] = true
+				if p.removedDev == nil {
+					p.removedDev = map[int]bool{}
+				}
+				p.removedDev[di] = true
 				addSeed(c.CCCOf[d.Source])
 				addSeed(c.CCCOf[d.Drain])
 			}
 		}
-		if len(m.removedDev) == 0 {
+		if len(p.removedDev) == 0 {
 			return nil, VerdictUndetectable
 		}
 	case fault.KindOpenDriver:
@@ -119,26 +139,29 @@ func NewResistiveFaultMachine(c *transistor.Circuit, f fault.Realistic, bridgeG 
 		net := f.NetA
 		for di, d := range c.Devices {
 			if d.Source == net || d.Drain == net {
-				m.removedDev[di] = true
+				if p.removedDev == nil {
+					p.removedDev = map[int]bool{}
+				}
+				p.removedDev[di] = true
 				addSeed(c.CCCOf[d.Source])
 				addSeed(c.CCCOf[d.Drain])
 			}
 		}
 		if isPI(net) {
-			m.deadPI[net] = true
+			p.deadPI = append(p.deadPI, net)
 		}
-		m.forced = map[int]Val{net: V0}
+		p.forced = append(p.forced, forcedNet{net: net, v: V0})
 		if id := c.CCCOf[net]; id >= 0 {
 			addSeed(id)
 		}
-		if len(c.Readers[net]) == 0 && len(m.removedDev) == 0 {
+		if len(c.Readers[net]) == 0 && len(p.removedDev) == 0 {
 			// Net neither gates nor channels anything: no logic effect.
 			return nil, VerdictUndetectable
 		}
 	default:
 		return nil, VerdictUndetectable
 	}
-	return m, VerdictSimulate
+	return p, VerdictSimulate
 }
 
 // Result holds the outcome of a realistic-fault simulation campaign.
@@ -288,6 +311,20 @@ func SimulateFaultsCapture(ctx context.Context, c *transistor.Circuit, list *fau
 	return simulateFaults(ctx, c, list, vectors, workers, bridgeG, reg, nil, true)
 }
 
+// live is one not-yet-resolved fault in the campaign loop. While the fault
+// has never diverged from the good machine (m == nil, clean == true) it
+// owns no state at all: the worker advances it on its pooled machine and
+// releases the machine immediately. The first divergence (or failed
+// settle) promotes the pooled machine into a dedicated one, preserving the
+// fault's private node state across vectors.
+type live struct {
+	idx     int
+	plan    *faultPlan
+	m       *Machine // nil while the fault still shadows the good machine
+	clean   bool
+	strikes int // unsettled vectors so far; oscStrikeLimit → undecided
+}
+
 // simulateFaults is the shared campaign loop behind every SimulateFaults*
 // variant. With trace set, good-machine values come from the recorded
 // states (live stepping resumes past the trace's end); with capture set
@@ -310,15 +347,9 @@ func simulateFaults(ctx context.Context, c *transistor.Circuit, list *fault.List
 	if reg != nil {
 		hDetectAt = reg.Histogram("swsim_vectors_to_detect", obs.ExpBuckets(1, 2, 10))
 	}
-	type live struct {
-		idx     int
-		m       *Machine
-		clean   bool
-		strikes int // unsettled vectors so far; oscStrikeLimit → undecided
-	}
 	var lives []*live
 	for i, f := range list.Faults {
-		m, v := NewResistiveFaultMachine(c, f, bridgeG)
+		plan, v := planFault(c, f)
 		switch v {
 		case VerdictDetected:
 			res.DetectedAt[i] = 1
@@ -327,10 +358,11 @@ func simulateFaults(ctx context.Context, c *transistor.Circuit, list *fault.List
 				res.IDDQAt[i] = 1
 			}
 		case VerdictSimulate:
-			// A fresh machine's state (all X) matches the good machine's
-			// pre-state, so the cheap shared-state path applies from the
-			// very first vector.
-			lives = append(lives, &live{idx: i, m: m, clean: true})
+			// A never-advanced fault's state (all X) matches the good
+			// machine's pre-state, so the cheap shared-state path applies
+			// from the very first vector — no machine needed until the
+			// fault first diverges.
+			lives = append(lives, &live{idx: i, plan: plan, clean: true})
 		}
 	}
 
@@ -362,6 +394,11 @@ func simulateFaults(ctx context.Context, c *transistor.Circuit, list *fault.List
 		capTrace.States[0] = append([]Val(nil), good.val...)
 		reg.Counter("swsim_goodtrace_misses").Inc()
 	}
+	// One pooled machine per worker, created lazily and reinstalled per
+	// clean fault; promoted (handed over) to a live the moment that fault
+	// diverges. Steady-state machine count = workers + dirty faults,
+	// instead of one machine per fault.
+	pool := make([]*Machine, workers)
 	oscillations := make([]int64, workers)
 	// finalize folds the per-worker oscillation counts and flushes the
 	// campaign-level metrics once the vector loop is done (normally or on
@@ -393,6 +430,7 @@ func simulateFaults(ctx context.Context, c *transistor.Circuit, list *fault.List
 		finalize(k)
 		return res
 	}
+	drop := make([]bool, len(lives))
 	for k, vec := range vectors {
 		if err := faultinject.Fire(ctx, faultinject.HookSwitchSimVector); err != nil {
 			return stop(k), capTrace, err
@@ -448,35 +486,63 @@ func simulateFaults(ctx context.Context, c *transistor.Circuit, list *fault.List
 			}
 		}
 
-		// Advance every live machine; each machine touches only its own
-		// state, so the work shards freely.
+		// Advance every live fault; each fault touches only its own state
+		// (or the worker's pooled machine), so the work shards freely.
 		mVectors.Inc()
-		drop := make([]bool, len(lives))
+		drop = drop[:len(lives)]
+		clear(drop)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
 				var steps, fast int64
+				pm := pool[w]
+				// pmGood tracks whether pm.val equals this vector's goodVal
+				// elementwise: after a pooled fault stays clean it does, and
+				// the next clean fault's applyFromGood can skip the full-state
+				// copy — the pooled fast path touches only fault-local nets.
+				pmGood := false
 				for li := w; li < len(lives); li += workers {
 					lv := lives[li]
-					var ok bool
 					steps++
-					if lv.clean {
+					mm := lv.m
+					usingPool := false
+					if mm == nil {
+						// Clean, never-diverged fault: borrow the worker's
+						// pooled machine. applyFromGood overwrites (or asserts)
+						// the full state, so the outcome is identical to a
+						// dedicated machine's.
+						if pm == nil {
+							pm = NewMachine(c)
+						}
+						pm.install(lv.plan, bridgeG)
+						mm = pm
+						usingPool = true
+					}
+					var ok bool
+					wasClean := lv.clean
+					if wasClean {
 						fast++
-						ok = lv.m.ApplyFromGood(goodVal, goodPrev)
+						ok = mm.applyFromGood(goodVal, goodPrev, usingPool && pmGood)
 					} else {
-						ok = lv.m.Apply(vec)
+						ok = mm.Apply(vec)
 					}
 					if !ok {
 						oscillations[w]++
 						lv.strikes++
 						lv.clean = false
+						if usingPool {
+							// The partially-relaxed state is the fault's
+							// history now; the pooled machine becomes its
+							// dedicated one.
+							lv.m, pm, pmGood = pm, nil, false
+						}
 						continue
 					}
 					detected := false
 					for _, po := range c.POs {
-						gv, fv := goodVal[po], lv.m.val[po]
+						gv, fv := goodVal[po], mm.val[po]
 						if gv != VX && fv != VX && gv != fv {
 							detected = true
 							break
@@ -485,10 +551,31 @@ func simulateFaults(ctx context.Context, c *transistor.Circuit, list *fault.List
 					if detected {
 						res.DetectedAt[lv.idx] = k + 1
 						drop[li] = true
+						if usingPool {
+							// The dropped fault's divergent state stays in the
+							// pool; the next borrower must copy the good state.
+							pmGood = false
+						}
 						continue
 					}
-					lv.clean = equalVals(lv.m.val, goodVal)
+					if wasClean {
+						// The apply started from the good state, so only the
+						// nets it touched can differ — no full-circuit scan.
+						lv.clean = mm.cleanAgainst(goodVal)
+					} else {
+						lv.clean = equalVals(mm.val, goodVal)
+					}
+					if usingPool {
+						if lv.clean {
+							pmGood = true
+						} else {
+							// First divergence: promote the pooled machine so
+							// the fault's private state persists across vectors.
+							lv.m, pm, pmGood = pm, nil, false
+						}
+					}
 				}
+				pool[w] = pm
 				mSteps.Add(steps)
 				mFastPath.Add(fast)
 			}(w)

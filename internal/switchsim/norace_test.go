@@ -1,0 +1,5 @@
+//go:build !race
+
+package switchsim
+
+const raceEnabled = false

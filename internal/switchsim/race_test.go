@@ -1,0 +1,8 @@
+//go:build race
+
+package switchsim
+
+// raceEnabled gates testing.AllocsPerRun assertions: race instrumentation
+// changes the allocation profile, so the zero-alloc contracts are pinned
+// only in non-race runs (the plain `go test ./...` tier).
+const raceEnabled = true

@@ -16,6 +16,14 @@
 // package fault: bridges (an always-on short of high conductance, resolved
 // by relative drive strength) and opens (transistors removed / nets severed
 // from their drivers).
+//
+// The hot path is allocation-free in steady state: every scratch buffer the
+// CCC solver needs (the group worklist, the local node index, the edge
+// list, the four conductance fields, the changed-net buffer) lives in a
+// per-Machine arena that is grown once and reused across solves, and fault
+// configurations are immutable faultPlans installable on any machine of the
+// same circuit in O(1) — which is what lets the campaign loop share one
+// pooled machine per worker across thousands of faults.
 package switchsim
 
 import (
@@ -92,30 +100,122 @@ func devConduction(d *transistor.Device, gateVal Val) conduction {
 	}
 }
 
+// forcedNet pins one net to a stuck level (a severed interconnect trunk).
+type forcedNet struct {
+	net int
+	v   Val
+}
+
+// extraBridges groups a plan's bridges by attachment key (see
+// faultPlan.extraOf).
+type extraBridges struct {
+	key int
+	brs [][2]int
+}
+
+// faultPlan is the precomputed switch-level model of one realistic fault:
+// everything fault injection used to scatter across per-machine maps, built
+// once per fault by planFault and installable on any Machine of the same
+// circuit in O(1). Plans are immutable after planFault returns and may be
+// shared by any number of machines (and goroutines) concurrently.
+type faultPlan struct {
+	removedDev map[int]bool // device indices forced off (stuck-open)
+	bridges    [][2]int     // extra always-on edges of conductance bridgeG
+	deadPI     []int        // PI nets severed from their pads
+	forced     []forcedNet  // nets pinned to a level (severed trunks)
+
+	// extraOf lists bridges per attachment key: a CCC id (merged partners
+	// are solved together), or -1-net for bridges touching nets outside
+	// any CCC (primary inputs). A plan holds at most two keys, so it's a
+	// scanned slice rather than a map — extraFor sits on solveCCC's group-
+	// discovery hot path, where a map lookup per group member is measurable.
+	// hasExtraPI short-circuits the per-changed-net lookup for the
+	// overwhelming majority of faults with no such bridge endpoint.
+	extraOf    []extraBridges
+	hasExtraPI bool
+	// seedCCCs are the CCCs hosting the fault hardware; they are re-solved
+	// on every vector.
+	seedCCCs []int
+}
+
+// isDeadPI reports whether pi is severed from its pad (≤ 1 entry in
+// practice, so a linear scan beats any map).
+func (p *faultPlan) isDeadPI(pi int) bool {
+	for _, d := range p.deadPI {
+		if d == pi {
+			return true
+		}
+	}
+	return false
+}
+
+// isForced reports whether net is pinned to a stuck level.
+func (p *faultPlan) isForced(net int) bool {
+	for _, f := range p.forced {
+		if f.net == net {
+			return true
+		}
+	}
+	return false
+}
+
+// cccEdge is one conducting connection inside the node group being solved:
+// a transistor channel, or a bridge edge.
+type cccEdge struct {
+	u, v int // local node indices; -1 marks a source endpoint
+	g    float64
+	cond conduction
+	srcV Val // value delivered when u == -1
+}
+
+// solveScratch is the per-Machine arena behind solveCCC and settle: every
+// buffer is grown on first use and reused for the life of the machine, so
+// the settle loop allocates nothing in steady state (pinned by
+// TestSettleSteadyStateZeroAllocs).
+type solveScratch struct {
+	groupIDs []int
+	inGroup  []bool  // len == NumCCCs; reset via groupIDs after each solve
+	localIdx []int32 // len == NumNets, -1 = absent; reset via nets
+	nets     []int
+	extra    [][2]int
+	edges    []cccEdge
+	d0, d1   []float64
+	m0, m1   []float64
+	changed  []int // settle's reusable changed-net buffer
+	// touched accumulates every net an Apply/ApplyFromGood call may have
+	// left different from its starting state (seeded, pinned, or changed
+	// by a solve; duplicates allowed). The campaign's clean check compares
+	// only these nets instead of scanning the whole circuit.
+	touched []int
+}
+
 // Machine is one simulated circuit instance (good or faulty) with its own
 // persistent node state. Faulty machines share the circuit structure and
-// carry a fault configuration.
+// carry an installed fault plan; install is O(1), so one machine can be
+// reused across many faults (the campaign loop's per-worker pool).
 type Machine struct {
 	c   *transistor.Circuit
 	val []Val
 
-	// Fault configuration (zero values = fault-free).
-	removedDev map[int]bool // device indices forced off (stuck-open)
-	bridges    [][2]int     // extra always-on edges of conductance bridgeG
-	bridgeG    float64      // defect conductance (BridgeG unless resistive)
-	deadPI     map[int]bool // PI nets severed from their pads
-	forced     map[int]Val  // nets pinned to a level (severed trunks)
+	// Fault configuration: nil plan = fault-free. The plan is read-only;
+	// bridgeG is the defect conductance (BridgeG unless resistive).
+	plan    *faultPlan
+	bridgeG float64
 
-	// extraOf[ccc] lists bridges touching the CCC (merged partners are
-	// solved together); key -1-net indexes bridges touching nets outside
-	// any CCC (primary inputs).
-	extraOf map[int][][2]int
-	// seedCCCs are the CCCs hosting the fault hardware; they are re-solved
-	// on every vector.
-	seedCCCs []int
-
+	// FIFO event queue over CCC ids: push appends, settle pops via qhead
+	// and resets both once drained, so the backing array is reused forever
+	// instead of creeping forward and reallocating.
 	queue   []int
+	qhead   int
 	inQueue []bool
+
+	// track makes settle record changed nets into scr.touched — on only
+	// for applyFromGood, whose caller may run the touched-set clean check.
+	// Plain Apply leaves it off: an oscillating machine would otherwise
+	// accumulate every changed net of a budget-length settle for nothing.
+	track bool
+
+	scr solveScratch
 }
 
 // NewMachine returns a fault-free machine over c with all nodes at X.
@@ -132,58 +232,83 @@ func NewMachine(c *transistor.Circuit) *Machine {
 // Val returns the current value of net n.
 func (m *Machine) Val(n int) Val { return m.val[n] }
 
+// install points the machine at a fault plan. The machine's node state is
+// untouched: callers either start from the all-X reset state (a fresh
+// machine) or immediately overwrite the state via ApplyFromGood (the pooled
+// fast path, whose full-state copy makes the result independent of whatever
+// fault the machine hosted before).
+func (m *Machine) install(p *faultPlan, bridgeG float64) {
+	m.plan = p
+	if bridgeG > 0 {
+		m.bridgeG = bridgeG
+	} else {
+		m.bridgeG = BridgeG
+	}
+}
+
+// extraOfKey returns the bridges attached to the given extraOf key (a CCC
+// id, or -1-net for endpoints outside any CCC).
+func (m *Machine) extraOfKey(key int) [][2]int {
+	if m.plan == nil {
+		return nil
+	}
+	return m.plan.extraFor(key)
+}
+
+// extraFor scans the plan's (≤ 2-entry) extraOf list for key.
+func (p *faultPlan) extraFor(key int) [][2]int {
+	for i := range p.extraOf {
+		if p.extraOf[i].key == key {
+			return p.extraOf[i].brs
+		}
+	}
+	return nil
+}
+
 // solveCCC evaluates the CCC group containing id (plus bridge-merged
-// partners) against the machine's current values and writes the resulting
-// node values into out (a scratch map). It returns the nets whose value
-// changed.
+// partners) against the machine's current values and appends the nets whose
+// value changed to changed (a scratch buffer owned by settle). All working
+// storage comes from the machine's scratch arena.
 func (m *Machine) solveCCC(id int, changed []int) []int {
 	c := m.c
+	s := &m.scr
 	// Gather the node group: the CCC itself plus CCCs reachable through
 	// bridges (transitively). Kept as an ordered slice so evaluation is
 	// deterministic.
-	groupIDs := []int{id}
-	inGroup := map[int]bool{id: true}
-	var extra [][2]int
+	groupIDs := s.groupIDs[:0]
+	groupIDs = append(groupIDs, id)
+	s.inGroup[id] = true
+	extra := s.extra[:0]
 	for i := 0; i < len(groupIDs); i++ {
-		for _, br := range m.extraOf[groupIDs[i]] {
+		for _, br := range m.extraOfKey(groupIDs[i]) {
 			extra = append(extra, br)
 			for _, n := range br {
 				oc := m.cccOfNet(n)
-				if oc >= 0 && !inGroup[oc] {
-					inGroup[oc] = true
+				if oc >= 0 && !s.inGroup[oc] {
+					s.inGroup[oc] = true
 					groupIDs = append(groupIDs, oc)
 				}
 			}
 		}
 	}
 
-	// Local node index.
-	local := map[int]int{}
-	var nets []int
-	addNet := func(n int) {
-		if _, ok := local[n]; !ok {
-			local[n] = len(nets)
-			nets = append(nets, n)
-		}
-	}
+	// Local node index over the group's nets.
+	nets := s.nets[:0]
 	for _, g := range groupIDs {
 		for _, n := range c.CCCs[g] {
-			addNet(n)
+			if s.localIdx[n] < 0 {
+				s.localIdx[n] = int32(len(nets))
+				nets = append(nets, n)
+			}
 		}
 	}
 	// Bridged endpoints outside any CCC (rails, PIs, netless nets) act as
 	// sources, handled below.
 
-	type edge struct {
-		u, v int // local node indices; -1 marks a source endpoint
-		g    float64
-		cond conduction
-		srcV Val // value delivered when u == -1
-	}
-	var edges []edge
+	edges := s.edges[:0]
 	for _, g := range groupIDs {
 		for _, di := range c.DevsOf[g] {
-			if m.removedDev[di] {
+			if m.plan != nil && m.plan.removedDev[di] {
 				continue
 			}
 			d := &c.Devices[di]
@@ -191,108 +316,43 @@ func (m *Machine) solveCCC(id int, changed []int) []int {
 			if cond == condOff {
 				continue
 			}
-			s, t := d.Source, d.Drain
-			si, sok := local[s]
-			ti, tok := local[t]
+			st, dt := d.Source, d.Drain
+			si, ti := s.localIdx[st], s.localIdx[dt]
 			switch {
-			case sok && tok:
-				edges = append(edges, edge{si, ti, d.Conductance, cond, VX})
-			case sok:
-				// t is a rail (or external strongly driven net).
-				edges = append(edges, edge{-1, si, d.Conductance, cond, m.val[t]})
-			case tok:
-				edges = append(edges, edge{-1, ti, d.Conductance, cond, m.val[s]})
+			case si >= 0 && ti >= 0:
+				edges = append(edges, cccEdge{int(si), int(ti), d.Conductance, cond, VX})
+			case si >= 0:
+				// dt is a rail (or external strongly driven net).
+				edges = append(edges, cccEdge{-1, int(si), d.Conductance, cond, m.val[dt]})
+			case ti >= 0:
+				edges = append(edges, cccEdge{-1, int(ti), d.Conductance, cond, m.val[st]})
 			}
 		}
 	}
 	for _, br := range extra {
 		a, b := br[0], br[1]
-		ai, aok := local[a]
-		bi, bok := local[b]
+		ai, bi := s.localIdx[a], s.localIdx[b]
 		switch {
-		case aok && bok:
-			edges = append(edges, edge{ai, bi, m.bridgeG, condOn, VX})
-		case aok:
-			edges = append(edges, edge{-1, ai, m.bridgeG, condOn, m.val[b]})
-		case bok:
-			edges = append(edges, edge{-1, bi, m.bridgeG, condOn, m.val[a]})
+		case ai >= 0 && bi >= 0:
+			edges = append(edges, cccEdge{int(ai), int(bi), m.bridgeG, condOn, VX})
+		case ai >= 0:
+			edges = append(edges, cccEdge{-1, int(ai), m.bridgeG, condOn, m.val[b]})
+		case bi >= 0:
+			edges = append(edges, cccEdge{-1, int(bi), m.bridgeG, condOn, m.val[a]})
 		}
 	}
 
-	// Max-conductance relaxation, four fields per node:
-	// def/may × value 0/1.
+	// Max-conductance relaxation, four fields per node: def/may × value 0/1.
 	n := len(nets)
-	var d0, d1, m0, m1 []float64
-	d0 = make([]float64, n)
-	d1 = make([]float64, n)
-	m0 = make([]float64, n)
-	m1 = make([]float64, n)
-	relax := func(g []float64, v Val, defOnly bool) {
-		// Seed from sources.
-		for _, e := range edges {
-			if e.u != -1 || e.srcV != v {
-				continue
-			}
-			if defOnly && (e.cond != condOn || e.srcV == VX) {
-				continue
-			}
-			if cand := series(RailG, e.g); cand > g[e.v] {
-				g[e.v] = cand
-			}
-		}
-		for iter := 0; iter < n; iter++ {
-			changedAny := false
-			for _, e := range edges {
-				if e.u == -1 {
-					continue
-				}
-				if defOnly && e.cond != condOn {
-					continue
-				}
-				if cand := series(g[e.u], e.g); cand > g[e.v]*(1+1e-12) && cand > tinyG {
-					g[e.v] = cand
-					changedAny = true
-				}
-				if cand := series(g[e.v], e.g); cand > g[e.u]*(1+1e-12) && cand > tinyG {
-					g[e.u] = cand
-					changedAny = true
-				}
-			}
-			if !changedAny {
-				break
-			}
-		}
-	}
-	relax(d0, V0, true)
-	relax(d1, V1, true)
-	relax(m0, V0, false)
-	relax(m1, V1, false)
-	// An X-valued source may deliver either value in the "may" fields.
-	relaxXSource := func() {
-		seeded := false
-		for _, e := range edges {
-			if e.u == -1 && e.srcV == VX {
-				if cand := series(RailG, e.g); cand > m0[e.v] || cand > m1[e.v] {
-					if cand > m0[e.v] {
-						m0[e.v] = cand
-					}
-					if cand > m1[e.v] {
-						m1[e.v] = cand
-					}
-					seeded = true
-				}
-			}
-		}
-		if seeded {
-			relax(m0, V0, false)
-			relax(m1, V1, false)
-		}
-	}
-	relaxXSource()
+	d0 := resetFloats(s.d0, n)
+	d1 := resetFloats(s.d1, n)
+	m0 := resetFloats(s.m0, n)
+	m1 := resetFloats(s.m1, n)
+	relaxAll(d0, d1, m0, m1, edges, n)
 
 	const cmp = 1 + 1e-9
 	for i, net := range nets {
-		if _, pinned := m.forced[net]; pinned {
+		if m.plan != nil && m.plan.isForced(net) {
 			continue
 		}
 		prev := m.val[net]
@@ -328,6 +388,102 @@ func (m *Machine) solveCCC(id int, changed []int) []int {
 			changed = append(changed, net)
 		}
 	}
+
+	// Reset the arena's membership marks via the lists just built, and hand
+	// the (possibly regrown) buffers back for the next solve.
+	for _, net := range nets {
+		s.localIdx[net] = -1
+	}
+	for _, g := range groupIDs {
+		s.inGroup[g] = false
+	}
+	s.groupIDs, s.nets, s.extra, s.edges = groupIDs, nets, extra, edges
+	s.d0, s.d1, s.m0, s.m1 = d0, d1, m0, m1
+	return changed
+}
+
+// resetFloats returns buf grown to n elements, zeroed.
+func resetFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// relaxAll runs the four max-conductance relaxations (def/may × value 0/1)
+// fused into one pass over the edge list. A max-relaxation's fixpoint is
+// order-independent, so fusing the fields — and seeding X-valued sources up
+// front instead of in a second pass — reaches the same fixpoints as four
+// separate relaxations while loading each edge once per iteration instead
+// of four times, and iterating max(per-field rounds) instead of their sum.
+func relaxAll(d0, d1, m0, m1 []float64, edges []cccEdge, n int) {
+	// Seed from sources. Definite fields only accept definitely-conducting
+	// edges from non-X sources; "may" fields accept any conduction, and an
+	// X-valued source may deliver either value.
+	for i := range edges {
+		e := &edges[i]
+		if e.u != -1 {
+			continue
+		}
+		cand := series(RailG, e.g)
+		switch e.srcV {
+		case V0:
+			if cand > m0[e.v] {
+				m0[e.v] = cand
+			}
+			if e.cond == condOn && cand > d0[e.v] {
+				d0[e.v] = cand
+			}
+		case V1:
+			if cand > m1[e.v] {
+				m1[e.v] = cand
+			}
+			if e.cond == condOn && cand > d1[e.v] {
+				d1[e.v] = cand
+			}
+		default:
+			if cand > m0[e.v] {
+				m0[e.v] = cand
+			}
+			if cand > m1[e.v] {
+				m1[e.v] = cand
+			}
+		}
+	}
+	for iter := 0; iter < n; iter++ {
+		changedAny := false
+		for i := range edges {
+			e := &edges[i]
+			if e.u == -1 {
+				continue
+			}
+			u, v, w := e.u, e.v, e.g
+			changedAny = relaxStep(m0, u, v, w) || changedAny
+			changedAny = relaxStep(m1, u, v, w) || changedAny
+			if e.cond == condOn {
+				changedAny = relaxStep(d0, u, v, w) || changedAny
+				changedAny = relaxStep(d1, u, v, w) || changedAny
+			}
+		}
+		if !changedAny {
+			break
+		}
+	}
+}
+
+// relaxStep propagates one field across one channel edge, both directions.
+func relaxStep(g []float64, u, v int, w float64) bool {
+	changed := false
+	if cand := series(g[u], w); cand > g[v]*(1+1e-12) && cand > tinyG {
+		g[v] = cand
+		changed = true
+	}
+	if cand := series(g[v], w); cand > g[u]*(1+1e-12) && cand > tinyG {
+		g[u] = cand
+		changed = true
+	}
 	return changed
 }
 
@@ -345,10 +501,11 @@ func (m *Machine) Apply(vec Vector) bool {
 	if len(vec) != len(m.c.PIs) {
 		panic(fmt.Sprintf("switchsim: vector has %d bits, circuit has %d PIs", len(vec), len(m.c.PIs)))
 	}
-	m.ensureQueue()
+	m.ensureScratch()
+	m.track = false
 	for i, pi := range m.c.PIs {
 		v := vec[i]
-		if m.deadPI[pi] {
+		if m.plan != nil && m.plan.isDeadPI(pi) {
 			v = VX // severed from its pad: floats
 		}
 		if m.val[pi] != v {
@@ -359,8 +516,10 @@ func (m *Machine) Apply(vec Vector) bool {
 	m.applyForced()
 	// Always re-seed the fault hardware's CCCs, and every CCC on the first
 	// vector (all-X start).
-	for _, id := range m.seedCCCs {
-		m.push(id)
+	if m.plan != nil {
+		for _, id := range m.plan.seedCCCs {
+			m.push(id)
+		}
 	}
 	if m.allX() {
 		for id := range m.c.CCCs {
@@ -372,10 +531,16 @@ func (m *Machine) Apply(vec Vector) bool {
 
 // applyForced pins forced nets (severed trunks) to their stuck level.
 func (m *Machine) applyForced() {
-	for net, v := range m.forced {
-		if m.val[net] != v {
-			m.val[net] = v
-			m.pushReaders(net)
+	if m.plan == nil {
+		return
+	}
+	for _, f := range m.plan.forced {
+		if m.val[f.net] != f.v {
+			m.val[f.net] = f.v
+			if m.track {
+				m.scr.touched = append(m.scr.touched, f.net)
+			}
+			m.pushReaders(f.net)
 		}
 	}
 }
@@ -388,7 +553,22 @@ func (m *Machine) applyForced() {
 // good machine and take goodPost directly; seed-CCC nodes are reset to
 // goodPrev first so that charge retention (floating nodes keeping their
 // previous value) is computed against the correct history.
+//
+// Because the full state is copied in, the outcome is independent of
+// whatever the machine held before — which is what makes pooled machines
+// (one per worker, reinstalled per fault) bitwise-identical to dedicated
+// per-fault machines.
 func (m *Machine) ApplyFromGood(goodPost, goodPrev []Val) bool {
+	return m.applyFromGood(goodPost, goodPrev, false)
+}
+
+// applyFromGood is ApplyFromGood with the copy made skippable: with
+// stateIsGood set, the caller asserts m.val already equals goodPost
+// elementwise (the campaign loop tracks this for its pooled machines — a
+// machine whose previous fault stayed clean holds exactly the good state),
+// so the O(NumNets) copy is elided and the apply touches only fault-local
+// nets. The outcome is identical either way.
+func (m *Machine) applyFromGood(goodPost, goodPrev []Val, stateIsGood bool) bool {
 	if len(goodPost) != len(m.val) || len(goodPrev) != len(m.val) {
 		// A good state sized for a different circuit would otherwise be
 		// silently truncated by copy below; fail loudly instead. (Public
@@ -397,35 +577,76 @@ func (m *Machine) ApplyFromGood(goodPost, goodPrev []Val) bool {
 		panic(fmt.Sprintf("switchsim: ApplyFromGood: good state spans %d/%d nets, machine %s has %d",
 			len(goodPost), len(goodPrev), m.c.Name, len(m.val)))
 	}
-	copy(m.val, goodPost)
-	m.ensureQueue()
-	for _, id := range m.seedCCCs {
-		for _, net := range m.c.CCCs[id] {
-			m.val[net] = goodPrev[net]
-		}
+	if !stateIsGood {
+		copy(m.val, goodPost)
 	}
-	for pi := range m.deadPI {
-		if m.val[pi] != VX {
-			m.val[pi] = VX
-			m.pushReaders(pi)
+	m.ensureScratch()
+	m.track = true
+	m.scr.touched = m.scr.touched[:0]
+	if m.plan != nil {
+		for _, id := range m.plan.seedCCCs {
+			for _, net := range m.c.CCCs[id] {
+				m.val[net] = goodPrev[net]
+			}
+			m.scr.touched = append(m.scr.touched, m.c.CCCs[id]...)
 		}
-	}
-	m.applyForced()
-	for _, id := range m.seedCCCs {
-		m.push(id)
+		for _, pi := range m.plan.deadPI {
+			if m.val[pi] != VX {
+				m.val[pi] = VX
+				m.scr.touched = append(m.scr.touched, pi)
+				m.pushReaders(pi)
+			}
+		}
+		m.applyForced()
+		for _, id := range m.plan.seedCCCs {
+			m.push(id)
+		}
 	}
 	return m.settle()
 }
 
-func (m *Machine) ensureQueue() {
+// cleanAgainst reports whether the machine's state equals good. It is
+// valid only right after an Apply/ApplyFromGood whose *starting* state
+// already equaled good (elementwise): every net the call may have left
+// different is in the touched scratch, so only those are compared.
+func (m *Machine) cleanAgainst(good []Val) bool {
+	for _, n := range m.scr.touched {
+		if m.val[n] != good[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureScratch sizes the queue bookkeeping and the solver arena's
+// membership marks on first use.
+func (m *Machine) ensureScratch() {
 	if m.inQueue == nil {
 		m.inQueue = make([]bool, len(m.c.CCCs))
+	}
+	if m.scr.inGroup == nil {
+		m.scr.inGroup = make([]bool, len(m.c.CCCs))
+	}
+	if m.scr.localIdx == nil {
+		m.scr.localIdx = make([]int32, m.c.NumNets)
+		for i := range m.scr.localIdx {
+			m.scr.localIdx[i] = -1
+		}
 	}
 }
 
 func (m *Machine) push(id int) {
 	if id >= 0 && !m.inQueue[id] {
 		m.inQueue[id] = true
+		if len(m.queue) == cap(m.queue) && m.qhead > len(m.queue)/2 {
+			// Reclaim the popped prefix instead of growing: live entries
+			// are deduplicated by inQueue (≤ NumCCCs), so compaction keeps
+			// the array bounded even through a budget-length oscillating
+			// settle, where appends would otherwise grow it per pop.
+			n := copy(m.queue, m.queue[m.qhead:])
+			m.queue = m.queue[:n]
+			m.qhead = 0
+		}
 		m.queue = append(m.queue, id)
 	}
 }
@@ -435,9 +656,11 @@ func (m *Machine) pushReaders(net int) {
 		m.push(r)
 	}
 	// Bridges can attach channel groups to nets outside any CCC (PIs).
-	for _, br := range m.extraOf[-1-net] {
-		for _, bn := range br {
-			m.push(m.cccOfNet(bn))
+	if m.plan != nil && m.plan.hasExtraPI {
+		for _, br := range m.plan.extraFor(-1 - net) {
+			for _, bn := range br {
+				m.push(m.cccOfNet(bn))
+			}
 		}
 	}
 }
@@ -446,24 +669,32 @@ func (m *Machine) pushReaders(net int) {
 // bridge-induced oscillation.
 func (m *Machine) settle() bool {
 	budget := 8*len(m.c.CCCs) + 64
-	var scratch []int
-	for len(m.queue) > 0 {
+	scratch := m.scr.changed
+	for m.qhead < len(m.queue) {
 		if budget == 0 {
 			m.queue = m.queue[:0]
+			m.qhead = 0
 			for i := range m.inQueue {
 				m.inQueue[i] = false
 			}
+			m.scr.changed = scratch
 			return false
 		}
 		budget--
-		id := m.queue[0]
-		m.queue = m.queue[1:]
+		id := m.queue[m.qhead]
+		m.qhead++
 		m.inQueue[id] = false
 		scratch = m.solveCCC(id, scratch[:0])
+		if m.track {
+			m.scr.touched = append(m.scr.touched, scratch...)
+		}
 		for _, net := range scratch {
 			m.pushReaders(net)
 		}
 	}
+	m.queue = m.queue[:0]
+	m.qhead = 0
+	m.scr.changed = scratch
 	return true
 }
 

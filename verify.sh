@@ -3,13 +3,16 @@
 #
 # Tier 1 (fast, the PR gate): build + vet + full test suite.
 # Tier 2 (slow): race-detector pass over the concurrency-bearing packages
-# (observability, the hardened pipeline, the fault-injection harness, the
-# worker-sharded gate-, switch-level simulators and ATPG, the result-store
-# backends and cluster routing, and the serving layer's
-# admission/coalescing/forwarding/drain machinery — including the
-# in-process multi-node ring and chaos tests).
+# listed in race_packages.txt (observability, the hardened pipeline, the
+# fault-injection harness, the worker-sharded gate-, switch-level
+# simulators and ATPG, the result-store backends and cluster routing, and
+# the serving layer's admission/coalescing/forwarding/drain machinery —
+# including the in-process multi-node ring and chaos tests). The CI race
+# job reads the same file, so the two lists cannot drift apart.
 set -eu
 cd "$(dirname "$0")"
+
+race_pkgs="$(grep -v '^#' race_packages.txt)"
 
 echo "== go build ./..."
 go build ./...
@@ -17,6 +20,7 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race (obs, experiments, faultinject, switchsim, gatesim, atpg, store, cluster, serve)"
-go test -race ./internal/obs/... ./internal/experiments/... ./internal/faultinject/... ./internal/switchsim/... ./internal/gatesim/... ./internal/atpg/... ./internal/store/... ./internal/cluster/... ./internal/serve/...
+echo "== go test -race (race_packages.txt)"
+# shellcheck disable=SC2086 — the list is intentionally word-split.
+go test -race $race_pkgs
 echo "verify.sh: all checks passed"
