@@ -472,6 +472,41 @@ func BenchmarkATPGWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkNDetectCountingSim times the counting-mode gate-level fault
+// simulation (faults stay live until n = 4 detections) on the same
+// campaign as BenchmarkGateLevelFaultSim, so the two seed entries bound
+// the cost of multiplicity accounting over first-detection dropping.
+func BenchmarkNDetectCountingSim(b *testing.B) {
+	nl := netlist.C432Class(1994)
+	faults := fault.StuckAtUniverse(nl)
+	pats := gatesim.RandomPatterns(nl, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gatesim.SimulateFaultsNCtx(context.Background(), nl, faults, pats, 4, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNDetectTestSet times the n-detect top-up (ABL-9's inner loop):
+// growing a 1-detect base set until every testable fault is detected 4
+// times or saturates. The base set is built once outside the timer — the
+// benchmark isolates the multiplicity top-up itself.
+func BenchmarkNDetectTestSet(b *testing.B) {
+	nl := netlist.C432Class(1994)
+	faults := fault.StuckAtUniverse(nl)
+	base, err := atpg.BuildTestSetWorkersCtx(context.Background(), nl, faults, 64, 1994, 2000, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atpg.BuildNDetectTestSet(context.Background(), nl, faults, base.Patterns, base.Untestable, 4, 2000, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Observability overhead: instrumented hot loops, no-op vs traced. ---
 
 // benchATPGTopUp runs the deterministic ATPG top-up (the instrumented

@@ -215,6 +215,28 @@ func delta(w io.Writer, prev, cur *Doc) {
 	}
 }
 
+// positionals walks the arguments left after the initial flag.Parse,
+// returning the non-flag arguments in order and feeding any later flag
+// runs back through fs. Go's flag package stops at the first positional,
+// but the documented invocations put the file arguments before the
+// tuning flags (benchjson -compare BASE CURRENT -tolerance 1.5), so
+// parsing must resume after each positional.
+func positionals(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for len(args) > 0 {
+		if len(args[0]) > 1 && args[0][0] == '-' {
+			if err := fs.Parse(args); err != nil {
+				return nil, err
+			}
+			args = fs.Args()
+			continue
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+	return pos, nil
+}
+
 func main() {
 	out := flag.String("o", "", "write JSON to this file instead of stdout")
 	cmp := flag.Bool("compare", false, "compare two JSON documents: benchjson -compare BASE CURRENT")
@@ -224,18 +246,22 @@ func main() {
 	ov := overrides{}
 	flag.Var(ov, "override", "per-benchmark tolerance for all metrics, Name=ratio (repeatable)")
 	flag.Parse()
+	files, err := positionals(flag.CommandLine, flag.Args())
+	if err != nil {
+		os.Exit(2) // flag.ExitOnError has already printed the message
+	}
 
 	loadPair := func(usage string) (*Doc, *Doc) {
-		if flag.NArg() != 2 {
+		if len(files) != 2 {
 			fmt.Fprintln(os.Stderr, "usage:", usage)
 			os.Exit(2)
 		}
-		a, err := load(flag.Arg(0))
+		a, err := load(files[0])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		b, err := load(flag.Arg(1))
+		b, err := load(files[1])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)

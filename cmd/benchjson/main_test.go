@@ -1,6 +1,8 @@
 package main
 
 import (
+	"flag"
+	"io"
 	"strings"
 	"testing"
 )
@@ -132,5 +134,42 @@ func TestDeltaTable(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Fatalf("delta table missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestPositionalsTrailingFlags pins the documented CLI shape: the file
+// arguments may precede the tuning flags (benchjson -compare BASE
+// CURRENT -tolerance 1.5), which the stdlib flag package alone rejects
+// by stopping at the first positional.
+func TestPositionalsTrailingFlags(t *testing.T) {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	tol := fs.Float64("tolerance", 1.5, "")
+	alloc := fs.Float64("alloc-tolerance", 1.1, "")
+
+	// The CI gate's exact argument order, minus the leading -compare
+	// (consumed by the initial top-level parse).
+	pos, err := positionals(fs, []string{
+		"BENCH_seed.json", "BENCH_ci.json", "-tolerance", "2.0", "-alloc-tolerance", "1.25",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 2 || pos[0] != "BENCH_seed.json" || pos[1] != "BENCH_ci.json" {
+		t.Fatalf("positionals = %v", pos)
+	}
+	if *tol != 2.0 || *alloc != 1.25 {
+		t.Fatalf("trailing flags not applied: tolerance=%v alloc=%v", *tol, *alloc)
+	}
+
+	// Interleaved order and flags-first both behave identically.
+	pos, err = positionals(fs, []string{"-tolerance", "3.0", "a.json", "-alloc-tolerance", "1.5", "b.json"})
+	if err != nil || len(pos) != 2 || *tol != 3.0 || *alloc != 1.5 {
+		t.Fatalf("interleaved parse: pos=%v err=%v tol=%v alloc=%v", pos, err, *tol, *alloc)
+	}
+
+	// A bad flag surfaces as an error, not a silent positional.
+	if _, err := positionals(fs, []string{"a.json", "-no-such-flag"}); err == nil {
+		t.Fatal("unknown trailing flag accepted")
 	}
 }

@@ -23,6 +23,7 @@
 //	paths    path-delay coverage of the K longest paths       (ABL-6)
 //	maxwell  equal-coverage test sets, different quality      (ABL-7)
 //	resist   resistive-bridge conductance sweep               (ABL-8)
+//	ndetect  n-detection sweep: |T(n)|, Θ(n), DL(n)           (ABL-9)
 //	dft      observation points at SCOAP-hard nets            (DFT-1)
 //	lot      empirical DL from a simulated production lot     (VAL-1)
 //	inject   geometric defect-injection extraction check      (VAL-2)
@@ -37,7 +38,8 @@
 //	all      everything above in order
 //
 // Flags select the circuit (default: the c432-class benchmark), the seed,
-// the yield scaling and the random-vector budget; -trace=<path> writes a
+// the yield scaling and the random-vector budget; -n bounds the ndetect
+// sweep's detection multiplicity, -trace=<path> writes a
 // machine-readable JSON run report for any pipeline command, -timeout
 // bounds the run's wall time, and -workers sizes the worker pool of the
 // fault-parallel simulators and the concurrent experiment suite (0 = all
@@ -91,6 +93,7 @@ var commands = []struct{ name, desc string }{
 	{"paths", "path-delay coverage of the K longest paths (ABL-6)"},
 	{"maxwell", "equal-coverage test sets, different quality (ABL-7)"},
 	{"resist", "resistive-bridge conductance sweep (ABL-8)"},
+	{"ndetect", "n-detection sweep: |T(n)|, Θ(n), DL(n) (ABL-9)"},
 	{"dft", "observation points at SCOAP-hard nets (DFT-1)"},
 	{"lot", "empirical DL from a simulated production lot (VAL-1)"},
 	{"inject", "geometric defect-injection extraction check (VAL-2)"},
@@ -135,6 +138,7 @@ func main() {
 		trace   = flag.String("trace", "", "write a JSON run report (stage tree + metrics) to this path")
 		timeout = flag.Duration("timeout", 0, "bound the pipeline's wall time (0 = unlimited); expiry exits with code 3")
 		workers = flag.Int("workers", 0, "worker pool size for the fault-parallel simulators and concurrent experiments (0 = all CPUs)")
+		ndetect = flag.Int("n", 4, "maximum detection multiplicity for the ndetect sweep")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -310,6 +314,12 @@ func main() {
 		fmt.Print(st.Render())
 	case "resist":
 		st, err := experiments.RunResistiveBridgeStudy(run(cfg), nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Render())
+	case "ndetect":
+		st, err := experiments.RunNDetectStudy(ctx, run(cfg), *ndetect)
 		if err != nil {
 			fatal(err)
 		}

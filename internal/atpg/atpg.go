@@ -570,10 +570,17 @@ type TestSet struct {
 // excluded: their testability is unknown, so they stay in the denominator
 // (the paper's eq. 6 weights every fault that could reach a customer) and
 // out of the numerator.
+//
+// Per-fault outcome precedence is Detected > Untestable > Aborted,
+// matching Counts: a fault the random phase detected before the
+// deterministic search proved its target site redundant (possible when
+// the PODEM target is a collapsed representative) counts as detected,
+// and excludeUntestable only removes faults that are untestable AND
+// undetected from the denominator.
 func (ts *TestSet) Coverage(excludeUntestable bool) float64 {
 	det, tot := 0, 0
 	for i := range ts.DetectedAt {
-		if excludeUntestable && ts.Untestable[i] {
+		if excludeUntestable && ts.Untestable[i] && ts.DetectedAt[i] == 0 {
 			continue
 		}
 		tot++
@@ -589,7 +596,10 @@ func (ts *TestSet) Coverage(excludeUntestable bool) float64 {
 
 // Counts returns the per-outcome fault totals of the set: detected by some
 // vector, proven untestable (redundant), and aborted (backtrack limit,
-// budget exhaustion or cancellation).
+// budget exhaustion or cancellation). Each fault lands in exactly one
+// bucket with precedence Detected > Untestable > Aborted — the same
+// precedence Coverage applies, so detected+untestable faults are never
+// double-counted and the two views always agree.
 func (ts *TestSet) Counts() (detected, untestable, aborted int) {
 	for i := range ts.DetectedAt {
 		switch {

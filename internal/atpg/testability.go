@@ -125,10 +125,32 @@ func (t *Testability) Render(nl *netlist.Netlist, n int) string {
 // are fault-simulated newest-first with dropping, and only the patterns
 // that detect a fault not covered by any later-kept pattern survive. The
 // result preserves the original relative order and the exact fault
-// coverage of the input set.
+// coverage of the input set. It is CompactN with n = 1.
 func Compact(nl *netlist.Netlist, faults []fault.StuckAt, patterns []gatesim.Pattern) ([]gatesim.Pattern, error) {
+	return CompactN(nl, faults, patterns, 1)
+}
+
+// CompactN is multiplicity-aware static compaction: each fault must keep
+// min(n, original count) distinct detecting vectors, so a vector carrying
+// sole k-th-detection credit (k ≤ n) for any fault is never dropped.
+// Patterns are scanned newest-first; a pattern survives iff it detects at
+// least one fault still short of its quota, and every surviving pattern
+// credits all quota-short faults it detects. For every fault f the
+// compacted set therefore satisfies
+//
+//	min(n, DetectCounts_compacted(f)) = min(n, DetectCounts_original(f))
+//
+// — a fault with ≥ n original detections keeps at least n of them, and a
+// fault with fewer keeps all of them. CompactN(nl, faults, patterns, 1)
+// is exactly the classical Compact.
+func CompactN(nl *netlist.Netlist, faults []fault.StuckAt, patterns []gatesim.Pattern, n int) ([]gatesim.Pattern, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("atpg: CompactN requires n >= 1, got %d", n)
+	}
+	need := make([]int, len(faults))
 	remaining := make([]int, 0, len(faults))
 	for i := range faults {
+		need[i] = n
 		remaining = append(remaining, i)
 	}
 	kept := make([]bool, len(patterns))
@@ -141,17 +163,27 @@ func Compact(nl *netlist.Netlist, faults []fault.StuckAt, patterns []gatesim.Pat
 		if err != nil {
 			return nil, err
 		}
-		next := remaining[:0]
 		detectedAny := false
-		for i, fi := range remaining {
+		for i := range remaining {
 			if res.DetectedAt[i] > 0 {
 				detectedAny = true
-			} else {
+				break
+			}
+		}
+		kept[k] = detectedAny
+		if !detectedAny {
+			continue
+		}
+		next := remaining[:0]
+		for i, fi := range remaining {
+			if res.DetectedAt[i] > 0 {
+				need[fi]--
+			}
+			if need[fi] > 0 {
 				next = append(next, fi)
 			}
 		}
 		remaining = next
-		kept[k] = detectedAny
 	}
 	var out []gatesim.Pattern
 	for k, p := range patterns {

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"defectsim/internal/netlist"
+)
+
+func TestNDetectStudyC432Class(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RandomVectors = 32
+	p, err := Run(netlist.C432Class(cfg.Seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxN = 3
+	st, err := RunNDetectStudy(context.Background(), p, maxN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Ns) != maxN {
+		t.Fatalf("swept %d levels, want %d", len(st.Ns), maxN)
+	}
+	if st.Vectors[0] != len(p.TestSet.Patterns) {
+		t.Fatalf("|T(1)| = %d, pipeline set has %d", st.Vectors[0], len(p.TestSet.Patterns))
+	}
+	if st.Added[0] != 0 {
+		t.Fatalf("level 1 added %d vectors, want 0", st.Added[0])
+	}
+	for i := 1; i < len(st.Ns); i++ {
+		// The acceptance criterion: |T(n)| monotone non-decreasing.
+		if st.Vectors[i] < st.Vectors[i-1] {
+			t.Fatalf("|T(%d)| = %d < |T(%d)| = %d", st.Ns[i], st.Vectors[i], st.Ns[i-1], st.Vectors[i-1])
+		}
+		if st.Vectors[i] != st.Vectors[i-1]+st.Added[i] {
+			t.Fatalf("level %d: %d != %d + %d", st.Ns[i], st.Vectors[i], st.Vectors[i-1], st.Added[i])
+		}
+		// More vectors can only help the realistic coverage.
+		if st.Theta[i] < st.Theta[i-1]-1e-12 {
+			t.Fatalf("Θ(%d) = %.6f < Θ(%d) = %.6f", st.Ns[i], st.Theta[i], st.Ns[i-1], st.Theta[i-1])
+		}
+		if st.DL[i] > st.DL[i-1]+1e-12 {
+			t.Fatalf("DL(%d) = %.6g > DL(%d) = %.6g", st.Ns[i], st.DL[i], st.Ns[i-1], st.DL[i-1])
+		}
+	}
+	for i, th := range st.Theta {
+		if th <= 0 || th > 1 {
+			t.Fatalf("Θ(%d) = %v out of range", st.Ns[i], th)
+		}
+		if st.DL[i] < 0 || st.DL[i] >= 1 {
+			t.Fatalf("DL(%d) = %v out of range", st.Ns[i], st.DL[i])
+		}
+	}
+	out := st.Render()
+	if !strings.Contains(out, "ABL-9") || !strings.Contains(out, "DL(n) ppm") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+}
+
+func TestNDetectStudyRejectsBadN(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RandomVectors = 8
+	p, err := Run(netlist.C17(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunNDetectStudy(context.Background(), p, 0); err == nil {
+		t.Fatal("accepted maxN=0")
+	}
+}
+
+func TestNDetectStudyCancellation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RandomVectors = 8
+	p, err := Run(netlist.C432Class(cfg.Seed), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunNDetectStudy(ctx, p, 3); err == nil {
+		t.Fatal("cancelled study returned nil error")
+	}
+}

@@ -130,6 +130,16 @@ func RunBridgeTopUp(p *Pipeline, maxTargets int) (*BridgeTopUp, error) {
 	if err != nil {
 		return nil, err
 	}
+	// IDDQ credit is deliberately disabled on both sides of the Θ delta:
+	// ThetaBefore is the voltage-only ThetaCurve(false), so scoring the
+	// appended set with iddq=false keeps the comparison apples-to-apples.
+	// This is also the right accounting for the paper's eq. 6: the top-up
+	// measures what extra *voltage* vectors buy, while the IDDQ screen is
+	// conductance-based and vector-count-independent (any vector exposing
+	// the contention current suffices) — its contribution is the separate
+	// ABL-2 ablation, and folding it in here would double-count detections
+	// that needed no new vectors at all.
+	// TestBridgeTopUpVoltageOnlyAccounting locks this choice.
 	det := res.DetectedBy(len(vectors), false)
 	t.ThetaAfter = p.Faults.WeightedCoverage(det)
 	t.ResidualAfter = dlmodel.Params{R: 1, ThetaMax: t.ThetaAfter}.ResidualDL(p.Yield)

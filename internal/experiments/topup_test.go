@@ -43,6 +43,51 @@ func TestBridgeTopUpRaisesTheta(t *testing.T) {
 	}
 }
 
+// TestBridgeTopUpVoltageOnlyAccounting locks the documented Θ accounting
+// of the top-up (see RunBridgeTopUp): both ThetaBefore and ThetaAfter are
+// voltage-only — IDDQ credit is excluded from both sides of the delta, so
+// the study measures exactly what the extra voltage vectors buy, and IDDQ
+// detections that needed no new vectors (the ABL-2 ablation) are never
+// double-counted as top-up gains.
+func TestBridgeTopUpVoltageOnlyAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RandomVectors = 8
+	p, err := Run(netlist.Comparator(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := RunBridgeTopUp(p, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thetaV := p.ThetaCurve(false).Final()
+	thetaI := p.ThetaCurve(true).Final()
+	if tu.ThetaBefore != thetaV {
+		t.Fatalf("ThetaBefore = %.6f, voltage-only ThetaCurve(false) = %.6f", tu.ThetaBefore, thetaV)
+	}
+	if thetaI > thetaV {
+		// This campaign has IDDQ-only detections, so the accounting choice
+		// is observable: the top-up baseline must sit below the IDDQ curve.
+		if tu.ThetaBefore >= thetaI {
+			t.Fatalf("ThetaBefore = %.6f includes IDDQ credit (Θ_iddq = %.6f)", tu.ThetaBefore, thetaI)
+		}
+	} else {
+		t.Log("campaign produced no IDDQ-only detections; baseline check is vacuous here")
+	}
+	// NewlyDetected counts only voltage detections of previously
+	// voltage-undetected faults; it can never exceed the faults the
+	// voltage campaign left undetected.
+	undetV := 0
+	for _, d := range p.SwitchRes.DetectedAt {
+		if d == 0 {
+			undetV++
+		}
+	}
+	if tu.NewlyDetected > undetV {
+		t.Fatalf("NewlyDetected %d exceeds voltage-undetected faults %d", tu.NewlyDetected, undetV)
+	}
+}
+
 func TestBridgeTopUpNoTargets(t *testing.T) {
 	// With the full test set on a tiny circuit, few or no signal bridges
 	// remain; the top-up must handle the empty case gracefully.

@@ -1,7 +1,9 @@
 // Package gatesim is the gate-level fault simulator of the pipeline: a
 // 64-way parallel-pattern single stuck-at simulator with fault dropping.
 // It produces the stuck-at coverage curves T(k) of the paper's figures 4
-// and 5.
+// and 5. Besides the classic first-detection mode it offers a
+// detection-counting mode (SimulateFaultsNCtx) where a fault stays live
+// until detected by n vectors — the engine behind n-detect test sets.
 //
 // # Parallel execution
 //
@@ -39,13 +41,40 @@ type Result struct {
 	// DetectedAt[i] is the 1-based index of the first vector detecting
 	// fault i, or 0 if the vector set never detects it.
 	DetectedAt []int
+	// DetectCounts[i] is the number of vectors detecting fault i, counted
+	// up to the campaign's target n (counting mode, SimulateFaultsNCtx);
+	// nil in first-detection mode. Counts are per applied vector: a
+	// stimulus occurring twice in the pattern set credits two detections.
+	DetectCounts []int
+	// NthDetectedAt[i] is the 1-based index of the vector supplying fault
+	// i's n-th detection (counting mode), or 0 when the set never reaches
+	// n detections; nil in first-detection mode. For n = 1 it equals
+	// DetectedAt.
+	NthDetectedAt []int
+	// VectorsApplied is how many leading vectors the campaign actually
+	// simulated. A completed campaign reports the full set length (even
+	// when every fault dropped early — the remaining vectors could not
+	// have changed any verdict); an early-stopped one (cancellation,
+	// injected failure) reports the vectors before the stop. Zero on
+	// hand-built Results that never ran the engine.
+	VectorsApplied int
 }
 
 // Coverage returns T(k): the fraction of the fault list detected by the
 // first k vectors.
+//
+// k is clamped to VectorsApplied: an early-stopped campaign simulated only
+// VectorsApplied vectors, so querying coverage at a k beyond the stop
+// point reports the coverage as of the stop — vectors that were never
+// simulated cannot claim detection credit. (A Result whose VectorsApplied
+// is zero is queried unclamped, so hand-built Results keep their
+// historical meaning; mirrors switchsim.Result.DetectedBy.)
 func (r *Result) Coverage(k int) float64 {
 	if len(r.DetectedAt) == 0 {
 		return 0
+	}
+	if r.VectorsApplied > 0 && k > r.VectorsApplied {
+		k = r.VectorsApplied
 	}
 	n := 0
 	for _, d := range r.DetectedAt {
@@ -54,6 +83,18 @@ func (r *Result) Coverage(k int) float64 {
 		}
 	}
 	return float64(n) / float64(len(r.DetectedAt))
+}
+
+// DetectedN returns the number of faults whose detection count reached n —
+// counting-mode results only (zero otherwise).
+func (r *Result) DetectedN(n int) int {
+	c := 0
+	for _, v := range r.DetectCounts {
+		if v >= n {
+			c++
+		}
+	}
+	return c
 }
 
 // Detected returns the number of faults detected by the whole vector set.
@@ -177,9 +218,17 @@ type blockState struct {
 
 // simShard runs one worker's strided share of the live list against the
 // current block: the activation filter, the faulty-machine evaluation and
-// first-detection extraction. Detections land at disjoint positions of
-// detectedAt/drop (live indices are unique), counters stay worker-private.
-func (s *simulator) simShard(bs *blockState, faults []fault.StuckAt, live []int, offset, stride int, detectedAt []int, drop []bool, c *shardCounters) {
+// detection extraction. Detections land at disjoint positions of the
+// result slices and drop (live indices are unique), counters stay
+// worker-private.
+//
+// need selects the mode: 0 is classic first-detection-with-dropping;
+// need >= 1 is counting mode — the fault accumulates one detection per
+// detecting vector into res.DetectCounts and is dropped only when the
+// count reaches need, with the supplying vector recorded in
+// res.NthDetectedAt. Both modes fill res.DetectedAt identically, and
+// need == 1 drops at exactly the same vector as need == 0.
+func (s *simulator) simShard(bs *blockState, faults []fault.StuckAt, live []int, offset, stride int, res *Result, need int, drop []bool, c *shardCounters) {
 	for li := offset; li < len(live); li += stride {
 		fi := live[li]
 		f := &faults[fi]
@@ -203,11 +252,39 @@ func (s *simulator) simShard(bs *blockState, faults []fault.StuckAt, live []int,
 		if diff == 0 {
 			continue
 		}
-		// First set bit = earliest detecting pattern in the block.
+		// First set bit = earliest detecting pattern in the block. A live
+		// fault has no recorded detection yet in first-detection mode; in
+		// counting mode the guard keeps the first index from earlier blocks.
+		if res.DetectedAt[fi] == 0 {
+			res.DetectedAt[fi] = bs.base + bits.TrailingZeros64(diff) + 1
+		}
+		if need == 0 {
+			c.dropped++
+			drop[li] = true
+			continue
+		}
+		// Counting mode: every set bit of diff is one detecting vector.
+		hits := bits.OnesCount64(diff)
+		rem := need - res.DetectCounts[fi]
+		if hits < rem {
+			res.DetectCounts[fi] += hits
+			continue
+		}
+		// The rem-th set bit supplies the need-th detection; drop the fault.
+		res.DetectCounts[fi] = need
+		res.NthDetectedAt[fi] = bs.base + selectBit(diff, rem) + 1
 		c.dropped++
 		drop[li] = true
-		detectedAt[fi] = bs.base + bits.TrailingZeros64(diff) + 1
 	}
+}
+
+// selectBit returns the position of the k-th (1-based) set bit of x.
+// The caller guarantees x has at least k set bits.
+func selectBit(x uint64, k int) int {
+	for ; k > 1; k-- {
+		x &= x - 1 // clear the lowest set bit
+	}
+	return bits.TrailingZeros64(x)
 }
 
 // SimulateFaultsCtx is the full engine: SimulateCtx with an explicit
@@ -217,6 +294,28 @@ func (s *simulator) simShard(bs *blockState, faults []fault.StuckAt, live []int,
 // workers; results are bitwise identical to a serial run for every worker
 // count. See the package comment for the execution model.
 func SimulateFaultsCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern, workers int, reg *obs.Registry) (*Result, error) {
+	return simulateFaults(ctx, nl, faults, patterns, 0, workers, reg)
+}
+
+// SimulateFaultsNCtx is the detection-counting engine behind n-detect test
+// sets: a fault stays live until detected by n vectors (instead of being
+// dropped at its first detection) and the result carries, per fault, the
+// detection count capped at n (DetectCounts) and the index of the vector
+// supplying the n-th detection (NthDetectedAt). DetectedAt keeps its
+// first-detection meaning, and for n = 1 the whole result — detections,
+// drops, counters — is identical to SimulateFaultsCtx. Counting mode
+// shares the block/shard engine, so it is equally parallel-safe: bitwise
+// identical for every worker count.
+func SimulateFaultsNCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern, n, workers int, reg *obs.Registry) (*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gatesim: detection target n = %d, must be >= 1", n)
+	}
+	return simulateFaults(ctx, nl, faults, patterns, n, workers, reg)
+}
+
+// simulateFaults is the shared engine; need == 0 selects first-detection
+// mode, need >= 1 counting mode (see simShard).
+func simulateFaults(ctx context.Context, nl *netlist.Netlist, faults []fault.StuckAt, patterns []Pattern, need, workers int, reg *obs.Registry) (*Result, error) {
 	sim, err := newSimulator(nl)
 	if err != nil {
 		return nil, err
@@ -227,6 +326,10 @@ func SimulateFaultsCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.
 		}
 	}
 	res := &Result{DetectedAt: make([]int, len(faults))}
+	if need > 0 {
+		res.DetectCounts = make([]int, len(faults))
+		res.NthDetectedAt = make([]int, len(faults))
+	}
 	live := make([]int, 0, len(faults))
 	for i := range faults {
 		live = append(live, i)
@@ -300,7 +403,7 @@ func SimulateFaultsCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.
 		// to the in-line serial path at one) without changing results.
 		w := par.WorkersFor(maxWorkers, (len(live)+minFaultsPerWorker-1)/minFaultsPerWorker)
 		if w == 1 {
-			sim.simShard(bs, faults, live, 0, 1, res.DetectedAt, drop, &counters[0])
+			sim.simShard(bs, faults, live, 0, 1, res, need, drop, &counters[0])
 		} else {
 			nParBlocks++
 			for len(sims) < w {
@@ -311,7 +414,7 @@ func SimulateFaultsCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					sims[i].simShard(bs, faults, live, i, w, res.DetectedAt, drop, &counters[i])
+					sims[i].simShard(bs, faults, live, i, w, res, need, drop, &counters[i])
 				}(i)
 			}
 			wg.Wait()
@@ -335,7 +438,12 @@ func SimulateFaultsCtx(ctx context.Context, nl *netlist.Netlist, faults []fault.
 			keep = append(keep, fi)
 		}
 		live = keep
+		res.VectorsApplied = base + len(block)
 	}
+	// A campaign that ran to here covered the whole set: either every
+	// block was simulated, or the live list emptied early and the skipped
+	// vectors could not have changed any verdict.
+	res.VectorsApplied = len(patterns)
 	return res, nil
 }
 

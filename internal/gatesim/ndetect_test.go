@@ -1,0 +1,231 @@
+package gatesim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"defectsim/internal/fault"
+	"defectsim/internal/faultinject"
+	"defectsim/internal/netlist"
+	"defectsim/internal/obs"
+)
+
+// TestCountingN1IdenticalToFirstDetection pins the acceptance contract of
+// counting mode: with n = 1 the whole result — detections, per-fault drop
+// behavior, counters — reproduces SimulateFaultsCtx exactly, and
+// NthDetectedAt collapses onto DetectedAt.
+func TestCountingN1IdenticalToFirstDetection(t *testing.T) {
+	for _, nl := range []*netlist.Netlist{
+		netlist.C17(),
+		netlist.C432Class(1994),
+		netlist.RandomCircuit("nd-rnd", 11, 14, 7, 180),
+	} {
+		nl := nl
+		t.Run(nl.Name, func(t *testing.T) {
+			faults := fault.StuckAtUniverse(nl)
+			patterns := RandomPatterns(nl, 192, 5)
+			ref, err := SimulateFaultsCtx(context.Background(), nl, faults, patterns, 1, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refReg := obs.NewRegistry()
+			if _, err := SimulateFaultsCtx(context.Background(), nl, faults, patterns, 1, refReg); err != nil {
+				t.Fatal(err)
+			}
+			reg := obs.NewRegistry()
+			got, err := SimulateFaultsNCtx(context.Background(), nl, faults, patterns, 1, 1, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range faults {
+				if got.DetectedAt[i] != ref.DetectedAt[i] {
+					t.Fatalf("fault %d: DetectedAt %d, first-detection mode says %d",
+						i, got.DetectedAt[i], ref.DetectedAt[i])
+				}
+				if got.NthDetectedAt[i] != got.DetectedAt[i] {
+					t.Fatalf("fault %d: NthDetectedAt %d != DetectedAt %d at n=1",
+						i, got.NthDetectedAt[i], got.DetectedAt[i])
+				}
+				want := 0
+				if ref.DetectedAt[i] > 0 {
+					want = 1
+				}
+				if got.DetectCounts[i] != want {
+					t.Fatalf("fault %d: DetectCounts %d, want %d", i, got.DetectCounts[i], want)
+				}
+			}
+			if got.VectorsApplied != len(patterns) {
+				t.Fatalf("VectorsApplied = %d, want %d", got.VectorsApplied, len(patterns))
+			}
+			// n=1 counting does the same per-block work as first detection.
+			for _, name := range []string{
+				"gatesim_blocks", "gatesim_fault_evals",
+				"gatesim_activation_skips", "gatesim_faults_dropped",
+			} {
+				if got, want := reg.Counter(name).Value(), refReg.Counter(name).Value(); got != want {
+					t.Errorf("%s = %d, first-detection mode %d", name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCountingMatchesSignatures checks counting mode against the
+// no-dropping Signatures reference: DetectCounts must equal the number of
+// detecting vectors capped at n, and NthDetectedAt must name exactly the
+// n-th of them, for a spread of n.
+func TestCountingMatchesSignatures(t *testing.T) {
+	nl := netlist.C432Class(1994)
+	faults := fault.StuckAtUniverse(nl)
+	patterns := RandomPatterns(nl, 192, 5)
+	sigs, err := Signatures(nl, faults, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 4, 7, 64} {
+		res, err := SimulateFaultsNCtx(context.Background(), nl, faults, patterns, n, 0, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range faults {
+			wantCount := len(sigs[i])
+			if wantCount > n {
+				wantCount = n
+			}
+			if res.DetectCounts[i] != wantCount {
+				t.Fatalf("n=%d fault %d: DetectCounts %d, signatures say %d",
+					n, i, res.DetectCounts[i], wantCount)
+			}
+			wantNth := 0
+			if len(sigs[i]) >= n {
+				wantNth = sigs[i][n-1].Vector + 1
+			}
+			if res.NthDetectedAt[i] != wantNth {
+				t.Fatalf("n=%d fault %d: NthDetectedAt %d, signatures say %d",
+					n, i, res.NthDetectedAt[i], wantNth)
+			}
+			wantFirst := 0
+			if len(sigs[i]) > 0 {
+				wantFirst = sigs[i][0].Vector + 1
+			}
+			if res.DetectedAt[i] != wantFirst {
+				t.Fatalf("n=%d fault %d: DetectedAt %d, signatures say %d",
+					n, i, res.DetectedAt[i], wantFirst)
+			}
+		}
+	}
+}
+
+// TestCountingParallelBitwiseIdentical pins counting mode bitwise
+// identical across worker counts {1, 4, NumCPU} — the acceptance
+// criterion — plus the normalized <= 0 values.
+func TestCountingParallelBitwiseIdentical(t *testing.T) {
+	nl := netlist.C432Class(1994)
+	faults := fault.StuckAtUniverse(nl)
+	patterns := RandomPatterns(nl, 256, 7)
+	for _, n := range []int{2, 4} {
+		serial, err := SimulateFaultsNCtx(context.Background(), nl, faults, patterns, n, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.DetectedN(n) == 0 {
+			t.Fatalf("n=%d: nothing reached %d detections; test set too weak", n, n)
+		}
+		for _, w := range []int{1, 4, runtime.NumCPU(), 0, -2} {
+			par, err := SimulateFaultsNCtx(context.Background(), nl, faults, patterns, n, w, nil)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, w, err)
+			}
+			for i := range faults {
+				if par.DetectedAt[i] != serial.DetectedAt[i] ||
+					par.DetectCounts[i] != serial.DetectCounts[i] ||
+					par.NthDetectedAt[i] != serial.NthDetectedAt[i] {
+					t.Fatalf("n=%d workers=%d fault %d: (%d,%d,%d) vs serial (%d,%d,%d)",
+						n, w, i,
+						par.DetectedAt[i], par.DetectCounts[i], par.NthDetectedAt[i],
+						serial.DetectedAt[i], serial.DetectCounts[i], serial.NthDetectedAt[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSimulateFaultsNCtxRejectsBadN: the counting engine refuses n < 1
+// instead of silently degrading to first-detection mode.
+func TestSimulateFaultsNCtxRejectsBadN(t *testing.T) {
+	nl := netlist.C17()
+	faults := fault.StuckAtUniverse(nl)
+	patterns := RandomPatterns(nl, 8, 1)
+	for _, n := range []int{0, -1} {
+		if _, err := SimulateFaultsNCtx(context.Background(), nl, faults, patterns, n, 0, nil); err == nil {
+			t.Fatalf("n=%d accepted", n)
+		}
+	}
+}
+
+// TestCoverageClampsToVectorsApplied is the regression test for the
+// Coverage accounting bug: a Result must not report coverage credit for
+// vectors beyond the ones actually applied. The hand-built detection at
+// vector 7 (which a real 5-vector campaign cannot produce) must stay
+// invisible at any queried k — mirroring the PR 4
+// switchsim.Result.DetectedBy clamp.
+func TestCoverageClampsToVectorsApplied(t *testing.T) {
+	r := &Result{DetectedAt: []int{1, 7}, VectorsApplied: 5}
+	if got := r.Coverage(10); got != 0.5 {
+		t.Fatalf("Coverage(10) = %v, want 0.5 (clamped to 5 applied vectors)", got)
+	}
+	if got := r.Coverage(5); got != 0.5 {
+		t.Fatalf("Coverage(5) = %v, want 0.5", got)
+	}
+	// Zero VectorsApplied (hand-built, never ran the engine): unclamped,
+	// preserving the historical meaning.
+	legacy := &Result{DetectedAt: []int{1, 7}}
+	if got := legacy.Coverage(10); got != 1.0 {
+		t.Fatalf("legacy Coverage(10) = %v, want 1.0 (unclamped)", got)
+	}
+}
+
+// TestEarlyStopRecordsVectorsApplied: a campaign stopped by fault
+// injection reports the vectors applied before the stop, and Coverage
+// queried past the stop equals Coverage at the stop.
+func TestEarlyStopRecordsVectorsApplied(t *testing.T) {
+	nl := netlist.C432Class(1994)
+	faults := fault.StuckAtUniverse(nl)
+	patterns := RandomPatterns(nl, 256, 7)
+	boom := errors.New("injected block failure")
+	restore := faultinject.Set(faultinject.HookGateSimBlock,
+		faultinject.After(3, faultinject.Fail(boom)))
+	defer restore()
+	res, err := SimulateFaultsCtx(context.Background(), nl, faults, patterns, 0, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if res.VectorsApplied != 128 {
+		t.Fatalf("VectorsApplied = %d, want 128 (two completed blocks)", res.VectorsApplied)
+	}
+	if got, want := res.Coverage(len(patterns)), res.Coverage(res.VectorsApplied); got != want {
+		t.Fatalf("Coverage past the stop = %v, at the stop = %v", got, want)
+	}
+}
+
+// TestTransitionVectorsApplied: the transition simulator has no early-stop
+// path, so its result always covers the full pattern sequence.
+func TestTransitionVectorsApplied(t *testing.T) {
+	nl := netlist.C17()
+	faults := fault.StuckAtUniverse(nl)
+	patterns := RandomPatterns(nl, 48, 3)
+	res, err := SimulateTransitions(nl, faults, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VectorsApplied != len(patterns) {
+		t.Fatalf("VectorsApplied = %d, want %d", res.VectorsApplied, len(patterns))
+	}
+	for i, d := range res.DetectedAt {
+		if d > res.VectorsApplied {
+			t.Fatalf("fault %d captured at %d beyond the applied window", i, d)
+		}
+	}
+}

@@ -27,6 +27,12 @@ import (
 // faults corresponding to saFaults over consecutive pattern pairs. The
 // result's DetectedAt[i] is the 1-based index of the first *capture*
 // vector (necessarily ≥ 2), or 0 when the pair sequence never detects it.
+//
+// Capture-index accounting: the transition simulator has no early-stop
+// path (no context, no fault injection), so a returned Result always
+// covers the whole pattern sequence and reports VectorsApplied =
+// len(patterns); every capture index is ≤ that bound by construction, and
+// Coverage(k) clamps against it like any other campaign result.
 func SimulateTransitions(nl *netlist.Netlist, saFaults []fault.StuckAt, patterns []Pattern) (*Result, error) {
 	sim, err := newSimulator(nl)
 	if err != nil {
@@ -122,5 +128,6 @@ func SimulateTransitions(nl *netlist.Netlist, saFaults []fault.StuckAt, patterns
 		live = keep
 		havePrev = true
 	}
+	res.VectorsApplied = len(patterns)
 	return res, nil
 }

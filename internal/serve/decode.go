@@ -50,7 +50,54 @@ func DecodeRequest(data []byte, limits Config) (*PipelineRequest, experiments.Co
 	if err := decodeStrict(data, &req); err != nil {
 		return nil, experiments.Config{}, nil, err
 	}
+	cfg, nl, err := assembleConfig(&req, limits)
+	if err != nil {
+		return nil, experiments.Config{}, nil, err
+	}
+	return &req, cfg, nl, nil
+}
 
+// NDetectRequest is the JSON body of POST /v1/ndetect: a pipeline
+// submission plus the target detection multiplicity.
+type NDetectRequest struct {
+	PipelineRequest
+	// N is the maximum detection multiplicity to sweep (1..16); absent or
+	// 0 defaults to 4.
+	N *int `json:"n,omitempty"`
+}
+
+// maxNDetect caps the swept multiplicity: each level costs a counting
+// fault-sim campaign plus a switch-level re-score, so an unbounded n is a
+// denial-of-service knob, and the DL(n) curve has long flattened by 16.
+const maxNDetect = 16
+
+// DecodeNDetectRequest parses and validates an n-detect submission with
+// the same guarantees as DecodeRequest, plus the multiplicity bound. A
+// nil error guarantees a runnable config and 1 <= n <= 16.
+func DecodeNDetectRequest(data []byte, limits Config) (*NDetectRequest, experiments.Config, *netlist.Netlist, int, error) {
+	var req NDetectRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, experiments.Config{}, nil, 0, err
+	}
+	cfg, nl, err := assembleConfig(&req.PipelineRequest, limits)
+	if err != nil {
+		return nil, experiments.Config{}, nil, 0, err
+	}
+	n := 4
+	if req.N != nil && *req.N != 0 {
+		n = *req.N
+	}
+	if n < 1 || n > maxNDetect {
+		return nil, experiments.Config{}, nil, 0, fmt.Errorf(
+			"n is %d, must be in [1, %d]", n, maxNDetect)
+	}
+	return &req, cfg, nl, n, nil
+}
+
+// assembleConfig turns a decoded request into a validated configuration
+// and resolved netlist under the server limits — shared by every decoder
+// that embeds PipelineRequest.
+func assembleConfig(req *PipelineRequest, limits Config) (experiments.Config, *netlist.Netlist, error) {
 	cfg := experiments.DefaultConfig()
 	if req.Seed != nil {
 		cfg.Seed = *req.Seed
@@ -70,7 +117,7 @@ func DecodeRequest(data []byte, limits Config) (*PipelineRequest, experiments.Co
 	case "opens":
 		cfg.Stats = defect.OpensDominant()
 	default:
-		return nil, experiments.Config{}, nil, fmt.Errorf("unknown stats %q (known: typical, opens)", req.Stats)
+		return experiments.Config{}, nil, fmt.Errorf("unknown stats %q (known: typical, opens)", req.Stats)
 	}
 	cfg.Workers = limits.SimWorkers
 	if req.Workers != nil {
@@ -81,7 +128,7 @@ func DecodeRequest(data []byte, limits Config) (*PipelineRequest, experiments.Co
 		cfg.Deadline = time.Duration(*req.DeadlineMS) * time.Millisecond
 	}
 	if limits.MaxDeadline > 0 && cfg.Deadline > limits.MaxDeadline {
-		return nil, experiments.Config{}, nil, fmt.Errorf(
+		return experiments.Config{}, nil, fmt.Errorf(
 			"deadline %v exceeds the server maximum %v", cfg.Deadline, limits.MaxDeadline)
 	}
 	if len(req.StageBudgetsMS) > 0 {
@@ -91,7 +138,7 @@ func DecodeRequest(data []byte, limits Config) (*PipelineRequest, experiments.Co
 		}
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, experiments.Config{}, nil, err
+		return experiments.Config{}, nil, err
 	}
 
 	circuit := req.Circuit
@@ -100,9 +147,9 @@ func DecodeRequest(data []byte, limits Config) (*PipelineRequest, experiments.Co
 	}
 	nl, err := netlist.ByName(circuit, cfg.Seed)
 	if err != nil {
-		return nil, experiments.Config{}, nil, err
+		return experiments.Config{}, nil, err
 	}
-	return &req, cfg, nl, nil
+	return cfg, nl, nil
 }
 
 // decodeStrict parses JSON with unknown fields and trailing garbage

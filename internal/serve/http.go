@@ -69,6 +69,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/coverage", s.route("/v1/coverage", s.handleCoverage))
 	mux.HandleFunc("POST /v1/pipeline", s.route("/v1/pipeline", s.handleSubmit))
 	mux.HandleFunc("POST /v1/pipeline:batch", s.route("/v1/pipeline:batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/ndetect", s.route("/v1/ndetect", s.handleNDetect))
 	mux.HandleFunc("GET /v1/store/{key}", s.route("/v1/store/{key}", s.handleStoreGet))
 	mux.HandleFunc("PUT /v1/store/{key}", s.route("/v1/store/{key}", s.handleStorePut))
 	mux.HandleFunc("GET /v1/pipeline/{id}", s.route("/v1/pipeline/{id}", s.handleStatus))
@@ -200,6 +201,52 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// handleNDetect submits an n-detect study: a pipeline run followed by the
+// multiplicity sweep (experiments.RunNDetectStudy), sharing the whole
+// async job machinery — admission control, coalescing (keyed by config
+// AND n), budgets, status/result/events/cancel under /v1/pipeline/{id}.
+// Studies always execute locally: the request body is not retained for
+// forwarding, because only the underlying pipeline result (not the sweep)
+// is store-shareable across the ring.
+func (s *Server) handleNDetect(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	_, cfg, nl, n, err := DecodeNDetectRequest(data, s.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Message: err.Error()})
+		return
+	}
+	j, coalesced, err := s.submit(submission{
+		circuit:   nl.Name,
+		nl:        nl,
+		cfg:       cfg,
+		requestID: RequestIDFrom(r.Context()),
+		ndetect:   n,
+	})
+	switch {
+	case errors.Is(err, ErrShed):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, apiError{Message: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable, apiError{Message: err.Error()})
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, apiError{Message: err.Error()})
+		return
+	}
+	resp := submitResponse{jobStatus: s.status(j), CoalescedOnto: coalesced}
+	status := http.StatusAccepted
+	if coalesced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, resp)
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -233,8 +280,26 @@ type jobResult struct {
 	FittedR        float64 `json:"fitted_r,omitempty"`
 	FittedThetaMax float64 `json:"fitted_theta_max,omitempty"`
 	ResidualPPM    float64 `json:"residual_ppm,omitempty"`
+	// NDetect holds the n-detect sweep levels for jobs submitted via
+	// POST /v1/ndetect; absent on plain pipeline jobs.
+	NDetect []nDetectLevel `json:"ndetect,omitempty"`
 	// Report is this job's obs run report (stage tree + metrics).
 	Report *obs.Report `json:"report,omitempty"`
+}
+
+// nDetectLevel is one row of the DL(n) projection table.
+type nDetectLevel struct {
+	N       int `json:"n"`
+	Vectors int `json:"vectors"`
+	Added   int `json:"added"`
+	// FullCoverage is the fraction of testable stuck-at faults detected n
+	// times; Saturated counts faults the generator could not push to n.
+	FullCoverage float64 `json:"full_coverage"`
+	Saturated    int     `json:"saturated,omitempty"`
+	// Theta is the realistic (switch-level, voltage) coverage Θ(n); DLPPM
+	// the projected defect level at that coverage, in ppm.
+	Theta float64 `json:"theta"`
+	DLPPM float64 `json:"dl_ppm"`
 }
 
 func buildResult(j *job) jobResult {
@@ -259,6 +324,19 @@ func buildResult(j *job) jobResult {
 		res.FittedR = f5.Fitted.R
 		res.FittedThetaMax = f5.Fitted.ThetaMax
 		res.ResidualPPM = 1e6 * f5.Fitted.ResidualDL(p.Yield)
+	}
+	if st := j.study; st != nil {
+		for i, n := range st.Ns {
+			res.NDetect = append(res.NDetect, nDetectLevel{
+				N:            n,
+				Vectors:      st.Vectors[i],
+				Added:        st.Added[i],
+				FullCoverage: st.FullCoverage[i],
+				Saturated:    st.Saturated[i],
+				Theta:        st.Theta[i],
+				DLPPM:        1e6 * st.DL[i],
+			})
+		}
 	}
 	return res
 }

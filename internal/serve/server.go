@@ -174,6 +174,10 @@ type job struct {
 	// submissions that were themselves forwarded — the anti-loop guard).
 	fwdBody   []byte
 	noForward bool
+	// ndetectN, when > 0, runs the n-detect study (experiments.
+	// RunNDetectStudy up to this multiplicity) on the finished pipeline;
+	// the study result lands in the mu-guarded study field below.
+	ndetectN int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -185,6 +189,7 @@ type job struct {
 	finished  time.Time
 	coalesced int64 // extra submissions sharing this run
 	pipe      *experiments.Pipeline
+	study     *experiments.NDetectStudy
 	cacheHit  bool
 	remote    string // peer that computed the adopted result, if any
 	err       error
@@ -383,6 +388,9 @@ type submission struct {
 	// noForward pins execution to this node (set on requests that carry
 	// the forwarded marker — the anti-loop guard).
 	noForward bool
+	// ndetect, when > 0, makes the job an n-detect study up to this
+	// multiplicity on top of the pipeline run.
+	ndetect int
 }
 
 // submit admits a decoded request: it either coalesces onto an identical
@@ -401,6 +409,13 @@ func (s *Server) admitLocked(sub submission) (j *job, coalesced bool, err error)
 	circuit, nl, cfg, requestID := sub.circuit, sub.nl, sub.cfg, sub.requestID
 	key := experiments.CacheKey(circuit, cfg)
 	ckey := coalesceKey(key, cfg)
+	if sub.ndetect > 0 {
+		// An n-detect study and a plain pipeline run with the same
+		// configuration are different jobs; studies with different n are
+		// too. The cache key is untouched — the underlying pipeline result
+		// remains shareable through the store.
+		ckey = fmt.Sprintf("%s|ndetect=%d", ckey, sub.ndetect)
+	}
 	if s.draining {
 		return nil, false, ErrDraining
 	}
@@ -427,6 +442,7 @@ func (s *Server) admitLocked(sub submission) (j *job, coalesced bool, err error)
 		events:    newEventLog(),
 		fwdBody:   sub.body,
 		noForward: sub.noForward,
+		ndetectN:  sub.ndetect,
 		ctx:       ctx,
 		cancel:    cancel,
 		state:     StateQueued,
@@ -642,10 +658,30 @@ func (s *Server) execute(j *job) (_ *job, p *experiments.Pipeline, hit bool, err
 	}
 	if s.store != nil {
 		p, hit, err = experiments.RunStoredCtx(j.ctx, j.nl, j.cfg, s.store)
-		return j, p, hit, err
+	} else {
+		p, err = experiments.RunCtx(j.ctx, j.nl, j.cfg)
 	}
-	p, err = experiments.RunCtx(j.ctx, j.nl, j.cfg)
-	return j, p, false, err
+	if err == nil && j.ndetectN > 0 {
+		// The n-detect study rides on the finished pipeline (which may have
+		// come from the result store — the study itself always runs live).
+		err = s.runStudy(j, p)
+	}
+	return j, p, hit, err
+}
+
+// runStudy executes the job's n-detect study on its completed pipeline
+// and records the result on the job.
+func (s *Server) runStudy(j *job, p *experiments.Pipeline) error {
+	j.events.emit(EventStageStart, "ndetect", "")
+	st, err := experiments.RunNDetectStudy(j.ctx, p, j.ndetectN)
+	j.events.emit(EventStageEnd, "ndetect", "")
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.study = st
+	j.mu.Unlock()
+	return nil
 }
 
 // runForwarded submits the job's body to the ring owner, polls the
