@@ -15,8 +15,9 @@
 //	GET  /v1/pipeline/{id}/result  job result (202 while pending)
 //	GET  /v1/pipeline/{id}/events  live job events (SSE; ?poll=1 for long-poll)
 //	POST /v1/pipeline/{id}/cancel  cancel a job
+//	POST /v1/cluster/reload        re-read -peers-file and swap the ring (loopback-only; also on SIGHUP)
 //	GET  /healthz                  liveness + build info
-//	GET  /readyz                   readiness (503 while draining)
+//	GET  /readyz                   readiness + ring state (503 while draining or mid-reload)
 //	GET  /metrics                  Prometheus text exposition (?format=json for the obs report)
 //
 // Pipeline jobs run on a bounded worker pool behind a bounded admission
@@ -27,12 +28,18 @@
 // are then cancelled; a second signal forces immediate exit
 // (internal/sigctx, shared with dlproj).
 //
-// Multi-node serving: -node and -peers place the daemon on a static
-// consistent-hash ring — a submission whose result key another node owns
-// is forwarded there (request ID propagated) and the result adopted
-// through the owner's /v1/store API; any peer failure (circuit breaker,
-// timeout, 5xx) falls back to a local run. -store-remote layers a shared
-// remote result store over the local cache directory.
+// Multi-node serving: -node and -peers (or -peers-file) place the daemon
+// on a consistent-hash ring — a submission whose result key another node
+// owns is forwarded there (request ID propagated) and the result adopted
+// through the owner's /v1/store API. With -rf N > 1 each result lives on
+// the N distinct ring owners: a locally computed result fans out to the
+// other owners (failures spool as hinted handoff, replayed when the peer
+// recovers), and when the primary owner is dead the replica set is
+// walked — fetching the already-replicated envelope beats re-simulating.
+// -peers-file makes membership dynamic: rewrite the file and send SIGHUP
+// (or POST /v1/cluster/reload from loopback) to swap the ring without a
+// restart. -store-remote layers a shared remote result store over the
+// local cache directory.
 //
 // Every request carries a correlation ID (inbound X-Request-ID when
 // well-formed, generated otherwise), echoed on the response and written
@@ -58,6 +65,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"defectsim/internal/cluster"
@@ -139,8 +149,11 @@ func run() int {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "HTTP write timeout")
 		logLevel     = flag.String("log-level", "info", "structured log threshold: debug, info, warn or error")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. localhost:6060; empty = off)")
-		nodeName     = flag.String("node", "", "this node's name on the cluster ring (required with -peers)")
+		nodeName     = flag.String("node", "", "this node's name on the cluster ring (required with -peers / -peers-file)")
 		peers        = flag.String("peers", "", "static peer list name=url,... (e.g. node-b=http://10.0.0.2:8447); empty = single-node")
+		peersFile    = flag.String("peers-file", "", "peers file (one name=url per line, # comments); reloaded on SIGHUP or POST /v1/cluster/reload")
+		rf           = flag.Int("rf", 1, "replication factor: each result lives on this many ring owners (requires -cache-dir and peers when > 1)")
+		spoolDir     = flag.String("spool-dir", "", "hinted-handoff spool directory (default: <cache-dir>-spool; only used with -rf > 1)")
 		storeRemote  = flag.String("store-remote", "", "base URL of a remote result store layered over the local cache (empty = local only)")
 	)
 	flag.Parse()
@@ -202,26 +215,73 @@ func run() int {
 		}
 	}
 
-	// Cluster ring: static membership from -peers; submissions whose cache
-	// key another node owns are forwarded there, with local fallback on any
+	// Cluster ring: membership from -peers (static) or -peers-file
+	// (reloadable). Submissions whose cache key another node owns are
+	// forwarded there, with replica failover and local fallback on any
 	// peer failure.
-	var cl *cluster.Cluster
-	if *peers != "" {
+	var (
+		cl         *cluster.Cluster
+		membership *cluster.Membership
+	)
+	if *peers != "" && *peersFile != "" {
+		fmt.Fprintln(os.Stderr, "dlprojd: -peers and -peers-file are mutually exclusive")
+		return 2
+	}
+	if *rf < 1 {
+		fmt.Fprintln(os.Stderr, "dlprojd: -rf must be >= 1")
+		return 2
+	}
+	if *peers != "" || *peersFile != "" {
 		if *nodeName == "" {
-			fmt.Fprintln(os.Stderr, "dlprojd: -peers requires -node (this node's ring name)")
+			fmt.Fprintln(os.Stderr, "dlprojd: -peers / -peers-file requires -node (this node's ring name)")
 			return 2
 		}
-		specs, err := cluster.ParsePeers(*peers)
+		// The node's own advertised address, for rejecting peer entries
+		// that point back at it. Unknowable when listening on all
+		// interfaces (addr starting with ":").
+		selfURL := ""
+		if !strings.HasPrefix(*addr, ":") {
+			selfURL = "http://" + *addr
+		}
+		var (
+			specs []cluster.PeerSpec
+			err   error
+		)
+		if *peersFile != "" {
+			data, rerr := os.ReadFile(*peersFile)
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "dlprojd:", rerr)
+				return 2
+			}
+			specs, err = cluster.ParsePeersFile(data, *nodeName, selfURL)
+		} else {
+			specs, err = cluster.ParsePeers(*peers, selfURL)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dlprojd:", err)
 			return 2
 		}
-		if cl, err = cluster.New(*nodeName, specs, tr.Metrics(), cluster.Options{}); err != nil {
+		if cl, err = cluster.New(*nodeName, specs, tr.Metrics(), cluster.Options{RF: *rf}); err != nil {
 			fmt.Fprintln(os.Stderr, "dlprojd:", err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "dlprojd: cluster node %q in a ring of %d\n",
-			*nodeName, cl.Ring().Len())
+		if *peersFile != "" {
+			membership = cluster.NewMembership(cl, *peersFile, selfURL)
+		}
+		fmt.Fprintf(os.Stderr, "dlprojd: cluster node %q in a ring of %d (rf %d)\n",
+			*nodeName, cl.Ring().Len(), *rf)
+	} else if *rf > 1 {
+		fmt.Fprintln(os.Stderr, "dlprojd: -rf > 1 requires -peers or -peers-file")
+		return 2
+	}
+	if *rf > 1 && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "dlprojd: -rf > 1 requires -cache-dir (replication stores result envelopes)")
+		return 2
+	}
+	if *rf > 1 && *spoolDir == "" {
+		// Default beside — never inside — the cache dir: spool records are
+		// hints, not result envelopes.
+		*spoolDir = strings.TrimRight(*cacheDir, "/") + "-spool"
 	}
 
 	srv := serve.New(serve.Config{
@@ -236,10 +296,28 @@ func run() int {
 		CacheDir:        *cacheDir,
 		Store:           st,
 		Cluster:         cl,
+		Membership:      membership,
+		SpoolDir:        *spoolDir,
 		MaxJobs:         *maxJobs,
 		Obs:             tr,
 		Logger:          logger,
 	})
+
+	if membership != nil {
+		// SIGHUP re-reads the peers file and swaps the ring — the signal
+		// twin of POST /v1/cluster/reload. Kept off sigctx: HUP must never
+		// trigger (or count toward) a drain.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				if _, err := srv.ReloadMembership(); err != nil {
+					logger.Error("SIGHUP membership reload failed", "error", err)
+				}
+			}
+		}()
+	}
 
 	hs := &http.Server{
 		Addr:         *addr,

@@ -16,7 +16,7 @@ import (
 )
 
 func TestParsePeers(t *testing.T) {
-	specs, err := ParsePeers(" node-b=http://b:8447 , node-c=http://c:8447 ")
+	specs, err := ParsePeers(" node-b=http://b:8447 , node-c=http://c:8447 ", "http://a:8447")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,13 +29,73 @@ func TestParsePeers(t *testing.T) {
 			t.Fatalf("ParsePeers = %v, want %v", specs, want)
 		}
 	}
-	if specs, err := ParsePeers(""); err != nil || specs != nil {
+	if specs, err := ParsePeers("", ""); err != nil || specs != nil {
 		t.Fatalf("ParsePeers(\"\") = %v, %v, want nil, nil", specs, err)
 	}
 	for _, bad := range []string{"nourl", "=http://x", "name=", "a=u,a=u"} {
-		if _, err := ParsePeers(bad); err == nil {
+		if _, err := ParsePeers(bad, ""); err == nil {
 			t.Errorf("ParsePeers(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParsePeersRejections pins the validation error messages: duplicate
+// names, duplicate addresses (which would silently double-weight vnodes
+// on the ring), and a peer entry pointing at this node's own address.
+func TestParsePeersRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		selfURL string
+		wantErr string
+	}{
+		{
+			name:    "duplicate name",
+			in:      "b=http://b:1,b=http://c:1",
+			wantErr: `cluster: duplicate peer name "b"`,
+		},
+		{
+			name:    "duplicate address",
+			in:      "b=http://shared:1,c=http://shared:1",
+			wantErr: `cluster: duplicate peer address "http://shared:1" shared by "b" and "c"`,
+		},
+		{
+			name:    "duplicate address after normalization",
+			in:      "b=http://shared:1,c=HTTP://SHARED:1/",
+			wantErr: `cluster: duplicate peer address "HTTP://SHARED:1/" shared by "b" and "c"`,
+		},
+		{
+			name:    "self address",
+			in:      "b=http://self:8447",
+			selfURL: "http://self:8447",
+			wantErr: `cluster: peer "b" uses this node's own address "http://self:8447"`,
+		},
+		{
+			name:    "self address after normalization",
+			in:      "b=http://SELF:8447/",
+			selfURL: "http://self:8447",
+			wantErr: `cluster: peer "b" uses this node's own address "http://SELF:8447/"`,
+		},
+		{
+			name:    "bad entry",
+			in:      "just-a-name",
+			wantErr: `cluster: bad peer entry "just-a-name" (want name=url)`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePeers(tc.in, tc.selfURL)
+			if err == nil {
+				t.Fatalf("ParsePeers(%q) accepted", tc.in)
+			}
+			if err.Error() != tc.wantErr {
+				t.Fatalf("ParsePeers(%q) error = %q, want %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+	// Distinct hosts on one port are fine — only true duplicates reject.
+	if _, err := ParsePeers("b=http://b:1,c=http://c:1", "http://a:1"); err != nil {
+		t.Fatalf("distinct peers rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// ParsePeersFile parses a peers file: one name=url entry per line, blank
+// lines and '#' comments (full-line or trailing) ignored. An entry whose
+// name is selfName is skipped — the same file can be shared by the whole
+// fleet, each node ignoring its own line (whatever address it advertises
+// there is for the *other* nodes to use). Validation otherwise matches
+// ParsePeers — duplicate names, duplicate addresses, and a different
+// name claiming selfURL are rejected — with the offending line number in
+// the error.
+func ParsePeersFile(data []byte, selfName, selfURL string) ([]PeerSpec, error) {
+	var specs []PeerSpec
+	names := map[string]bool{}
+	addrs := map[string]string{}
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(line, "=")
+		name, url = strings.TrimSpace(name), strings.TrimSpace(url)
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("cluster: peers file line %d: bad entry %q (want name=url)", i+1, line)
+		}
+		if selfName != "" && name == selfName {
+			continue
+		}
+		var err error
+		if specs, err = appendPeer(specs, names, addrs, name, url, selfURL); err != nil {
+			return nil, fmt.Errorf("cluster: peers file line %d: %w", i+1, err)
+		}
+	}
+	return specs, nil
+}
+
+// MembershipChange summarizes one applied reload: which nodes joined,
+// which left, and the resulting member set (self included, sorted).
+type MembershipChange struct {
+	Joined []string `json:"joined,omitempty"`
+	Left   []string `json:"left,omitempty"`
+	Nodes  []string `json:"nodes"`
+}
+
+// Membership is a file-backed membership source: a peers file re-read on
+// demand — SIGHUP or POST /v1/cluster/reload — and swapped into the
+// cluster atomically. The file is the fleet's source of truth; the
+// daemon never mutates it. A reload that fails to parse or validate
+// leaves the current ring untouched, so a half-written peers file can
+// not take a node's view down.
+type Membership struct {
+	c       *Cluster
+	path    string
+	selfURL string
+	mu      sync.Mutex
+}
+
+// NewMembership binds cluster c to the peers file at path. selfURL is
+// passed through to ParsePeersFile so a rewritten file in which some
+// *other* node claims this node's address is rejected rather than
+// applied; the cluster's own name identifies (and skips) the self entry.
+func NewMembership(c *Cluster, path, selfURL string) *Membership {
+	return &Membership{c: c, path: path, selfURL: selfURL}
+}
+
+// Path returns the peers file path.
+func (m *Membership) Path() string { return m.path }
+
+// Reload re-reads the peers file and swaps the cluster's membership.
+// Serialized: concurrent reload triggers (SIGHUP racing the HTTP
+// endpoint) apply one at a time, each against the freshly read file.
+func (m *Membership) Reload() (MembershipChange, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, err := os.ReadFile(m.path)
+	if err != nil {
+		m.c.m.reload("error")
+		return MembershipChange{}, fmt.Errorf("cluster: read peers file: %w", err)
+	}
+	specs, err := ParsePeersFile(data, m.c.Self(), m.selfURL)
+	if err != nil {
+		m.c.m.reload("error")
+		return MembershipChange{}, err
+	}
+	joined, left, err := m.c.Reload(specs)
+	if err != nil {
+		return MembershipChange{}, err
+	}
+	return MembershipChange{Joined: joined, Left: left, Nodes: m.c.Ring().Nodes()}, nil
+}

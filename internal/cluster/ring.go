@@ -69,13 +69,25 @@ func NewRing(nodes []string) (*Ring, error) {
 	return r, nil
 }
 
-// hash64 is FNV-1a over the string — fast, dependency-free, and stable
-// across platforms and process restarts (required: every node must agree
-// on ownership without coordination).
+// hash64 is FNV-1a over the string, passed through a 64-bit avalanche
+// finalizer (the murmur3 fmix64 constants). Raw FNV-1a is stable and
+// dependency-free but mixes poorly on the short, near-identical strings
+// vnode labels are ("n0#0", "n0#1", …): without the finalizer a 3-node
+// ring at 128 vnodes/node gave one node ~57% of the keyspace. The
+// finalizer flips every output bit with ~50% probability per input bit,
+// restoring the low-single-digit-percent balance the vnode count is
+// sized for. Stable across platforms and process restarts (required:
+// every node must agree on ownership without coordination).
 func hash64(s string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(s))
-	return h.Sum64()
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
 }
 
 // Owner returns the node owning key: the first virtual node clockwise
@@ -87,6 +99,39 @@ func (r *Ring) Owner(key string) string {
 		i = 0 // wrap around the ring
 	}
 	return r.points[i].node
+}
+
+// OwnersFor returns the ordered replica set for key: the first rf
+// DISTINCT nodes encountered walking clockwise from the key's hash
+// position. owners[0] is the primary (identical to Owner(key)); the tail
+// entries are the replicas, ranked by ring distance. Because the walk is
+// a pure function of the sorted point set, every member derives the same
+// replica set in the same order from the same membership, regardless of
+// the order nodes were listed in. rf is clamped to [1, Len()].
+func (r *Ring) OwnersFor(key string, rf int) []string {
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > len(r.nodes) {
+		rf = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, rf)
+	for n := 0; n < len(r.points) && len(owners) < rf; n++ {
+		node := r.points[(start+n)%len(r.points)].node
+		dup := false
+		for _, o := range owners {
+			if o == node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			owners = append(owners, node)
+		}
+	}
+	return owners
 }
 
 // Nodes returns the member names in sorted order.

@@ -32,25 +32,36 @@ func TestRingDeterministicAcrossOrdering(t *testing.T) {
 }
 
 func TestRingDistribution(t *testing.T) {
-	r, err := NewRing([]string{"node-a", "node-b", "node-c"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	const n = 12000
-	counts := map[string]int{}
-	for i := 0; i < n; i++ {
-		counts[r.Owner(key(i))]++
-	}
-	if len(counts) != 3 {
-		t.Fatalf("only %d of 3 nodes own keys: %v", len(counts), counts)
-	}
-	// With 128 vnodes per node the expected share is 1/3; accept a wide
-	// band so the test pins "roughly balanced", not a hash accident.
-	for node, c := range counts {
-		frac := float64(c) / n
-		if frac < 0.20 || frac > 0.47 {
-			t.Errorf("node %s owns %.1f%% of keys (want roughly a third): %v",
-				node, 100*frac, counts)
+	// Several realistic name shapes: without the avalanche finalizer on
+	// the vnode hash, short sequential names ("n0", "n1", …) gave one
+	// node ~57% of the keyspace — the band below would have caught it
+	// only for the lucky "node-a" spelling. Keep the band tight enough
+	// that a mixing regression fails for every shape.
+	for _, nodes := range [][]string{
+		{"node-a", "node-b", "node-c"},
+		{"n0", "n1", "n2"},
+		{"node-0", "node-1", "node-2"},
+	} {
+		r, err := NewRing(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 12000
+		counts := map[string]int{}
+		for i := 0; i < n; i++ {
+			counts[r.Owner(key(i))]++
+		}
+		if len(counts) != 3 {
+			t.Fatalf("%v: only %d of 3 nodes own keys: %v", nodes, len(counts), counts)
+		}
+		// With 128 vnodes per node the expected share is 1/3 with
+		// low-single-digit-percent standard deviation.
+		for node, c := range counts {
+			frac := float64(c) / n
+			if frac < 0.26 || frac > 0.41 {
+				t.Errorf("node %s owns %.1f%% of keys (want roughly a third): %v",
+					node, 100*frac, counts)
+			}
 		}
 	}
 }
@@ -91,6 +102,103 @@ func TestRingSingleNodeOwnsEverything(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		if got := r.Owner(key(i)); got != "solo" {
 			t.Fatalf("single-node ring routed %s to %q", key(i), got)
+		}
+	}
+}
+
+func TestOwnersForProperties(t *testing.T) {
+	r, err := NewRing([]string{"node-a", "node-b", "node-c", "node-d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		k := key(i)
+		owners := r.OwnersFor(k, 2)
+		if len(owners) != 2 {
+			t.Fatalf("OwnersFor(%s, 2) = %v, want 2 owners", k, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("OwnersFor(%s, 2) repeated a node: %v", k, owners)
+		}
+		// The primary is exactly the single-owner answer: replication never
+		// changes who computes, only who also stores.
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("OwnersFor(%s)[0] = %s, Owner = %s", k, owners[0], r.Owner(k))
+		}
+		// rf=1 degenerates to the primary alone.
+		if one := r.OwnersFor(k, 1); len(one) != 1 || one[0] != owners[0] {
+			t.Fatalf("OwnersFor(%s, 1) = %v, want [%s]", k, one, owners[0])
+		}
+		// Growing rf extends the set without reordering the prefix.
+		three := r.OwnersFor(k, 3)
+		if len(three) != 3 || three[0] != owners[0] || three[1] != owners[1] {
+			t.Fatalf("OwnersFor(%s, 3) = %v does not extend %v", k, three, owners)
+		}
+	}
+}
+
+func TestOwnersForClamping(t *testing.T) {
+	r, err := NewRing([]string{"node-a", "node-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key(1)
+	// rf above the member count saturates at every node, each exactly once.
+	all := r.OwnersFor(k, 99)
+	if len(all) != 2 || all[0] == all[1] {
+		t.Fatalf("OwnersFor(rf=99) on 2 nodes = %v", all)
+	}
+	// rf <= 0 clamps to the primary.
+	if got := r.OwnersFor(k, 0); len(got) != 1 || got[0] != r.Owner(k) {
+		t.Fatalf("OwnersFor(rf=0) = %v, want [%s]", got, r.Owner(k))
+	}
+	if got := r.OwnersFor(k, -5); len(got) != 1 {
+		t.Fatalf("OwnersFor(rf=-5) = %v, want one owner", got)
+	}
+}
+
+// TestOwnersForDeterministicAcrossOrdering pins the coordination-free
+// property replication relies on: every node derives the same ordered
+// replica set from the same member set, however the peers were listed.
+func TestOwnersForDeterministicAcrossOrdering(t *testing.T) {
+	a, err := NewRing([]string{"node-a", "node-b", "node-c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"node-c", "node-b", "node-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := key(i)
+		oa, ob := a.OwnersFor(k, 2), b.OwnersFor(k, 2)
+		if len(oa) != len(ob) || oa[0] != ob[0] || oa[1] != ob[1] {
+			t.Fatalf("replica set depends on node ordering: %v vs %v for %s", oa, ob, k)
+		}
+	}
+}
+
+// TestOwnersForStableUnderUnrelatedRemoval extends the minimal-movement
+// guarantee to replica sets: removing a node only disturbs the replica
+// sets it belonged to.
+func TestOwnersForStableUnderUnrelatedRemoval(t *testing.T) {
+	before, err := NewRing([]string{"node-a", "node-b", "node-c", "node-d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"node-a", "node-b", "node-c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		k := key(i)
+		was := before.OwnersFor(k, 2)
+		if was[0] == "node-d" || was[1] == "node-d" {
+			continue // the departed node's sets must change; anything goes
+		}
+		is := after.OwnersFor(k, 2)
+		if was[0] != is[0] || was[1] != is[1] {
+			t.Fatalf("replica set for %s moved from %v to %v on unrelated removal", k, was, is)
 		}
 	}
 }

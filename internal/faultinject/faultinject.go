@@ -56,6 +56,12 @@ const (
 	// transport failure (retryable, breaker-counted) — the standard way to
 	// make a peer unreachable in tests.
 	HookNetRequest = "net.request"
+	// HookMembershipReload fires inside cluster.Reload after the new view
+	// is validated and built but before it is swapped in — the window
+	// where /readyz must report unready. The target is the reloading
+	// node's name. A returned error aborts the reload, leaving the old
+	// view in place.
+	HookMembershipReload = "cluster.membership.reload"
 	// HookStoreServeGet fires in the serving layer's store GET handler
 	// before the envelope is written. Returning ErrPartialResponse makes
 	// the handler advertise the full Content-Length but truncate the body

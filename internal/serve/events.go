@@ -43,12 +43,16 @@ const (
 	// EventForwardFallback marks a forward that failed and degraded to a
 	// local run (the job still terminates normally).
 	EventForwardFallback = "forward_fallback"
-	EventStageStart      = "stage_start"
-	EventStageEnd        = "stage_end"
-	EventDegraded        = "degraded"
-	EventDone            = "done"
-	EventFailed          = "failed"
-	EventCancelled       = "cancelled"
+	// EventReplicaFetch marks the killed-owner failover: the primary was
+	// unreachable and the already-replicated result envelope was adopted
+	// from a replica — no pipeline re-run.
+	EventReplicaFetch = "replica_fetch"
+	EventStageStart   = "stage_start"
+	EventStageEnd     = "stage_end"
+	EventDegraded     = "degraded"
+	EventDone         = "done"
+	EventFailed       = "failed"
+	EventCancelled    = "cancelled"
 )
 
 func terminalEvent(typ string) bool {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strconv"
 	"time"
@@ -76,6 +77,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/pipeline/{id}/result", s.route("/v1/pipeline/{id}/result", s.handleResult))
 	mux.HandleFunc("GET /v1/pipeline/{id}/events", s.route("/v1/pipeline/{id}/events", s.handleEvents))
 	mux.HandleFunc("POST /v1/pipeline/{id}/cancel", s.route("/v1/pipeline/{id}/cancel", s.handleCancel))
+	mux.HandleFunc("POST /v1/cluster/reload", s.route("/v1/cluster/reload", s.handleClusterReload))
 	mux.HandleFunc("GET /healthz", s.route("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.route("/readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.route("/metrics", s.handleMetrics))
@@ -382,12 +384,77 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{Status: "ok", Build: s.build})
 }
 
+// readyzRing is the cluster block of the /readyz body.
+type readyzRing struct {
+	Self    string   `json:"self"`
+	Nodes   int      `json:"nodes"`
+	RF      int      `json:"rf"`
+	Members []string `json:"members"`
+}
+
+type readyzBody struct {
+	Status string `json:"status"`
+	// Ring reports the current membership view (absent on single-node
+	// deployments without a cluster).
+	Ring *readyzRing `json:"ring,omitempty"`
+	// HintSpoolDepth is the pending hinted-handoff backlog — a persistent
+	// non-zero value means a replica is down and this node is carrying
+	// writes for it.
+	HintSpoolDepth int `json:"hint_spool_depth"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := readyzBody{Status: "ready", HintSpoolDepth: s.SpoolDepth()}
+	if c := s.cfg.Cluster; c != nil {
+		ring := c.Ring()
+		body.Ring = &readyzRing{Self: c.Self(), Nodes: ring.Len(), RF: c.RF(), Members: ring.Nodes()}
+		if c.Reloading() {
+			// Mid-swap: the view being replaced may route to nodes about to
+			// leave — load balancers should stop sending work until the new
+			// ring is in place.
+			body.Status = "reloading"
+			writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
+	}
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleClusterReload applies a membership reload from the peers file —
+// the HTTP twin of dlprojd's SIGHUP handler. Loopback-only: membership
+// is operator-plane, not data-plane, so a remote caller (peer or client)
+// must not be able to trigger re-reads of this node's config.
+func (s *Server) handleClusterReload(w http.ResponseWriter, r *http.Request) {
+	if !requestFromLoopback(r) {
+		writeError(w, http.StatusForbidden, apiError{Message: "cluster reload is loopback-only"})
+		return
+	}
+	if s.cfg.Membership == nil {
+		writeError(w, http.StatusNotFound, apiError{Message: "no membership source configured (start with -peers-file)"})
+		return
+	}
+	ch, err := s.ReloadMembership()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, apiError{Message: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ch)
+}
+
+// requestFromLoopback reports whether the request's peer address is a
+// loopback IP.
+func requestFromLoopback(r *http.Request) bool {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return false
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }
 
 // maxStoreBlob bounds an accepted /v1/store PUT body — far above any

@@ -98,11 +98,25 @@ type Config struct {
 	// serving layer persists every complete run here and serves the
 	// /v1/store API from it.
 	Store store.Store
-	// Cluster, when non-nil, routes pipeline submissions across a static
-	// peer ring: a job whose cache key is owned by another node is
-	// forwarded there (and its result fetched back through the owner's
-	// /v1/store API); any forwarding failure falls back to a local run.
+	// Cluster, when non-nil, routes pipeline submissions across the peer
+	// ring: a job whose cache key is owned by another node is forwarded
+	// there (and its result fetched back through the owner's /v1/store
+	// API). When the owner is unreachable the replica set is walked —
+	// fetching an already-replicated result, then delegating the compute —
+	// before falling back to a local run.
 	Cluster *cluster.Cluster
+	// Membership, when non-nil, is the file-backed membership source
+	// behind POST /v1/cluster/reload (and dlprojd's SIGHUP handler).
+	Membership *cluster.Membership
+	// SpoolDir, when non-empty (and Cluster has RF > 1 with a resolved
+	// store), holds the hinted-handoff spool: replica writes that failed
+	// while a peer was down, replayed when its breaker closes. Keep it
+	// outside CacheDir — spool records are hints, not result envelopes.
+	SpoolDir string
+	// HintReplayInterval is the fallback cadence for draining the hint
+	// spool (breaker recovery triggers an immediate replay; the ticker
+	// catches deferred hints and missed wakeups). Default 5s.
+	HintReplayInterval time.Duration
 	// MaxBatch bounds the items of one /v1/pipeline:batch submission.
 	// Default 64.
 	MaxBatch int
@@ -139,6 +153,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
+	}
+	if c.HintReplayInterval <= 0 {
+		c.HintReplayInterval = 5 * time.Second
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
@@ -220,8 +237,20 @@ type Server struct {
 	baseCancel context.CancelFunc
 
 	// store is the resolved result store (cfg.Store, or an FS store over
-	// cfg.CacheDir); nil when caching is disabled.
+	// cfg.CacheDir); nil when caching is disabled. The /v1/store peer API
+	// serves this backend directly — peers must see this node's local
+	// copies, never a recursive replica walk.
 	store store.Store
+	// rstore is the store the pipeline runs read and write through: the
+	// Replicated composition when the cluster runs with RF > 1, otherwise
+	// identical to store.
+	rstore store.Store
+	// replicated / spool are the replication internals (nil without RF > 1);
+	// replayWake is poked by a recovering peer breaker to trigger an
+	// immediate hint replay.
+	replicated *store.Replicated
+	spool      *store.Spool
+	replayWake chan struct{}
 
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast whenever queued/running change
@@ -242,6 +271,7 @@ type Server struct {
 	mCoalesced    *obs.Counter
 	mSubmitted    *obs.Counter
 	mRuns         *obs.Counter
+	mComputed     *obs.Counter
 	mDone         *obs.Counter
 	mFailed       *obs.Counter
 	mCancelled    *obs.Counter
@@ -313,6 +343,33 @@ func New(cfg Config) *Server {
 			s.store = fs
 		}
 	}
+	s.rstore = s.store
+	if c := cfg.Cluster; c != nil && c.RF() > 1 && s.store != nil {
+		sm := store.NewMetrics(cfg.Obs.Metrics())
+		if cfg.SpoolDir != "" {
+			sp, err := store.NewSpool(cfg.SpoolDir, 0, sm)
+			if err != nil {
+				s.logger.Warn("hint spool disabled", "spool_dir", cfg.SpoolDir, "error", err)
+			} else {
+				s.spool = sp
+			}
+		}
+		rep, err := store.NewReplicated(s.store, c, s.spool, sm)
+		if err != nil {
+			s.logger.Warn("replication disabled", "error", err)
+		} else {
+			s.replicated = rep
+			s.rstore = rep
+			s.replayWake = make(chan struct{}, 1)
+			c.SetOnPeerRecovered(func(string) {
+				// Runs from inside a breaker transition — must not block.
+				select {
+				case s.replayWake <- struct{}{}:
+				default:
+				}
+			})
+		}
+	}
 	s.cond = sync.NewCond(&s.mu)
 	s.mQueueDepth = s.reg.Gauge("serve_queue_depth")
 	s.mInflight = s.reg.Gauge("serve_inflight")
@@ -321,6 +378,7 @@ func New(cfg Config) *Server {
 	s.mCoalesced = s.reg.Counter("serve_coalesced_total")
 	s.mSubmitted = s.reg.Counter("serve_jobs_submitted")
 	s.mRuns = s.reg.Counter("serve_pipeline_runs")
+	s.mComputed = s.reg.Counter("serve_pipeline_computed_total")
 	s.mDone = s.reg.Counter("serve_jobs_done")
 	s.mFailed = s.reg.Counter("serve_jobs_failed")
 	s.mCancelled = s.reg.Counter("serve_jobs_cancelled")
@@ -338,6 +396,10 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.replicated != nil {
+		s.wg.Add(1)
+		go s.hintReplayLoop()
 	}
 	return s
 }
@@ -638,28 +700,40 @@ func (s *Server) runJob(j *job) {
 	s.finish(s.execute(j))
 }
 
-// execute runs one job: forwarded to its ring owner when the cluster
-// says another node owns the key, locally otherwise — and locally as the
-// fallback for every forwarding failure. Availability beats locality:
-// the only jobs that fail are jobs whose pipeline itself fails.
+// execute runs one job: forwarded across the key's replica set when the
+// cluster says another node is its primary owner, locally otherwise —
+// and locally as the fallback for every forwarding failure. Availability
+// beats locality: the only jobs that fail are jobs whose pipeline itself
+// fails.
 func (s *Server) execute(j *job) (_ *job, p *experiments.Pipeline, hit bool, err error) {
 	c := s.cfg.Cluster
 	if c != nil && !j.noForward && len(j.fwdBody) > 0 {
-		if owner := c.Owner(j.key); owner != c.Self() {
-			if p, ok := s.runForwarded(j, owner); ok {
+		owners := c.Owners(j.key)
+		if len(owners) > 0 && owners[0] != c.Self() {
+			if p, ok := s.runForwarded(j, owners); ok {
 				return j, p, true, nil
 			}
 			if j.ctx.Err() != nil {
 				// Cancelled while forwarding: settle through the usual path.
 				return j, nil, false, j.ctx.Err()
 			}
-			j.events.emit(EventForwardFallback, "", "running locally after forward to "+owner+" failed")
+			j.events.emit(EventForwardFallback, "",
+				"running locally (owners "+strings.Join(owners, ", ")+")")
 		}
 	}
-	if s.store != nil {
-		p, hit, err = experiments.RunStoredCtx(j.ctx, j.nl, j.cfg, s.store)
+	// The pipeline reads and writes through the replicated store when the
+	// cluster runs with RF > 1 — a locally computed result fans out to the
+	// other owners, and a local miss is served from any live replica.
+	if s.rstore != nil {
+		p, hit, err = experiments.RunStoredCtx(j.ctx, j.nl, j.cfg, s.rstore)
 	} else {
 		p, err = experiments.RunCtx(j.ctx, j.nl, j.cfg)
+	}
+	if err == nil && !hit {
+		// An actual simulation ran (not a cache/replica adoption) — the
+		// counter the chaos tests use to prove a killed owner degrades to
+		// "fetch from replica", never "re-simulate".
+		s.mComputed.Inc()
 	}
 	if err == nil && j.ndetectN > 0 {
 		// The n-detect study rides on the finished pipeline (which may have
@@ -684,30 +758,77 @@ func (s *Server) runStudy(j *job, p *experiments.Pipeline) error {
 	return nil
 }
 
-// runForwarded submits the job's body to the ring owner, polls the
-// remote job to a terminal state, fetches the result envelope from the
-// owner's store, and adopts it locally (backfilling this node's store).
-// Any failure — submit, poll, remote run, fetch, decode — returns ok
-// false and the caller runs locally; a remote result-degraded run also
-// lands here structurally, because degraded runs are never persisted to
-// any store and the fetch misses.
-func (s *Server) runForwarded(j *job, owner string) (*experiments.Pipeline, bool) {
+// runForwarded routes a non-primary job across the key's replica set in
+// ring order. The primary owner gets the full forward (submit → poll →
+// fetch); when it is unreachable, each successive replica is tried —
+// first for an already-replicated result envelope (the killed-owner
+// case: fetching the replica's copy beats re-simulating), then as a
+// stand-in compute node via the same submit path. Reaching this node's
+// own rank stops the walk: the local run path reads through the
+// replicated store, which is the same failover continued. Returns ok
+// false when no remote owner could serve the job; the caller then runs
+// it locally.
+func (s *Server) runForwarded(j *job, owners []string) (*experiments.Pipeline, bool) {
 	c := s.cfg.Cluster
 	m := c.Metrics()
-	peer := c.Peer(owner)
-	if peer == nil {
-		m.FallbackLocal("unknown_peer")
-		return nil, false
+	lastOutcome := "unknown_peer"
+	for rank, owner := range owners {
+		if j.ctx.Err() != nil {
+			return nil, false
+		}
+		if owner == c.Self() {
+			// Our own replica rank: stop the walk; the local run serves it
+			// (and the replicated store's Get still repairs the ring).
+			m.FallbackLocal("replica_self")
+			return nil, false
+		}
+		peer := c.Peer(owner)
+		if peer == nil {
+			continue // departed mid-walk (membership reload)
+		}
+		if rank > 0 {
+			// Failover rank: the primary is down, but the result may already
+			// be replicated here — fetch before delegating a recompute.
+			if p := s.adoptFromPeer(j, peer, true); p != nil {
+				m.ForwardOutcome(owner, "replica_hit")
+				return p, true
+			}
+		}
+		p, ok, outcome := s.forwardTo(j, peer, rank)
+		if ok {
+			return p, true
+		}
+		if outcome == "cancelled" {
+			return nil, false
+		}
+		lastOutcome = outcome
 	}
-	fail := func(outcome, detail string) (*experiments.Pipeline, bool) {
+	m.FallbackLocal(lastOutcome)
+	return nil, false
+}
+
+// forwardTo submits the job's body to one owner, polls the remote job to
+// a terminal state, fetches the result envelope from the owner's store,
+// and adopts it locally. Any failure — submit, poll, remote run, fetch,
+// decode — returns ok false with the outcome label; a remote
+// result-degraded run also lands there structurally, because degraded
+// runs are never persisted to any store and the fetch misses.
+func (s *Server) forwardTo(j *job, peer *cluster.Peer, rank int) (_ *experiments.Pipeline, ok bool, outcome string) {
+	c := s.cfg.Cluster
+	m := c.Metrics()
+	owner := peer.Name()
+	fail := func(outcome, detail string) (*experiments.Pipeline, bool, string) {
 		m.ForwardOutcome(owner, outcome)
-		m.FallbackLocal(outcome)
-		s.logger.Warn("forward failed, falling back to local run",
-			"job", j.id, "peer", owner, "outcome", outcome, "detail", detail)
-		return nil, false
+		s.logger.Warn("forward failed",
+			"job", j.id, "peer", owner, "rank", rank, "outcome", outcome, "detail", detail)
+		return nil, false, outcome
 	}
-	j.events.emit(EventForwarded, "", "key "+j.key+" owned by "+owner)
-	s.logger.Info("job forwarded", "job", j.id, "peer", owner, "key", j.key)
+	detail := "key " + j.key + " owned by " + owner
+	if rank > 0 {
+		detail = fmt.Sprintf("key %s delegated to replica rank %d (%s)", j.key, rank, owner)
+	}
+	j.events.emit(EventForwarded, "", detail)
+	s.logger.Info("job forwarded", "job", j.id, "peer", owner, "rank", rank, "key", j.key)
 	js, err := peer.Submit(j.ctx, j.fwdBody, j.requestID)
 	if err != nil {
 		return fail("submit_error", err.Error())
@@ -723,7 +844,7 @@ func (s *Server) runForwarded(j *job, owner string) (*experiments.Pipeline, bool
 			_ = peer.Cancel(cctx, js.ID)
 			cancel()
 			m.ForwardOutcome(owner, "cancelled")
-			return nil, false
+			return nil, false, "cancelled"
 		case <-tick.C:
 		}
 		if js, err = peer.Status(j.ctx, js.ID); err != nil {
@@ -737,26 +858,99 @@ func (s *Server) runForwarded(j *job, owner string) (*experiments.Pipeline, bool
 		}
 		return fail("remote_"+js.State, detail)
 	}
+	p := s.adoptFromPeer(j, peer, false)
+	if p == nil {
+		return fail("fetch_error", "result envelope not adoptable from "+owner)
+	}
+	m.ForwardOutcome(owner, "ok")
+	return p, true, "ok"
+}
+
+// adoptFromPeer fetches the job's result envelope from a peer's store,
+// verifies and decodes it against the job's own config, and backfills
+// this node's local store so the next submission of the key is a local
+// hit. Returns nil when the peer has no (valid) copy. replicaFetch marks
+// the failover path — the killed-owner case served from a replica — on
+// the job's event stream.
+func (s *Server) adoptFromPeer(j *job, peer *cluster.Peer, replicaFetch bool) *experiments.Pipeline {
 	data, err := peer.Store().Get(j.ctx, j.key)
 	if err != nil {
-		return fail("fetch_error", err.Error())
+		return nil
 	}
 	p, err := experiments.DecodeCached(j.ctx, j.nl, j.cfg, data)
 	if err != nil {
-		return fail("decode_error", err.Error())
+		s.logger.Warn("peer result not adoptable",
+			"job", j.id, "peer", peer.Name(), "key", j.key, "error", err)
+		return nil
 	}
 	if s.store != nil {
-		// Backfill this node's store so the next submission of this key is
-		// a local hit. Best effort: the result is already in hand.
+		// Backfill the local store only (not the replicated composition):
+		// adopting a result must not re-fan it out — the owners either hold
+		// it already or converge through hinted handoff and read-repair.
 		if err := s.store.Put(j.ctx, j.key, data); err != nil {
 			s.logger.Warn("store backfill failed", "job", j.id, "key", j.key, "error", err)
 		}
 	}
 	j.mu.Lock()
-	j.remote = owner
+	j.remote = peer.Name()
 	j.mu.Unlock()
-	m.ForwardOutcome(owner, "ok")
-	return p, true
+	if replicaFetch {
+		j.events.emit(EventReplicaFetch, "", "adopted replica copy of "+j.key+" from "+peer.Name())
+	}
+	return p
+}
+
+// hintReplayLoop drains the hinted-handoff spool in the background:
+// immediately when a peer's breaker closes (the recovery wake), and on a
+// slow ticker for deferred hints and missed wakeups. Exits on server
+// stop.
+func (s *Server) hintReplayLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.HintReplayInterval)
+	defer tick.Stop()
+	for {
+		if s.spool != nil && s.spool.Depth() > 0 {
+			ctx, cancel := context.WithTimeout(s.baseCtx, 30*time.Second)
+			replayed, remaining := s.replicated.Replay(ctx)
+			cancel()
+			if replayed > 0 {
+				s.logger.Info("hinted handoff replayed",
+					"replayed", replayed, "remaining", remaining)
+			}
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		case <-s.replayWake:
+		}
+	}
+}
+
+// ReloadMembership re-reads the peers file and swaps the ring — the
+// shared implementation behind POST /v1/cluster/reload and dlprojd's
+// SIGHUP handler. Errors leave the current membership untouched.
+func (s *Server) ReloadMembership() (cluster.MembershipChange, error) {
+	if s.cfg.Membership == nil {
+		return cluster.MembershipChange{}, errors.New("serve: no membership source configured (need -peers-file)")
+	}
+	ch, err := s.cfg.Membership.Reload()
+	if err != nil {
+		s.logger.Error("membership reload failed", "error", err)
+		return ch, err
+	}
+	s.logger.Info("membership reloaded",
+		"joined", ch.Joined, "left", ch.Left, "nodes", ch.Nodes)
+	return ch, nil
+}
+
+// SpoolDepth reports the pending hinted-handoff backlog (0 without a
+// spool) — surfaced on /readyz.
+func (s *Server) SpoolDepth() int {
+	if s.spool == nil {
+		return 0
+	}
+	return s.spool.Depth()
 }
 
 // finish classifies a run's outcome onto the job record, stamps the

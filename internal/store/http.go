@@ -338,7 +338,7 @@ func (h *HTTP) Put(ctx context.Context, key string, data []byte) error {
 		h.m.op(h.Name(), "put", "error")
 		return err
 	}
-	status, _, body, err := h.t.Do(ctx, func(ctx context.Context) (*http.Request, error) {
+	status, header, body, err := h.t.Do(ctx, func(ctx context.Context) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPut, h.url(key), bytes.NewReader(data))
 		if err != nil {
 			return nil, err
@@ -353,6 +353,14 @@ func (h *HTTP) Put(ctx context.Context, key string, data []byte) error {
 	case status == http.StatusOK, status == http.StatusCreated, status == http.StatusNoContent:
 		h.m.op(h.Name(), "put", "ok")
 		return nil
+	case status == http.StatusTooManyRequests:
+		// The peer shed the write under load — retryable after its hint,
+		// not a failure. The transport already retried with the Retry-After
+		// delay and excluded 429 from breaker accounting; surfacing the
+		// typed error lets replication spool the write as a hinted handoff
+		// instead of treating the peer as down.
+		h.m.op(h.Name(), "put", "throttled")
+		return &Throttled{Key: key, RetryAfter: parseRetryAfter(header)}
 	}
 	h.m.op(h.Name(), "put", "error")
 	return fmt.Errorf("store: http put %s: status %d: %s", key, status, truncateBody(body))

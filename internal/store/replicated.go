@@ -1,0 +1,321 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ReplicaSet is the placement oracle Replicated composes over — the
+// cluster implements it (see cluster.Cluster.ReplicaStore) without the
+// store package importing cluster. It must be safe for concurrent use
+// and may change between calls (membership reloads): Replicated resolves
+// owners per operation and tolerates a peer disappearing mid-flight.
+type ReplicaSet interface {
+	// Self returns this node's ring name.
+	Self() string
+	// Owners returns the ordered replica set (rf distinct node names,
+	// primary first) for key. Self may or may not be among them.
+	Owners(key string) []string
+	// ReplicaStore returns the remote store view of the named node, or
+	// nil for self, unknown, and departed nodes.
+	ReplicaStore(name string) Store
+}
+
+// Replicated composes the node's local store with the cluster's replica
+// placement:
+//
+//   - Put commits locally first (the node's source of truth), then fans
+//     the envelope out to every other owner. A fan-out failure never
+//     fails the Put — it queues a hinted handoff in the spool, replayed
+//     when the peer's breaker closes; a 429 defers the hint by the
+//     peer's Retry-After instead of counting the peer as down.
+//   - Get serves any locally cached copy, else walks the owners in ring
+//     order and read-repairs on the way out: the first verified copy is
+//     backfilled to the local store and to every earlier-ranked owner
+//     that cleanly missed, so a ring that lost a node converges back to
+//     rf copies through ordinary reads.
+//
+// Content addressing does the heavy lifting: a key fully determines its
+// bytes, so there is no "stale" copy to reconcile — only present,
+// missing, or corrupt — and every repair is an idempotent Put.
+type Replicated struct {
+	local Store
+	rs    ReplicaSet
+	spool *Spool // nil: fan-out still happens, failures are dropped instead of hinted
+	m     *Metrics
+	now   func() time.Time
+}
+
+// NewReplicated composes local with the replica set. spool may be nil
+// (no hinted handoff — failed fan-outs are dropped and left to
+// read-repair); local and rs must be non-nil.
+func NewReplicated(local Store, rs ReplicaSet, spool *Spool, m *Metrics) (*Replicated, error) {
+	if local == nil || rs == nil {
+		return nil, errors.New("store: replicated needs a local store and a replica set")
+	}
+	return &Replicated{local: local, rs: rs, spool: spool, m: m, now: time.Now}, nil
+}
+
+// Name implements Store.
+func (r *Replicated) Name() string { return "replicated" }
+
+// Local returns the local tier.
+func (r *Replicated) Local() Store { return r.local }
+
+// Spool returns the hinted-handoff spool (nil when disabled).
+func (r *Replicated) Spool() *Spool { return r.spool }
+
+// Put implements Store: local write first (must succeed), then best-
+// effort fan-out to the other owners.
+func (r *Replicated) Put(ctx context.Context, key string, data []byte) error {
+	if !ValidKey(key) {
+		return errBadKey(key)
+	}
+	if err := r.local.Put(ctx, key, data); err != nil {
+		r.m.op(r.Name(), "put", "error")
+		return err
+	}
+	self := r.rs.Self()
+	for _, owner := range r.rs.Owners(key) {
+		if owner == self {
+			continue
+		}
+		r.replicateTo(ctx, owner, key, data)
+	}
+	r.m.op(r.Name(), "put", "ok")
+	return nil
+}
+
+// replicateTo pushes one envelope to one owner, spooling a hint on
+// failure.
+func (r *Replicated) replicateTo(ctx context.Context, peer, key string, data []byte) {
+	st := r.rs.ReplicaStore(peer)
+	if st == nil {
+		// Unknown or departed owner: nothing to dial, nothing to spool —
+		// Owners and ReplicaStore race only across a membership swap, and
+		// the new owner set will replicate on its own.
+		r.m.replicate(peer, "no_client")
+		return
+	}
+	err := st.Put(ctx, key, data)
+	if err == nil {
+		r.m.replicate(peer, "ok")
+		return
+	}
+	if th, ok := AsThrottled(err); ok {
+		r.hint(peer, key, r.retryAt(th), "throttled")
+		return
+	}
+	r.hint(peer, key, time.Time{}, "spooled")
+}
+
+// retryAt converts a 429's Retry-After into the hint's NotBefore, with a
+// 1s floor so a hint never spins hot against a shedding peer.
+func (r *Replicated) retryAt(th *Throttled) time.Time {
+	ra := th.RetryAfter
+	if ra < time.Second {
+		ra = time.Second
+	}
+	return r.now().Add(ra)
+}
+
+// hint spools a failed replica write, recording outcome (or the spool
+// failure) in the replicate counter.
+func (r *Replicated) hint(peer, key string, notBefore time.Time, outcome string) {
+	if r.spool == nil {
+		r.m.replicate(peer, "dropped")
+		return
+	}
+	if err := r.spool.Add(peer, key, notBefore); err != nil {
+		if errors.Is(err, ErrSpoolFull) {
+			r.m.replicate(peer, "spool_full")
+		} else {
+			r.m.replicate(peer, "dropped")
+		}
+		return
+	}
+	r.m.replicate(peer, outcome)
+}
+
+// Get implements Store: local copy first (any verified copy is current —
+// content addressing), then the owners in ring order; the first hit
+// read-repairs the local store and every earlier-ranked owner that
+// cleanly missed.
+func (r *Replicated) Get(ctx context.Context, key string) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, errBadKey(key)
+	}
+	data, err := r.local.Get(ctx, key)
+	if err == nil {
+		if VerifyEnvelope(data) == nil {
+			r.m.op(r.Name(), "get", "hit")
+			return data, nil
+		}
+		// Corrupt local copy (torn by a crash, bit rot): treat as a miss
+		// and let the replica walk overwrite it below.
+		r.m.readRepair("self", "corrupt_local")
+	} else if !errors.Is(err, ErrNotFound) {
+		// A broken local tier is not a miss to paper over (same stance as
+		// Tiered): without it the node has no store at all.
+		r.m.op(r.Name(), "get", "error")
+		return nil, err
+	}
+
+	self := r.rs.Self()
+	var missed []string // earlier-ranked owners that cleanly missed
+	for _, owner := range r.rs.Owners(key) {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if owner == self {
+			// Already tried above; the local backfill on a later hit covers
+			// this rank.
+			continue
+		}
+		st := r.rs.ReplicaStore(owner)
+		if st == nil {
+			continue
+		}
+		data, err := st.Get(ctx, key)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				missed = append(missed, owner)
+			}
+			// Unreachable or erroring owner: skip — if it lacks the copy a
+			// spooled hint or a later read-repair converges it.
+			continue
+		}
+		if VerifyEnvelope(data) != nil {
+			continue
+		}
+		// Read repair: the local cache first (serves the next read and is
+		// the source for hint replay), then every owner that missed.
+		if lerr := r.local.Put(ctx, key, data); lerr == nil {
+			r.m.readRepair("self", "ok")
+		} else {
+			r.m.readRepair("self", "error")
+		}
+		for _, mname := range missed {
+			r.repairOwner(ctx, mname, key, data)
+		}
+		r.m.op(r.Name(), "get", "hit")
+		return data, nil
+	}
+	r.m.op(r.Name(), "get", "miss")
+	return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// repairOwner backfills one under-replicated owner, spooling a hint when
+// the push fails so convergence survives the owner bouncing again.
+func (r *Replicated) repairOwner(ctx context.Context, peer, key string, data []byte) {
+	st := r.rs.ReplicaStore(peer)
+	if st == nil {
+		return
+	}
+	err := st.Put(ctx, key, data)
+	if err == nil {
+		r.m.readRepair(peer, "ok")
+		return
+	}
+	notBefore := time.Time{}
+	if th, ok := AsThrottled(err); ok {
+		notBefore = r.retryAt(th)
+	}
+	if r.spool != nil && r.spool.Add(peer, key, notBefore) == nil {
+		r.m.readRepair(peer, "spooled")
+		return
+	}
+	r.m.readRepair(peer, "error")
+}
+
+// Stat implements Store: local, then each remote owner; errors degrade
+// to "absent" for that owner.
+func (r *Replicated) Stat(ctx context.Context, key string) (bool, error) {
+	if !ValidKey(key) {
+		return false, errBadKey(key)
+	}
+	ok, err := r.local.Stat(ctx, key)
+	if err != nil {
+		r.m.op(r.Name(), "stat", "error")
+		return false, err
+	}
+	if ok {
+		r.m.op(r.Name(), "stat", "hit")
+		return true, nil
+	}
+	self := r.rs.Self()
+	for _, owner := range r.rs.Owners(key) {
+		if owner == self {
+			continue
+		}
+		st := r.rs.ReplicaStore(owner)
+		if st == nil {
+			continue
+		}
+		if ok, err := st.Stat(ctx, key); err == nil && ok {
+			r.m.op(r.Name(), "stat", "hit")
+			return true, nil
+		}
+	}
+	r.m.op(r.Name(), "stat", "miss")
+	return false, nil
+}
+
+// Replay drains ready hints: for every spooled peer still in the replica
+// set, each due hint's envelope is read back from the local store and
+// pushed. Hints for departed members are dropped (the ring no longer
+// places those keys there); hints whose envelope vanished locally are
+// dropped too (nothing to push). A throttling peer defers its hints; any
+// other push error stops that peer's drain for this pass (its breaker is
+// almost certainly open again). Returns the number of hints replayed and
+// the number still pending.
+func (r *Replicated) Replay(ctx context.Context) (replayed, remaining int) {
+	if r.spool == nil {
+		return 0, 0
+	}
+	for _, peer := range r.spool.Peers() {
+		st := r.rs.ReplicaStore(peer)
+		if st == nil {
+			for _, h := range r.spool.Pending(peer) {
+				r.spool.Remove(peer, h.Key)
+				r.m.hintReplayed(peer, "dropped_member")
+			}
+			continue
+		}
+		now := r.now()
+		for _, h := range r.spool.Pending(peer) {
+			if ctx.Err() != nil {
+				return replayed, r.spool.Depth()
+			}
+			if h.NotBefore.After(now) {
+				continue // deferred; stays pending without a counter tick
+			}
+			data, err := r.local.Get(ctx, h.Key)
+			if errors.Is(err, ErrNotFound) {
+				r.spool.Remove(peer, h.Key)
+				r.m.hintReplayed(peer, "dropped_missing")
+				continue
+			}
+			if err != nil {
+				continue
+			}
+			err = st.Put(ctx, h.Key, data)
+			if err == nil {
+				r.spool.Remove(peer, h.Key)
+				r.m.hintReplayed(peer, "ok")
+				replayed++
+				continue
+			}
+			if th, ok := AsThrottled(err); ok {
+				_ = r.spool.Add(peer, h.Key, r.retryAt(th))
+				r.m.hintReplayed(peer, "deferred")
+				continue
+			}
+			r.m.hintReplayed(peer, "error")
+			break
+		}
+	}
+	return replayed, r.spool.Depth()
+}

@@ -1,0 +1,233 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Spool is the hinted-handoff queue: when a replica write fails, the
+// key is recorded durably as a "hint" and replayed once the peer's
+// breaker closes again. Because keys are content addresses, a hint only
+// needs to name the key — the envelope bytes are re-read from the local
+// store at replay time, and a replayed Put is idempotent on the peer.
+//
+// Layout: <dir>/<url-escaped peer name>/<key>.hint, each a small JSON
+// Hint record committed through AtomicWrite (write temp, fsync, rename,
+// fsync dir) so a crash never publishes a torn hint and queued hints
+// survive restarts. The in-memory index mirrors the directory and is
+// rebuilt from it at construction.
+type Spool struct {
+	dir string
+	max int
+	m   *Metrics
+
+	mu      sync.Mutex
+	pending map[string]map[string]Hint // peer → key → hint
+}
+
+// Hint is one queued replica write.
+type Hint struct {
+	// Peer is the destination node name.
+	Peer string `json:"peer"`
+	// Key is the envelope key to push.
+	Key string `json:"key"`
+	// QueuedAt records when the hint was first spooled (UTC).
+	QueuedAt time.Time `json:"queued_at"`
+	// NotBefore, when set, defers replay until that instant — the
+	// Retry-After hint from a throttling (429) peer.
+	NotBefore time.Time `json:"not_before,omitempty"`
+}
+
+// ErrSpoolFull reports that a peer's hint quota is exhausted; the write
+// is dropped (the envelope stays safe in the local store and read-repair
+// can still converge the replica later).
+var ErrSpoolFull = errors.New("store: hint spool full")
+
+// DefaultMaxHintsPerPeer bounds the per-peer hint backlog. The spool is
+// a recovery buffer, not a durable replication log — a peer down long
+// enough to accumulate more misses than this needs read-repair anyway.
+const DefaultMaxHintsPerPeer = 1024
+
+// NewSpool opens (creating if needed) the hint spool rooted at dir.
+// maxPerPeer <= 0 selects DefaultMaxHintsPerPeer. Existing hints on disk
+// are loaded; a hint that fails to parse or whose filename disagrees
+// with its contents is deleted (the envelope itself lives in the local
+// store, so a lost hint costs convergence speed, never data).
+func NewSpool(dir string, maxPerPeer int, m *Metrics) (*Spool, error) {
+	if dir == "" {
+		return nil, errors.New("store: spool dir must be non-empty")
+	}
+	if maxPerPeer <= 0 {
+		maxPerPeer = DefaultMaxHintsPerPeer
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: spool: %w", err)
+	}
+	s := &Spool{dir: dir, max: maxPerPeer, m: m, pending: map[string]map[string]Hint{}}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	s.m.spoolDepth(s.Depth())
+	return s, nil
+}
+
+func (s *Spool) peerDir(peer string) string {
+	return filepath.Join(s.dir, url.PathEscape(peer))
+}
+
+func (s *Spool) hintPath(peer, key string) string {
+	return filepath.Join(s.peerDir(peer), key+".hint")
+}
+
+// load rebuilds the in-memory index from the spool directory.
+func (s *Spool) load() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: spool: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		peer, err := url.PathUnescape(e.Name())
+		if err != nil {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if !strings.HasSuffix(name, ".hint") {
+				continue
+			}
+			key := strings.TrimSuffix(name, ".hint")
+			path := filepath.Join(s.dir, e.Name(), name)
+			data, err := os.ReadFile(path)
+			var h Hint
+			if err != nil || json.Unmarshal(data, &h) != nil ||
+				h.Key != key || h.Peer != peer || !ValidKey(key) {
+				os.Remove(path)
+				continue
+			}
+			per := s.pending[peer]
+			if per == nil {
+				per = map[string]Hint{}
+				s.pending[peer] = per
+			}
+			per[key] = h
+		}
+	}
+	return nil
+}
+
+// Add queues (or re-schedules) a hint for peer/key. Adding an existing
+// key updates NotBefore while preserving the original QueuedAt; a new
+// key beyond the per-peer quota returns ErrSpoolFull.
+func (s *Spool) Add(peer, key string, notBefore time.Time) error {
+	if !ValidKey(key) {
+		return errBadKey(key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	per := s.pending[peer]
+	if per == nil {
+		per = map[string]Hint{}
+		s.pending[peer] = per
+	}
+	h := Hint{Peer: peer, Key: key, QueuedAt: time.Now().UTC(), NotBefore: notBefore}
+	if prev, ok := per[key]; ok {
+		h.QueuedAt = prev.QueuedAt
+	} else if len(per) >= s.max {
+		return fmt.Errorf("%w: peer %s at %d hints", ErrSpoolFull, peer, len(per))
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("store: spool: %w", err)
+	}
+	if err := os.MkdirAll(s.peerDir(peer), 0o755); err != nil {
+		return fmt.Errorf("store: spool: %w", err)
+	}
+	if err := AtomicWrite(s.hintPath(peer, key), data); err != nil {
+		return fmt.Errorf("store: spool %s/%s: %w", peer, key, err)
+	}
+	per[key] = h
+	s.m.spoolDepth(s.depthLocked())
+	return nil
+}
+
+// Remove drops the hint for peer/key (replayed, or no longer wanted).
+func (s *Spool) Remove(peer, key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	per := s.pending[peer]
+	if per == nil {
+		return
+	}
+	if _, ok := per[key]; !ok {
+		return
+	}
+	delete(per, key)
+	os.Remove(s.hintPath(peer, key))
+	if len(per) == 0 {
+		delete(s.pending, peer)
+		os.Remove(s.peerDir(peer)) // best effort; fails harmlessly if non-empty on disk
+	}
+	s.m.spoolDepth(s.depthLocked())
+}
+
+// Pending returns every queued hint for peer, oldest first (QueuedAt,
+// then key). Callers filter NotBefore themselves — a deferred hint is
+// still pending.
+func (s *Spool) Pending(peer string) []Hint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	per := s.pending[peer]
+	out := make([]Hint, 0, len(per))
+	for _, h := range per {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].QueuedAt.Equal(out[j].QueuedAt) {
+			return out[i].QueuedAt.Before(out[j].QueuedAt)
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Peers returns the peer names with queued hints, sorted.
+func (s *Spool) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.pending))
+	for p := range s.pending {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Depth returns the total number of queued hints across all peers.
+func (s *Spool) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depthLocked()
+}
+
+func (s *Spool) depthLocked() int {
+	n := 0
+	for _, per := range s.pending {
+		n += len(per)
+	}
+	return n
+}

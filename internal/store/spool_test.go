@@ -1,0 +1,177 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSpoolRoundTripAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := NewSpool(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := testKey(60), testKey(61)
+	if err := sp.Add("node-b", k1, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Add("node-b", k2, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Add("node c", k1, time.Time{}); err != nil { // name needing escaping
+		t.Fatal(err)
+	}
+	if got := sp.Depth(); got != 3 {
+		t.Fatalf("Depth = %d, want 3", got)
+	}
+	peers := sp.Peers()
+	if len(peers) != 2 || peers[0] != "node c" || peers[1] != "node-b" {
+		t.Fatalf("Peers = %v", peers)
+	}
+	// Pending is oldest-first; equal QueuedAt falls back to key order.
+	pend := sp.Pending("node-b")
+	if len(pend) != 2 {
+		t.Fatalf("Pending = %v, want 2 hints", pend)
+	}
+	if pend[0].QueuedAt.After(pend[1].QueuedAt) {
+		t.Fatalf("Pending not oldest-first: %v", pend)
+	}
+
+	// A second Spool over the same directory rebuilds the same queue —
+	// hints survive a daemon restart.
+	sp2, err := NewSpool(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp2.Depth(); got != 3 {
+		t.Fatalf("reloaded Depth = %d, want 3", got)
+	}
+	if got := sp2.Pending("node c"); len(got) != 1 || got[0].Key != k1 || got[0].Peer != "node c" {
+		t.Fatalf("reloaded escaped-peer hints = %v", got)
+	}
+
+	// Remove drains the per-peer queue and its directory.
+	sp2.Remove("node-b", k1)
+	sp2.Remove("node-b", k2)
+	sp2.Remove("node-b", k2) // idempotent
+	if got := sp2.Depth(); got != 1 {
+		t.Fatalf("Depth after removes = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "node-b")); !os.IsNotExist(err) {
+		t.Fatalf("emptied peer dir still present: %v", err)
+	}
+}
+
+func TestSpoolReAddPreservesQueuedAt(t *testing.T) {
+	sp, err := NewSpool(t.TempDir(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(62)
+	if err := sp.Add("b", key, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	first := sp.Pending("b")[0]
+	// Re-adding (a throttled retry rescheduling the same key) updates
+	// NotBefore but keeps the original enqueue time — age accounting and
+	// oldest-first replay order survive deferrals.
+	later := time.Now().Add(time.Hour).UTC()
+	if err := sp.Add("b", key, later); err != nil {
+		t.Fatal(err)
+	}
+	got := sp.Pending("b")
+	if len(got) != 1 {
+		t.Fatalf("re-add duplicated the hint: %v", got)
+	}
+	if !got[0].QueuedAt.Equal(first.QueuedAt) {
+		t.Fatalf("QueuedAt changed on re-add: %v -> %v", first.QueuedAt, got[0].QueuedAt)
+	}
+	if !got[0].NotBefore.Equal(later) {
+		t.Fatalf("NotBefore = %v, want %v", got[0].NotBefore, later)
+	}
+	if sp.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", sp.Depth())
+	}
+}
+
+func TestSpoolPerPeerQuota(t *testing.T) {
+	sp, err := NewSpool(t.TempDir(), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Add("b", testKey(63), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Add("b", testKey(64), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	err = sp.Add("b", testKey(65), time.Time{})
+	if !errors.Is(err, ErrSpoolFull) {
+		t.Fatalf("over-quota Add = %v, want ErrSpoolFull", err)
+	}
+	// Re-adding an existing key is not a new hint: always allowed.
+	if err := sp.Add("b", testKey(63), time.Now()); err != nil {
+		t.Fatalf("re-add at quota: %v", err)
+	}
+	// Another peer has its own quota.
+	if err := sp.Add("c", testKey(65), time.Time{}); err != nil {
+		t.Fatalf("other peer at quota: %v", err)
+	}
+	// Bad keys never enter the spool.
+	if err := sp.Add("b", "../escape", time.Time{}); err == nil {
+		t.Fatal("invalid key accepted")
+	}
+}
+
+// TestSpoolLoadDropsCorruptHints: a hint that fails to parse, or whose
+// filename disagrees with its contents, is deleted at load — never
+// replayed, never poisoning the index.
+func TestSpoolLoadDropsCorruptHints(t *testing.T) {
+	dir := t.TempDir()
+	sp, err := NewSpool(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := testKey(66)
+	if err := sp.Add("b", good, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	peerDir := filepath.Join(dir, "b")
+	// Torn JSON.
+	torn := filepath.Join(peerDir, testKey(67)+".hint")
+	if err := os.WriteFile(torn, []byte(`{"peer":"b","key`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Valid JSON under the wrong filename.
+	lying := filepath.Join(peerDir, testKey(68)+".hint")
+	if err := os.WriteFile(lying, []byte(`{"peer":"b","key":"`+good+`"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A stray non-hint file is left alone.
+	stray := filepath.Join(peerDir, "README")
+	if err := os.WriteFile(stray, []byte("not a hint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sp2, err := NewSpool(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp2.Depth(); got != 1 {
+		t.Fatalf("Depth after corrupt load = %d, want 1", got)
+	}
+	if got := sp2.Pending("b"); len(got) != 1 || got[0].Key != good {
+		t.Fatalf("survivors = %v, want only the good hint", got)
+	}
+	for _, p := range []string{torn, lying} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("corrupt hint %s not deleted", p)
+		}
+	}
+	if _, err := os.Stat(stray); err != nil {
+		t.Fatalf("stray non-hint file touched: %v", err)
+	}
+}

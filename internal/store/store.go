@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"defectsim/internal/obs"
 )
@@ -73,6 +74,31 @@ func errBadKey(key string) error {
 	return fmt.Errorf("store: invalid key %q (want 32 lowercase hex chars)", key)
 }
 
+// Throttled reports an operation the peer explicitly shed with 429 —
+// load, not failure. It never counts against the peer's breaker (the
+// transport already excludes 429 from failure accounting); callers that
+// can defer the work (hinted handoff) should retry after RetryAfter.
+type Throttled struct {
+	// Key is the envelope key the shed operation targeted.
+	Key string
+	// RetryAfter is the peer's Retry-After hint; 0 when absent.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (t *Throttled) Error() string {
+	return fmt.Sprintf("store: peer shed key %s (429, retry after %s)", t.Key, t.RetryAfter)
+}
+
+// AsThrottled unwraps err into a *Throttled if one is in the chain.
+func AsThrottled(err error) (*Throttled, bool) {
+	var t *Throttled
+	if errors.As(err, &t) {
+		return t, true
+	}
+	return nil, false
+}
+
 // envelope mirrors the wire shape of the experiments cache envelope —
 // {version, checksum, payload} with checksum = sha256(payload) in hex —
 // just enough to verify integrity without importing the pipeline. The
@@ -117,16 +143,35 @@ type Metrics struct {
 	// Degraded counts tiered-store degradations to local-only:
 	// store_remote_degraded_total{op}.
 	Degraded *obs.CounterVec
+	// Replicate counts replica fan-out writes:
+	// store_replicate_total{peer,outcome} with outcome
+	// ok/throttled/spooled/spool_full/dropped/no_client.
+	Replicate *obs.CounterVec
+	// ReadRepair counts read-repair backfills:
+	// store_read_repair_total{target,outcome} with target a peer name or
+	// "self" and outcome ok/spooled/error/corrupt_local.
+	ReadRepair *obs.CounterVec
+	// HintsReplayed counts hinted-handoff replay outcomes:
+	// store_hints_replayed_total{peer,outcome} with outcome
+	// ok/deferred/error/dropped_member/dropped_missing.
+	HintsReplayed *obs.CounterVec
+	// SpoolDepth gauges pending hinted-handoff entries across all peers:
+	// store_hint_spool_depth.
+	SpoolDepth *obs.Gauge
 }
 
 // NewMetrics registers (or resolves) the store instrument families on
 // reg. Nil-safe: a nil registry yields no-op instruments.
 func NewMetrics(reg *obs.Registry) *Metrics {
 	return &Metrics{
-		Ops:          reg.CounterVec("store_ops_total", "backend", "op", "outcome"),
-		Retries:      reg.CounterVec("store_retries_total", "backend"),
-		BreakerState: reg.GaugeVec("store_breaker_state", "backend"),
-		Degraded:     reg.CounterVec("store_remote_degraded_total", "op"),
+		Ops:           reg.CounterVec("store_ops_total", "backend", "op", "outcome"),
+		Retries:       reg.CounterVec("store_retries_total", "backend"),
+		BreakerState:  reg.GaugeVec("store_breaker_state", "backend"),
+		Degraded:      reg.CounterVec("store_remote_degraded_total", "op"),
+		Replicate:     reg.CounterVec("store_replicate_total", "peer", "outcome"),
+		ReadRepair:    reg.CounterVec("store_read_repair_total", "target", "outcome"),
+		HintsReplayed: reg.CounterVec("store_hints_replayed_total", "peer", "outcome"),
+		SpoolDepth:    reg.Gauge("store_hint_spool_depth"),
 	}
 }
 
@@ -156,4 +201,32 @@ func (m *Metrics) degraded(op string) {
 		return
 	}
 	m.Degraded.With(op).Inc()
+}
+
+func (m *Metrics) replicate(peer, outcome string) {
+	if m == nil {
+		return
+	}
+	m.Replicate.With(peer, outcome).Inc()
+}
+
+func (m *Metrics) readRepair(target, outcome string) {
+	if m == nil {
+		return
+	}
+	m.ReadRepair.With(target, outcome).Inc()
+}
+
+func (m *Metrics) hintReplayed(peer, outcome string) {
+	if m == nil {
+		return
+	}
+	m.HintsReplayed.With(peer, outcome).Inc()
+}
+
+func (m *Metrics) spoolDepth(n int) {
+	if m == nil {
+		return
+	}
+	m.SpoolDepth.Set(float64(n))
 }
